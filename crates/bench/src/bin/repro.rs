@@ -1,0 +1,83 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] [all | table1 | table2 | table3 | fig1 | fig3 | fig4 |
+//!                  fig5 | fig6 | fig10 | fig11 | fig12 | fig13 | fig14 |
+//!                  fig15 | stats | ablations]
+//! ```
+//!
+//! `--quick` shrinks the simulation windows and the Fig. 15 mix count so
+//! the whole sweep finishes in a couple of minutes on a laptop core.
+
+use secpref_bench::figures;
+use secpref_bench::runner::ExpScale;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick {
+        ExpScale::Quick
+    } else {
+        ExpScale::Full
+    };
+    let mix_count = if quick { 6 } else { 16 };
+    let targets: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let all = targets.is_empty() || targets.iter().any(|t| t == "all");
+    let want = |name: &str| all || targets.iter().any(|t| t == name);
+
+    let t0 = Instant::now();
+    if want("table1") {
+        println!("{}", figures::table1());
+    }
+    if want("table2") {
+        println!("{}", figures::table2());
+    }
+    if want("table3") {
+        println!("{}", figures::table3());
+    }
+    for (name, f) in [
+        (
+            "fig1",
+            figures::fig1 as fn(ExpScale) -> secpref_bench::Table,
+        ),
+        ("fig3", figures::fig3),
+        ("fig4", figures::fig4),
+        ("fig5", figures::fig5),
+        ("fig6", figures::fig6),
+        ("fig10", figures::fig10),
+        ("fig11", figures::fig11),
+        ("fig12", figures::fig12),
+        ("fig13", figures::fig13),
+        ("fig14", figures::fig14),
+    ] {
+        if want(name) {
+            let t = Instant::now();
+            println!("{}", f(scale));
+            eprintln!("[{name} took {:.1?}]", t.elapsed());
+        }
+    }
+    if want("fig15") {
+        let t = Instant::now();
+        println!("{}", figures::fig15(scale, mix_count));
+        eprintln!("[fig15 took {:.1?}]", t.elapsed());
+    }
+    if want("stats") {
+        println!("{}", figures::stats(scale));
+    }
+    if want("ablations") {
+        use secpref_bench::ablations;
+        let t = Instant::now();
+        println!("{}", ablations::gm_size(scale));
+        println!("{}", ablations::suf_parts(scale));
+        println!("{}", ablations::lateness_threshold(scale));
+        println!("{}", ablations::tsb_non_secure(scale));
+        println!("{}", ablations::llc_replacement(scale));
+        eprintln!("[ablations took {:.1?}]", t.elapsed());
+    }
+    eprintln!("[total {:.1?}]", t0.elapsed());
+}

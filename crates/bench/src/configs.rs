@@ -1,0 +1,140 @@
+//! The configuration matrix the paper's figures sweep over, and the
+//! workload suites.
+
+use secpref_types::{PrefetchMode, PrefetcherKind, SecureMode, SystemConfig};
+
+/// Non-secure baseline without prefetching — the normalization point of
+/// every speedup figure.
+pub fn nonsecure_nopref() -> SystemConfig {
+    SystemConfig::baseline(1)
+}
+
+/// GhostMinion without prefetching (the red line in the figures).
+pub fn secure_nopref() -> SystemConfig {
+    SystemConfig::baseline(1).with_secure(SecureMode::GhostMinion)
+}
+
+/// On-access prefetching on the non-secure system (white bars).
+pub fn on_access_nonsecure(kind: PrefetcherKind) -> SystemConfig {
+    SystemConfig::baseline(1)
+        .with_prefetcher(kind)
+        .with_mode(PrefetchMode::OnAccess)
+}
+
+/// On-access prefetching on GhostMinion (insecure prefetcher, secure
+/// cache — the middle bar of Fig. 1).
+pub fn on_access_secure(kind: PrefetcherKind) -> SystemConfig {
+    on_access_nonsecure(kind).with_secure(SecureMode::GhostMinion)
+}
+
+/// On-commit (secure) prefetching on GhostMinion (gray bars).
+pub fn on_commit_secure(kind: PrefetcherKind) -> SystemConfig {
+    SystemConfig::baseline(1)
+        .with_secure(SecureMode::GhostMinion)
+        .with_prefetcher(kind)
+        .with_mode(PrefetchMode::OnCommit)
+}
+
+/// On-commit prefetching + SUF (black bars).
+pub fn on_commit_suf(kind: PrefetcherKind) -> SystemConfig {
+    on_commit_secure(kind).with_suf(true)
+}
+
+/// Timely-secure prefetching (TS-*/TSB).
+pub fn timely_secure(kind: PrefetcherKind) -> SystemConfig {
+    on_commit_secure(kind).with_timely_secure(true)
+}
+
+/// Timely-secure + SUF (the paper's full proposal).
+pub fn timely_secure_suf(kind: PrefetcherKind) -> SystemConfig {
+    timely_secure(kind).with_suf(true)
+}
+
+/// The SPEC-like single-core workload suite used by the average figures.
+pub fn spec_suite() -> Vec<String> {
+    secpref_trace::suite::spec_names()
+}
+
+/// The GAP-like single-core workload suite.
+pub fn gap_suite() -> Vec<String> {
+    secpref_trace::suite::gap_names()
+}
+
+/// SPEC + GAP, the full averaging set.
+pub fn full_suite() -> Vec<String> {
+    let mut v = spec_suite();
+    v.extend(gap_suite());
+    v
+}
+
+/// A reduced suite for quick runs and Criterion benches: one
+/// representative per pattern class.
+pub fn quick_suite() -> Vec<String> {
+    [
+        "mcf_like_a",
+        "bwaves_like",
+        "xalancbmk_like",
+        "omnetpp_like",
+        "bfs_small",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// The trace Fig. 5 deep-dives on (`605.mcf_s-1554B` in the paper).
+pub fn mcf_trace() -> String {
+    "mcf_like_a".to_string()
+}
+
+/// Deterministic 4-core mixes drawn from the full suite (the paper uses
+/// 150 random SPEC+GAP mixes; we scale the count down).
+pub fn multicore_mixes(count: usize) -> Vec<[String; 4]> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let names = full_suite();
+    let mut rng = StdRng::seed_from_u64(0x4D49_5845);
+    (0..count)
+        .map(|_| std::array::from_fn(|_| names[rng.gen_range(0..names.len())].clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_configs_valid() {
+        for kind in PrefetcherKind::EVALUATED {
+            for cfg in [
+                on_access_nonsecure(kind),
+                on_access_secure(kind),
+                on_commit_secure(kind),
+                on_commit_suf(kind),
+                timely_secure(kind),
+                timely_secure_suf(kind),
+            ] {
+                assert!(cfg.validate().is_ok(), "{kind}: {:?}", cfg.validate());
+            }
+        }
+        assert!(nonsecure_nopref().validate().is_ok());
+        assert!(secure_nopref().validate().is_ok());
+    }
+
+    #[test]
+    fn suites_nonempty_and_known() {
+        assert!(spec_suite().len() >= 12);
+        assert!(gap_suite().len() >= 6);
+        for n in quick_suite() {
+            assert!(secpref_trace::suite::trace_by_name(&n).is_some(), "{n}");
+        }
+    }
+
+    #[test]
+    fn mixes_deterministic() {
+        let a = multicore_mixes(4);
+        let b = multicore_mixes(4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+    }
+}

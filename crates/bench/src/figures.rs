@@ -1,0 +1,698 @@
+//! One regeneration function per table and figure of the paper.
+//!
+//! Every speedup is normalized to the non-secure system without
+//! prefetching, averaged with the geometric mean across the workload
+//! suite (arithmetic mean for raw quantities), exactly as Section VII
+//! prescribes. Absolute values differ from the paper (synthetic traces,
+//! scaled windows); the *shape* — orderings, gaps, crossovers — is the
+//! reproduction target (see EXPERIMENTS.md).
+
+use crate::configs::{self, *};
+use crate::runner::{self, baseline_ipc, geomean_speedup, run_cached, ExpScale};
+use crate::table::Table;
+use secpref_sim::{geomean, mean, weighted_speedup};
+use secpref_types::{CacheLevel, PrefetcherKind};
+
+fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Fig. 1 — Speedup of state-of-the-art prefetchers (on-access non-secure,
+/// on-access secure, on-commit secure) normalized to non-secure no-pref.
+pub fn fig1(scale: ExpScale) -> Table {
+    let traces = full_suite();
+    let mut t = Table::new(
+        "Fig. 1 — Prefetcher speedup vs cache-system/prefetch-point",
+        &[
+            "prefetcher",
+            "on-access (non-secure)",
+            "on-access (secure)",
+            "on-commit (secure)",
+        ],
+    );
+    for kind in PrefetcherKind::EVALUATED {
+        t.row(vec![
+            kind.name().to_string(),
+            f3(geomean_speedup(&on_access_nonsecure(kind), &traces, scale)),
+            f3(geomean_speedup(&on_access_secure(kind), &traces, scale)),
+            f3(geomean_speedup(&on_commit_secure(kind), &traces, scale)),
+        ]);
+    }
+    t.row(vec![
+        "No-Pref (secure, red line)".into(),
+        String::new(),
+        String::new(),
+        f3(geomean_speedup(&secure_nopref(), &traces, scale)),
+    ]);
+    t
+}
+
+/// Fig. 3 — Average L1D APKI split into Load / Prefetch / Commit traffic,
+/// non-secure vs GhostMinion, with on-access prefetching.
+pub fn fig3(scale: ExpScale) -> Table {
+    let traces = full_suite();
+    let mut t = Table::new(
+        "Fig. 3 — L1D accesses per kilo-instruction (on-access prefetching)",
+        &["config", "load", "prefetch", "commit", "total"],
+    );
+    let mut push = |label: &str, cfg: &secpref_types::SystemConfig| {
+        let (mut load, mut pf, mut commit) = (Vec::new(), Vec::new(), Vec::new());
+        for tr in &traces {
+            let r = run_cached(cfg, tr, scale);
+            let c = &r.cores[0];
+            let k = 1000.0 / c.instructions.max(1) as f64;
+            load.push(c.l1d.demand_accesses as f64 * k);
+            pf.push(c.l1d.prefetch_accesses as f64 * k);
+            commit.push(c.l1d.commit_accesses as f64 * k);
+        }
+        let (l, p, c) = (mean(&load), mean(&pf), mean(&commit));
+        t.row(vec![label.to_string(), f1(l), f1(p), f1(c), f1(l + p + c)]);
+    };
+    push("No-Pref / non-secure", &nonsecure_nopref());
+    push("No-Pref / secure", &secure_nopref());
+    for kind in PrefetcherKind::EVALUATED {
+        push(
+            &format!("{} / non-secure", kind.name()),
+            &on_access_nonsecure(kind),
+        );
+        push(
+            &format!("{} / secure", kind.name()),
+            &on_access_secure(kind),
+        );
+    }
+    t
+}
+
+/// Fig. 4 — Average L1D load miss latency (cycles) with on-access
+/// prefetching, four configurations per prefetcher.
+pub fn fig4(scale: ExpScale) -> Table {
+    let traces = full_suite();
+    let mut t = Table::new(
+        "Fig. 4 — L1D load miss latency (cycles, on-access prefetching)",
+        &[
+            "prefetcher",
+            "pref non-secure",
+            "pref secure",
+            "no-pref non-secure",
+            "no-pref secure",
+        ],
+    );
+    let avg_lat = |cfg: &secpref_types::SystemConfig| {
+        mean(
+            &traces
+                .iter()
+                .map(|tr| run_cached(cfg, tr, scale).l1d_miss_latency())
+                .collect::<Vec<_>>(),
+        )
+    };
+    let base_ns = avg_lat(&nonsecure_nopref());
+    let base_s = avg_lat(&secure_nopref());
+    for kind in PrefetcherKind::EVALUATED {
+        t.row(vec![
+            kind.name().to_string(),
+            f1(avg_lat(&on_access_nonsecure(kind))),
+            f1(avg_lat(&on_access_secure(kind))),
+            f1(base_ns),
+            f1(base_s),
+        ]);
+    }
+    t
+}
+
+/// Fig. 5 — Deep dive on the mcf-like trace: (a) speedup, (b) L1D traffic
+/// split, (c) L1D load miss latency — on-access prefetching.
+pub fn fig5(scale: ExpScale) -> Table {
+    let tr = configs::mcf_trace();
+    let base = baseline_ipc(&tr, scale);
+    let mut t = Table::new(
+        format!("Fig. 5 — {tr} deep dive (on-access prefetching)"),
+        &[
+            "config",
+            "speedup",
+            "L1D load APKI",
+            "L1D pf APKI",
+            "L1D commit APKI",
+            "miss lat",
+        ],
+    );
+    let mut push = |label: &str, cfg: &secpref_types::SystemConfig| {
+        let r = run_cached(cfg, &tr, scale);
+        let c = &r.cores[0];
+        let k = 1000.0 / c.instructions.max(1) as f64;
+        t.row(vec![
+            label.to_string(),
+            f3(r.ipc() / base),
+            f1(c.l1d.demand_accesses as f64 * k),
+            f1(c.l1d.prefetch_accesses as f64 * k),
+            f1(c.l1d.commit_accesses as f64 * k),
+            f1(r.l1d_miss_latency()),
+        ]);
+    };
+    push("No-Pref / non-secure", &nonsecure_nopref());
+    push("No-Pref / secure", &secure_nopref());
+    for kind in PrefetcherKind::EVALUATED {
+        push(
+            &format!("{} / non-secure", kind.name()),
+            &on_access_nonsecure(kind),
+        );
+        push(
+            &format!("{} / secure", kind.name()),
+            &on_access_secure(kind),
+        );
+    }
+    t
+}
+
+/// Fig. 6 — Demand MPKI at the prefetcher's level split into uncovered /
+/// missed-opportunity / late / commit-late, on-access vs on-commit (both
+/// on GhostMinion).
+pub fn fig6(scale: ExpScale) -> Table {
+    let traces = full_suite();
+    let mut t = Table::new(
+        "Fig. 6 — Demand MPKI by coverage/lateness class (secure cache)",
+        &[
+            "prefetcher",
+            "mode",
+            "uncovered",
+            "missed-opp",
+            "late",
+            "commit-late",
+            "total MPKI",
+        ],
+    );
+    for kind in PrefetcherKind::EVALUATED {
+        let level = if kind.is_l1_prefetcher() {
+            CacheLevel::L1d
+        } else {
+            CacheLevel::L2
+        };
+        // On-access: no commit-late / missed-opportunity classes exist.
+        let (mut unc, mut late, mut tot) = (Vec::new(), Vec::new(), Vec::new());
+        for tr in &traces {
+            let r = run_cached(&on_access_secure(kind), tr, scale);
+            let c = &r.cores[0];
+            let k = 1000.0 / c.instructions.max(1) as f64;
+            let misses = c.mpki(level);
+            let l = c.prefetch.late as f64 * k;
+            late.push(l);
+            unc.push((misses - l).max(0.0));
+            tot.push(misses);
+        }
+        t.row(vec![
+            kind.name().into(),
+            "on-access".into(),
+            f1(mean(&unc)),
+            "0.0".into(),
+            f1(mean(&late)),
+            "0.0".into(),
+            f1(mean(&tot)),
+        ]);
+        // On-commit: full classification from the shadow classifier.
+        let (mut unc, mut mo, mut late, mut cl, mut tot) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for tr in &traces {
+            let r = run_cached(&on_commit_secure(kind), tr, scale);
+            let c = &r.cores[0];
+            let k = 1000.0 / c.instructions.max(1) as f64;
+            unc.push(c.class.uncovered as f64 * k);
+            mo.push(c.class.missed_opportunity as f64 * k);
+            late.push(c.class.late as f64 * k);
+            cl.push(c.class.commit_late as f64 * k);
+            tot.push(c.mpki(level));
+        }
+        t.row(vec![
+            kind.name().into(),
+            "on-commit".into(),
+            f1(mean(&unc)),
+            f1(mean(&mo)),
+            f1(mean(&late)),
+            f1(mean(&cl)),
+            f1(mean(&tot)),
+        ]);
+    }
+    t
+}
+
+/// Fig. 10 — Speedup of the timely-secure (TS) versions vs the naive
+/// on-commit versions.
+pub fn fig10(scale: ExpScale) -> Table {
+    let traces = full_suite();
+    let mut t = Table::new(
+        "Fig. 10 — Timely-secure prefetcher speedup (GhostMinion)",
+        &["prefetcher", "on-commit", "timely-secure", "TS gain %"],
+    );
+    for kind in PrefetcherKind::EVALUATED {
+        let oc = geomean_speedup(&on_commit_secure(kind), &traces, scale);
+        let ts = geomean_speedup(&timely_secure(kind), &traces, scale);
+        t.row(vec![
+            kind.name().to_string(),
+            f3(oc),
+            f3(ts),
+            format!("{:+.1}", (ts / oc - 1.0) * 100.0),
+        ]);
+    }
+    t.row(vec![
+        "No-Pref (secure)".into(),
+        f3(geomean_speedup(&secure_nopref(), &traces, scale)),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
+/// Fig. 11 — SUF: on-access non-secure vs on-commit secure vs
+/// on-commit+SUF, plus the TSB rows the text quotes.
+pub fn fig11(scale: ExpScale) -> Table {
+    let traces = full_suite();
+    let mut t = Table::new(
+        "Fig. 11 — Secure Update Filter speedup",
+        &[
+            "config",
+            "on-access non-secure",
+            "on-commit secure",
+            "on-commit + SUF",
+        ],
+    );
+    for kind in PrefetcherKind::EVALUATED {
+        t.row(vec![
+            kind.name().to_string(),
+            f3(geomean_speedup(&on_access_nonsecure(kind), &traces, scale)),
+            f3(geomean_speedup(&on_commit_secure(kind), &traces, scale)),
+            f3(geomean_speedup(&on_commit_suf(kind), &traces, scale)),
+        ]);
+    }
+    t.row(vec![
+        "TSB".into(),
+        String::new(),
+        f3(geomean_speedup(
+            &timely_secure(PrefetcherKind::Berti),
+            &traces,
+            scale,
+        )),
+        f3(geomean_speedup(
+            &timely_secure_suf(PrefetcherKind::Berti),
+            &traces,
+            scale,
+        )),
+    ]);
+    t.row(vec![
+        "No-Pref (secure)".into(),
+        String::new(),
+        f3(geomean_speedup(&secure_nopref(), &traces, scale)),
+        f3(geomean_speedup(
+            &secure_nopref().with_suf(true),
+            &traces,
+            scale,
+        )),
+    ]);
+    t
+}
+
+/// Fig. 12 — Per-trace speedup of on-commit Berti, TSB, and TSB+SUF
+/// (SPEC-like then GAP-like), normalized to non-secure no-pref.
+pub fn fig12(scale: ExpScale) -> Table {
+    let mut t = Table::new(
+        "Fig. 12 — Per-trace speedup: on-commit Berti vs TSB vs TSB+SUF",
+        &["trace", "on-commit Berti", "TSB", "TSB+SUF"],
+    );
+    let berti = on_commit_secure(PrefetcherKind::Berti);
+    let tsb = timely_secure(PrefetcherKind::Berti);
+    let tsb_suf = timely_secure_suf(PrefetcherKind::Berti);
+    let mut all = spec_suite();
+    all.extend(gap_suite());
+    let mut geos: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for tr in &all {
+        let base = baseline_ipc(tr, scale);
+        let vals = [
+            run_cached(&berti, tr, scale).ipc() / base,
+            run_cached(&tsb, tr, scale).ipc() / base,
+            run_cached(&tsb_suf, tr, scale).ipc() / base,
+        ];
+        for (g, v) in geos.iter_mut().zip(vals) {
+            g.push(v);
+        }
+        t.row(vec![tr.clone(), f3(vals[0]), f3(vals[1]), f3(vals[2])]);
+    }
+    t.row(vec![
+        "GEOMEAN".into(),
+        f3(geomean(&geos[0])),
+        f3(geomean(&geos[1])),
+        f3(geomean(&geos[2])),
+    ]);
+    t
+}
+
+/// Fig. 13 — Average prefetch accuracy: on-access non-secure, on-commit
+/// secure, on-commit+SUF, and the TS version.
+pub fn fig13(scale: ExpScale) -> Table {
+    let traces = full_suite();
+    let mut t = Table::new(
+        "Fig. 13 — Prefetch accuracy (%)",
+        &[
+            "prefetcher",
+            "on-access",
+            "on-commit",
+            "on-commit+SUF",
+            "timely-secure",
+        ],
+    );
+    let acc = |cfg: &secpref_types::SystemConfig| {
+        mean(
+            &traces
+                .iter()
+                .map(|tr| run_cached(cfg, tr, scale).prefetch_accuracy() * 100.0)
+                .collect::<Vec<_>>(),
+        )
+    };
+    for kind in PrefetcherKind::EVALUATED {
+        t.row(vec![
+            kind.name().to_string(),
+            f1(acc(&on_access_nonsecure(kind))),
+            f1(acc(&on_commit_secure(kind))),
+            f1(acc(&on_commit_suf(kind))),
+            f1(acc(&timely_secure(kind))),
+        ]);
+    }
+    t
+}
+
+/// Fig. 14 — Normalized dynamic energy of the memory hierarchy.
+pub fn fig14(scale: ExpScale) -> Table {
+    let traces = full_suite();
+    let mut t = Table::new(
+        "Fig. 14 — Dynamic energy normalized to non-secure no-pref",
+        &[
+            "prefetcher",
+            "on-access non-secure",
+            "on-commit secure",
+            "on-commit+SUF",
+            "no-pref secure",
+        ],
+    );
+    let energy_ratio = |cfg: &secpref_types::SystemConfig| {
+        let ratios: Vec<f64> = traces
+            .iter()
+            .map(|tr| {
+                let base = run_cached(&nonsecure_nopref(), tr, scale).energy_nj;
+                run_cached(cfg, tr, scale).energy_nj / base.max(1e-9)
+            })
+            .collect();
+        geomean(&ratios)
+    };
+    let nopref_secure = energy_ratio(&secure_nopref());
+    for kind in PrefetcherKind::EVALUATED {
+        t.row(vec![
+            kind.name().to_string(),
+            f3(energy_ratio(&on_access_nonsecure(kind))),
+            f3(energy_ratio(&on_commit_secure(kind))),
+            f3(energy_ratio(&on_commit_suf(kind))),
+            f3(nopref_secure),
+        ]);
+    }
+    t
+}
+
+/// Fig. 15 — 4-core mixes: weighted speedup normalized to the non-secure
+/// no-prefetch weighted IPC, six configurations, sorted per config.
+pub fn fig15(scale: ExpScale, mix_count: usize) -> Table {
+    let mixes = multicore_mixes(mix_count);
+    let cfgs: Vec<(&str, secpref_types::SystemConfig)> = vec![
+        ("No-Pref secure", secure_nopref()),
+        (
+            "Berti on-access non-secure",
+            on_access_nonsecure(PrefetcherKind::Berti),
+        ),
+        (
+            "Berti on-commit secure",
+            on_commit_secure(PrefetcherKind::Berti),
+        ),
+        (
+            "Berti on-commit + SUF",
+            on_commit_suf(PrefetcherKind::Berti),
+        ),
+        ("TSB", timely_secure(PrefetcherKind::Berti)),
+        ("TSB+SUF", timely_secure_suf(PrefetcherKind::Berti)),
+    ];
+    let mut t = Table::new(
+        format!("Fig. 15 — Weighted speedup over {mix_count} 4-core mixes (sorted per config)"),
+        &["config", "geomean", "min", "max", "sorted mix speedups"],
+    );
+    // Per-mix normalization data, computed once.
+    let alone: Vec<Vec<f64>> = mixes
+        .iter()
+        .map(|mix| mix.iter().map(|n| baseline_ipc(n, scale)).collect())
+        .collect();
+    let base_ws: Vec<f64> = mixes
+        .iter()
+        .zip(&alone)
+        .map(|(mix, alone)| {
+            let base_shared = runner::run_mix(&nonsecure_nopref(), mix, scale);
+            weighted_speedup(&base_shared.ipcs(), alone)
+        })
+        .collect();
+    for (label, cfg) in cfgs {
+        let mut ws = Vec::new();
+        for ((mix, alone), den) in mixes.iter().zip(&alone).zip(&base_ws) {
+            let shared = runner::run_mix(&cfg, mix, scale);
+            let num = weighted_speedup(&shared.ipcs(), alone);
+            ws.push(num / den.max(1e-9));
+        }
+        ws.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let series = ws
+            .iter()
+            .map(|x| format!("{x:.2}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        t.row(vec![
+            label.to_string(),
+            f3(geomean(&ws)),
+            f3(*ws.first().expect("nonempty")),
+            f3(*ws.last().expect("nonempty")),
+            series,
+        ]);
+    }
+    t
+}
+
+/// Table I — the literature summary (static content from the paper).
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table I — Mitigation techniques (from the paper, for reference)",
+        &[
+            "technique",
+            "classification",
+            "secure?",
+            "storage",
+            "slowdown",
+        ],
+    );
+    for (a, b, c, d, e) in [
+        ("CleanupSpec", "Undo-based", "No", "<1KB", "Medium"),
+        ("NDA", "Delay-based", "Yes", "~150B", "High"),
+        ("STT", "Delay-based", "Yes", "~1.4KB", "Medium"),
+        (
+            "NDA+Doppelganger",
+            "Delay-based",
+            "Yes",
+            "~13.5KB",
+            "Medium",
+        ),
+        ("DoM", "Delay+invisible", "No", "~0.4KB", "High"),
+        (
+            "DoM+Doppelganger",
+            "Delay+invisible",
+            "No",
+            "~13.9KB",
+            "High",
+        ),
+        ("STT+Doppelganger", "Delay-based", "Yes", "~14.9KB", "Low"),
+        (
+            "InvisiSpec",
+            "Invisible speculation",
+            "No",
+            "~9.5KB",
+            "High",
+        ),
+        ("MuonTrap", "Invisible speculation", "No", "2KB", "Low"),
+        ("GhostMinion*", "Invisible speculation", "Yes", "2KB", "Low"),
+    ] {
+        t.row(vec![a.into(), b.into(), c.into(), d.into(), e.into()]);
+    }
+    t
+}
+
+/// Table II — the simulated baseline parameters actually in effect.
+pub fn table2() -> Table {
+    let cfg = nonsecure_nopref();
+    let mut t = Table::new(
+        "Table II — Baseline system parameters (as simulated)",
+        &["component", "parameters"],
+    );
+    t.row(vec![
+        "Core".into(),
+        format!(
+            "OoO, {}-issue, {}-retire, {}-entry ROB, {}-entry LQ, hashed perceptron",
+            cfg.core.fetch_width, cfg.core.retire_width, cfg.core.rob_entries, cfg.core.lq_entries
+        ),
+    ]);
+    t.row(vec![
+        "TLBs".into(),
+        format!(
+            "L1 dTLB {} entries/{}-way/{} cy; STLB {} entries/{}-way/{} cy; walk {} cy ({})",
+            cfg.tlb.l1_entries,
+            cfg.tlb.l1_ways,
+            cfg.tlb.l1_latency,
+            cfg.tlb.stlb_entries,
+            cfg.tlb.stlb_ways,
+            cfg.tlb.stlb_latency,
+            cfg.tlb.walk_latency,
+            if cfg.tlb.enabled { "modelled" } else { "latency off in headline runs" },
+        ),
+    ]);
+    for (name, c) in [
+        ("L1D", &cfg.l1d),
+        ("L2", &cfg.l2),
+        ("LLC", &cfg.llc),
+        ("GM", &cfg.gm),
+    ] {
+        t.row(vec![
+            name.into(),
+            format!(
+                "{} KB, {}-way, {} cycles, {} MSHRs, LRU",
+                c.size_bytes / 1024,
+                c.ways,
+                c.latency,
+                c.mshrs
+            ),
+        ]);
+    }
+    t.row(vec![
+        "DRAM".into(),
+        format!(
+            "{} banks, {} B rows, tRP/tRCD/tCAS {}/{}/{} cycles, FR-FCFS, wm {}/{}",
+            cfg.dram.banks,
+            cfg.dram.row_bytes,
+            cfg.dram.t_rp,
+            cfg.dram.t_rcd,
+            cfg.dram.t_cas,
+            cfg.dram.write_watermark.0,
+            cfg.dram.write_watermark.1
+        ),
+    ]);
+    t
+}
+
+/// Table III — prefetcher configurations and storage, from the
+/// implementations themselves.
+pub fn table3() -> Table {
+    let mut t = Table::new(
+        "Table III — Prefetcher configurations (sizes from the implementations)",
+        &["prefetcher", "size (KB)", "paper (KB)"],
+    );
+    for (kind, paper) in [
+        (PrefetcherKind::IpStride, 8.0),
+        (PrefetcherKind::Ipcp, 0.87),
+        (PrefetcherKind::SppPpf, 39.2),
+        (PrefetcherKind::Berti, 2.55),
+        (PrefetcherKind::Bingo, 124.0),
+    ] {
+        let p = secpref_prefetch::build(kind);
+        t.row(vec![
+            kind.name().to_string(),
+            format!("{:.2}", p.storage_bytes() / 1024.0),
+            format!("{paper:.2}"),
+        ]);
+    }
+    t.row(vec![
+        "SUF".into(),
+        format!("{:.2}", {
+            use secpref_ghostminion::UpdateFilter;
+            secpref_core::SecureUpdateFilter::new().storage_bits() as f64 / 8.0 / 1024.0
+        }),
+        "0.12".into(),
+    ]);
+    t.row(vec![
+        "TSB X-LQ".into(),
+        format!(
+            "{:.2}",
+            secpref_core::Tsb::XLQ_STORAGE_BITS as f64 / 8.0 / 1024.0
+        ),
+        "0.47".into(),
+    ]);
+    t
+}
+
+/// Section III-A / VII text statistics: MSHR pressure, SUF accuracy, and
+/// traffic deltas.
+pub fn stats(scale: ExpScale) -> Table {
+    let traces = full_suite();
+    let mut t = Table::new(
+        "Text statistics (Sections III & VII)",
+        &["statistic", "value"],
+    );
+    let avg = |f: &dyn Fn(&secpref_sim::SimReport) -> f64, cfg: &secpref_types::SystemConfig| {
+        mean(
+            &traces
+                .iter()
+                .map(|tr| f(&run_cached(cfg, tr, scale)))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let occ = |r: &secpref_sim::SimReport| {
+        r.cores[0].l1d.mshr_occupancy_integral as f64 / r.cores[0].cycles.max(1) as f64
+    };
+    let full_pct = |r: &secpref_sim::SimReport| {
+        r.cores[0].l1d.mshr_full_cycles as f64 * 100.0 / r.cores[0].cycles.max(1) as f64
+    };
+    let berti = PrefetcherKind::Berti;
+    t.row(vec![
+        "L1D MSHR occupancy, no-pref: non-secure → secure".into(),
+        format!(
+            "{:.2} → {:.2}",
+            avg(&occ, &nonsecure_nopref()),
+            avg(&occ, &secure_nopref())
+        ),
+    ]);
+    t.row(vec![
+        "L1D MSHR occupancy, Berti on-access: non-secure → secure".into(),
+        format!(
+            "{:.2} → {:.2}",
+            avg(&occ, &on_access_nonsecure(berti)),
+            avg(&occ, &on_access_secure(berti))
+        ),
+    ]);
+    t.row(vec![
+        "L1D MSHR full (% cycles), Berti: non-secure → secure".into(),
+        format!(
+            "{:.1}% → {:.1}%",
+            avg(&full_pct, &on_access_nonsecure(berti)),
+            avg(&full_pct, &on_access_secure(berti))
+        ),
+    ]);
+    let suf_acc = |r: &secpref_sim::SimReport| r.suf_accuracy() * 100.0;
+    t.row(vec![
+        "SUF accuracy (on-commit Berti + SUF)".into(),
+        format!("{:.2}%", avg(&suf_acc, &on_commit_suf(berti))),
+    ]);
+    let l1_apki = |r: &secpref_sim::SimReport| r.apki(CacheLevel::L1d);
+    t.row(vec![
+        "L1D APKI, Berti on-commit secure: without vs with SUF".into(),
+        format!(
+            "{:.0} vs {:.0}",
+            avg(&l1_apki, &on_commit_secure(berti)),
+            avg(&l1_apki, &on_commit_suf(berti))
+        ),
+    ]);
+    t.row(vec![
+        "Storage overhead (SUF + TSB X-LQ)".into(),
+        format!(
+            "{:.2} KB per core",
+            secpref_core::total_storage_overhead_kb()
+        ),
+    ]);
+    t
+}

@@ -1,0 +1,15 @@
+//! Benchmark harness: configuration matrix, cached experiment runner, and
+//! one regeneration function per paper table/figure.
+//!
+//! The `repro` binary drives [`figures`]; the Criterion benches under
+//! `benches/` run scaled-down versions of each experiment so that
+//! `cargo bench` exercises every figure end to end.
+
+pub mod ablations;
+pub mod configs;
+pub mod figures;
+pub mod runner;
+pub mod table;
+
+pub use runner::{run_cached, ExpScale};
+pub use table::Table;

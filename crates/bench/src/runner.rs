@@ -1,0 +1,120 @@
+//! Cached experiment runner: each (config, trace, scale) simulation runs
+//! once per process no matter how many figures consume it.
+
+use secpref_sim::{run_multi_with_window, run_single_with_window, SimReport};
+use secpref_trace::suite;
+use secpref_types::SystemConfig;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Experiment scale: trades fidelity for wall-clock on the host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExpScale {
+    /// Criterion benches and smoke tests.
+    Quick,
+    /// The `repro` default.
+    Full,
+}
+
+impl ExpScale {
+    /// (warm-up, measurement) windows in instructions, scaled from the
+    /// paper's 50 M / 200 M.
+    pub fn window(self) -> (u64, u64) {
+        match self {
+            ExpScale::Quick => (10_000, 40_000),
+            ExpScale::Full => (40_000, 160_000),
+        }
+    }
+
+    /// Trace length generated to feed the window (replays fill the rest).
+    pub fn trace_len(self) -> usize {
+        let (w, m) = self.window();
+        (w + m) as usize + 10_000
+    }
+
+    /// Multi-core per-core measurement window.
+    pub fn multicore_window(self) -> (u64, u64) {
+        match self {
+            ExpScale::Quick => (5_000, 20_000),
+            ExpScale::Full => (20_000, 60_000),
+        }
+    }
+}
+
+/// Cache key: (config key, trace name, scale).
+type ReportCache = Mutex<HashMap<(String, String, ExpScale), SimReport>>;
+
+fn cache() -> &'static ReportCache {
+    static CACHE: OnceLock<ReportCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Runs (or fetches) a single-core simulation of `trace_name` under `cfg`.
+pub fn run_cached(cfg: &SystemConfig, trace_name: &str, scale: ExpScale) -> SimReport {
+    let key = (cfg_key(cfg), trace_name.to_string(), scale);
+    if let Some(r) = cache().lock().expect("runner cache").get(&key) {
+        return r.clone();
+    }
+    let (warmup, measure) = scale.window();
+    let trace = suite::cached_trace(trace_name, scale.trace_len());
+    let report = run_single_with_window(cfg, &trace, warmup, measure);
+    cache()
+        .lock()
+        .expect("runner cache")
+        .insert(key, report.clone());
+    report
+}
+
+/// Runs a 4-core mix (uncached: mixes rarely repeat).
+pub fn run_mix(cfg: &SystemConfig, mix: &[String; 4], scale: ExpScale) -> SimReport {
+    let (warmup, measure) = scale.multicore_window();
+    let traces = mix
+        .iter()
+        .map(|n| suite::cached_trace(n, scale.trace_len()))
+        .collect();
+    run_multi_with_window(cfg, traces, warmup, measure)
+}
+
+/// Baseline (non-secure, no-prefetch) IPC of a trace — the denominator of
+/// every speedup and of weighted speedup.
+pub fn baseline_ipc(trace_name: &str, scale: ExpScale) -> f64 {
+    run_cached(&crate::configs::nonsecure_nopref(), trace_name, scale).ipc()
+}
+
+/// Geomean speedup of `cfg` over the non-secure no-prefetch baseline
+/// across `traces`.
+pub fn geomean_speedup(cfg: &SystemConfig, traces: &[String], scale: ExpScale) -> f64 {
+    let ratios: Vec<f64> = traces
+        .iter()
+        .map(|t| run_cached(cfg, t, scale).ipc() / baseline_ipc(t, scale).max(1e-9))
+        .collect();
+    secpref_sim::geomean(&ratios)
+}
+
+fn cfg_key(cfg: &SystemConfig) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|suf={}|ts={}|cores={}",
+        cfg.prefetcher, cfg.prefetch_mode, cfg.secure, cfg.suf, cfg.timely_secure, cfg.cores
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hit_returns_same_numbers() {
+        let cfg = crate::configs::nonsecure_nopref();
+        let a = run_cached(&cfg, "leela_like", ExpScale::Quick);
+        let b = run_cached(&cfg, "leela_like", ExpScale::Quick);
+        assert_eq!(a.ipc(), b.ipc());
+    }
+
+    #[test]
+    fn distinct_configs_distinct_keys() {
+        use secpref_types::PrefetcherKind;
+        let a = cfg_key(&crate::configs::on_commit_secure(PrefetcherKind::Berti));
+        let b = cfg_key(&crate::configs::on_commit_suf(PrefetcherKind::Berti));
+        assert_ne!(a, b);
+    }
+}

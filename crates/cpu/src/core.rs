@@ -1,0 +1,840 @@
+//! The out-of-order core: dispatch, load issue, branch resolution with
+//! squash, and in-order retirement.
+
+use crate::predictor::PerceptronPredictor;
+use secpref_trace::{InstrKind, Trace};
+use secpref_types::{config::CoreConfig, Addr, CoreId, Cycle, FillInfo, Ip};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+/// A load request presented to the memory system.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadIssue {
+    /// Issuing core.
+    pub core: CoreId,
+    /// Load-queue slot (use [`LoadIssue::WRONG_PATH`] for transient
+    /// wrong-path loads that expect no completion).
+    pub lq_id: u32,
+    /// Generation counter guarding against completions for squashed slots.
+    pub gen: u32,
+    /// Byte address.
+    pub addr: Addr,
+    /// Load instruction pointer.
+    pub ip: Ip,
+    /// GhostMinion strictness-ordering timestamp of the instruction.
+    pub ts: u64,
+    /// True for a transient wrong-path load (Spectre gadget accesses).
+    pub wrong_path: bool,
+}
+
+impl LoadIssue {
+    /// Sentinel `lq_id` for wrong-path loads.
+    pub const WRONG_PATH: u32 = u32::MAX;
+}
+
+/// Memory interface the core issues loads through; implemented by the
+/// full-system simulator over the cache hierarchy.
+pub trait LoadPort {
+    /// Attempts to issue a load at `now`; returning `false` makes the core
+    /// retry on a later cycle (L1D ports or MSHRs exhausted).
+    fn try_issue_load(&mut self, now: Cycle, req: LoadIssue) -> bool;
+}
+
+/// Notification produced by the retire stage.
+#[derive(Clone, Copy, Debug)]
+pub enum CoreEvent {
+    /// A load committed. Drives the GhostMinion commit engine (on-commit
+    /// write / re-fetch, SUF filtering) and on-commit prefetcher training.
+    RetiredLoad {
+        /// Load IP.
+        ip: Ip,
+        /// Accessed byte address.
+        addr: Addr,
+        /// Strictness-ordering timestamp.
+        ts: u64,
+        /// What the speculative access observed (hit level, latencies).
+        fill: FillInfo,
+    },
+    /// A store committed; the simulator performs the non-speculative write.
+    RetiredStore {
+        /// Store IP.
+        ip: Ip,
+        /// Accessed byte address.
+        addr: Addr,
+        /// Strictness-ordering timestamp.
+        ts: u64,
+    },
+}
+
+/// Aggregate core statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Instructions dispatched (includes squashed work).
+    pub dispatched: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Instructions squashed by mispredictions.
+    pub squashed: u64,
+    /// Wrong-path (transient) loads injected into the memory system.
+    pub wrong_path_loads: u64,
+    /// Load-issue attempts rejected by the memory system (backpressure).
+    pub issue_rejects: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum RobKind {
+    Alu,
+    Store { addr: Addr },
+    Load,
+    Branch { resolved: bool },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RobEntry {
+    trace_idx: u32,
+    ts: u64,
+    ip: Ip,
+    kind: RobKind,
+    ready_at: Cycle,
+    lq_id: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LqEntry {
+    in_use: bool,
+    gen: u32,
+    addr: Addr,
+    ip: Ip,
+    ts: u64,
+    trace_idx: u32,
+    ready_at: Cycle,
+    dep_idx: Option<u32>,
+    issued: bool,
+    fill: Option<FillInfo>,
+}
+
+impl LqEntry {
+    const EMPTY: LqEntry = LqEntry {
+        in_use: false,
+        gen: 0,
+        addr: Addr::new(0),
+        ip: Ip::new(0),
+        ts: 0,
+        trace_idx: 0,
+        ready_at: 0,
+        dep_idx: None,
+        issued: false,
+        fill: None,
+    };
+}
+
+/// Sentinel for "load not (yet) completed" in the per-trace completion
+/// time table.
+const NOT_DONE: Cycle = Cycle::MAX;
+
+/// The trace-driven out-of-order core.
+///
+/// Drive it by calling [`Core::tick`] once per cycle with the memory
+/// system, then deliver completions via [`Core::complete_load`].
+///
+/// # Examples
+///
+/// ```
+/// use secpref_cpu::{Core, LoadPort, LoadIssue};
+/// use secpref_trace::{Instr, Trace};
+/// use secpref_types::{config::CoreConfig, Cycle, FillInfo, HitLevel};
+/// use std::sync::Arc;
+///
+/// // A memory that answers every load instantly from "L1D".
+/// struct InstantMem(Vec<(u32, u32, Cycle)>);
+/// impl LoadPort for InstantMem {
+///     fn try_issue_load(&mut self, now: Cycle, req: LoadIssue) -> bool {
+///         self.0.push((req.lq_id, req.gen, now));
+///         true
+///     }
+/// }
+///
+/// let trace = Arc::new(Trace::new("t", vec![Instr::load(1, 64), Instr::alu(2)]));
+/// let mut core = Core::new(0, CoreConfig::default(), trace);
+/// let mut mem = InstantMem(Vec::new());
+/// let mut events = Vec::new();
+/// for now in 0..100 {
+///     core.tick(now, &mut mem, &mut events);
+///     for (lq, gen, at) in mem.0.drain(..) {
+///         core.complete_load(lq, gen, FillInfo {
+///             line: secpref_types::LineAddr::new(1),
+///             hit_level: HitLevel::L1d,
+///             issued_at: at,
+///             filled_at: at + 5,
+///             merged_with_prefetch: false,
+///             hit_prefetched_line: false,
+///             fetch_latency: 5,
+///         });
+///     }
+///     if core.is_done() { break; }
+/// }
+/// assert!(core.is_done());
+/// assert_eq!(core.stats().retired, 2);
+/// ```
+#[derive(Debug)]
+pub struct Core {
+    id: CoreId,
+    cfg: CoreConfig,
+    trace: Arc<Trace>,
+    cursor: usize,
+    rob: VecDeque<RobEntry>,
+    lq: Vec<LqEntry>,
+    lq_free: Vec<u32>,
+    predictor: PerceptronPredictor,
+    /// (resolve_at, ts, ip, taken, predicted)
+    resolve_heap: BinaryHeap<Reverse<(Cycle, u64)>>,
+    resolve_meta: std::collections::HashMap<u64, (Ip, bool, bool, u32)>,
+    dispatch_stall_until: Cycle,
+    next_ts: u64,
+    load_done_at: Vec<Cycle>,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Creates a core over `trace` with the given configuration.
+    pub fn new(id: CoreId, cfg: CoreConfig, trace: Arc<Trace>) -> Self {
+        let lq_n = cfg.lq_entries;
+        let load_done_at = vec![NOT_DONE; trace.instrs.len()];
+        Core {
+            id,
+            cfg,
+            trace,
+            cursor: 0,
+            rob: VecDeque::with_capacity(512),
+            lq: vec![LqEntry::EMPTY; lq_n],
+            lq_free: (0..lq_n as u32).rev().collect(),
+            predictor: PerceptronPredictor::new(),
+            resolve_heap: BinaryHeap::new(),
+            resolve_meta: std::collections::HashMap::new(),
+            dispatch_stall_until: 0,
+            next_ts: 1,
+            load_done_at,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// The core's id.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// True when the whole trace has been dispatched and retired.
+    pub fn is_done(&self) -> bool {
+        self.cursor >= self.trace.instrs.len() && self.rob.is_empty()
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.stats.retired
+    }
+
+    /// Current load-queue occupancy (for MSHR/LQ statistics).
+    pub fn lq_occupancy(&self) -> usize {
+        self.lq.len() - self.lq_free.len()
+    }
+
+    /// Delivers a load completion from the memory system. Stale
+    /// generations (squashed slots) are ignored.
+    pub fn complete_load(&mut self, lq_id: u32, gen: u32, fill: FillInfo) {
+        if lq_id == LoadIssue::WRONG_PATH {
+            return;
+        }
+        let e = &mut self.lq[lq_id as usize];
+        if !e.in_use || e.gen != gen || !e.issued || e.fill.is_some() {
+            return;
+        }
+        e.fill = Some(fill);
+        self.load_done_at[e.trace_idx as usize] = fill.filled_at;
+    }
+
+    /// Advances the core by one cycle: retire → resolve branches →
+    /// issue loads → dispatch. Retirement notifications are appended to
+    /// `events`.
+    pub fn tick(&mut self, now: Cycle, mem: &mut dyn LoadPort, events: &mut Vec<CoreEvent>) {
+        self.retire(now, events);
+        self.resolve_branches(now);
+        self.issue_loads(now, mem);
+        self.dispatch(now, mem);
+    }
+
+    fn retire(&mut self, now: Cycle, events: &mut Vec<CoreEvent>) {
+        for _ in 0..self.cfg.retire_width {
+            let Some(head) = self.rob.front() else { break };
+            let done = match head.kind {
+                RobKind::Alu | RobKind::Store { .. } => head.ready_at <= now,
+                RobKind::Load => self.lq[head.lq_id as usize].fill.is_some(),
+                RobKind::Branch { resolved, .. } => resolved,
+            };
+            if !done {
+                break;
+            }
+            let head = self.rob.pop_front().expect("head exists");
+            self.stats.retired += 1;
+            match head.kind {
+                RobKind::Load => {
+                    let e = &mut self.lq[head.lq_id as usize];
+                    let fill = e.fill.expect("retiring load completed");
+                    events.push(CoreEvent::RetiredLoad {
+                        ip: e.ip,
+                        addr: e.addr,
+                        ts: e.ts,
+                        fill,
+                    });
+                    e.in_use = false;
+                    e.gen = e.gen.wrapping_add(1);
+                    self.lq_free.push(head.lq_id);
+                }
+                RobKind::Store { addr } => {
+                    events.push(CoreEvent::RetiredStore {
+                        ip: head.ip,
+                        addr,
+                        ts: head.ts,
+                    });
+                }
+                RobKind::Branch { .. } => {
+                    self.stats.branches += 1;
+                }
+                RobKind::Alu => {}
+            }
+        }
+    }
+
+    fn rob_position(&self, ts: u64) -> Option<usize> {
+        // The ROB is sorted by ts; binary search.
+        let mut lo = 0;
+        let mut hi = self.rob.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.rob[mid].ts < ts {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo < self.rob.len() && self.rob[lo].ts == ts).then_some(lo)
+    }
+
+    fn resolve_branches(&mut self, now: Cycle) {
+        while let Some(&Reverse((at, ts))) = self.resolve_heap.peek() {
+            if at > now {
+                break;
+            }
+            self.resolve_heap.pop();
+            let Some((ip, taken, predicted, trace_idx)) = self.resolve_meta.remove(&ts) else {
+                continue;
+            };
+            let Some(pos) = self.rob_position(ts) else {
+                continue; // squashed before resolving
+            };
+            self.predictor.update(ip, taken, predicted);
+            if let RobKind::Branch { resolved, .. } = &mut self.rob[pos].kind {
+                *resolved = true;
+            }
+            if predicted != taken {
+                self.stats.mispredicts += 1;
+                self.squash_younger(ts, trace_idx, now);
+            }
+        }
+    }
+
+    fn squash_younger(&mut self, branch_ts: u64, branch_trace_idx: u32, now: Cycle) {
+        while let Some(back) = self.rob.back() {
+            if back.ts <= branch_ts {
+                break;
+            }
+            let e = self.rob.pop_back().expect("back exists");
+            self.stats.squashed += 1;
+            if matches!(e.kind, RobKind::Load) {
+                let lq = &mut self.lq[e.lq_id as usize];
+                lq.in_use = false;
+                lq.gen = lq.gen.wrapping_add(1);
+                lq.fill = None;
+                self.lq_free.push(e.lq_id);
+                // Its completion, if it landed, must not satisfy the
+                // re-dispatched instance's dependents prematurely.
+                self.load_done_at[e.trace_idx as usize] = NOT_DONE;
+            }
+            if matches!(e.kind, RobKind::Branch { .. }) {
+                self.resolve_meta.remove(&e.ts);
+            }
+        }
+        self.cursor = branch_trace_idx as usize + 1;
+        self.dispatch_stall_until = now + self.cfg.mispredict_penalty;
+    }
+
+    fn issue_loads(&mut self, now: Cycle, mem: &mut dyn LoadPort) {
+        let mut issued = 0;
+        for i in 0..self.lq.len() {
+            if issued >= self.cfg.load_issue_width {
+                break;
+            }
+            let e = self.lq[i];
+            if !e.in_use || e.issued || e.ready_at > now {
+                continue;
+            }
+            if let Some(dep) = e.dep_idx {
+                let done = self.load_done_at[dep as usize];
+                if done == NOT_DONE || done >= now {
+                    continue; // producer not finished yet
+                }
+            }
+            let ok = mem.try_issue_load(
+                now,
+                LoadIssue {
+                    core: self.id,
+                    lq_id: i as u32,
+                    gen: e.gen,
+                    addr: e.addr,
+                    ip: e.ip,
+                    ts: e.ts,
+                    wrong_path: false,
+                },
+            );
+            if ok {
+                self.lq[i].issued = true;
+                issued += 1;
+            } else {
+                self.stats.issue_rejects += 1;
+                break; // memory is backpressuring; retry next cycle
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: Cycle, mem: &mut dyn LoadPort) {
+        if now < self.dispatch_stall_until {
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.cursor >= self.trace.instrs.len() {
+                break;
+            }
+            if self.rob.len() >= self.cfg.rob_entries {
+                break;
+            }
+            let instr = self.trace.instrs[self.cursor];
+            let trace_idx = self.cursor as u32;
+            let ts = self.next_ts;
+            let ready_at = now + self.cfg.dispatch_latency;
+            let kind = match instr.kind {
+                InstrKind::Alu => RobKind::Alu,
+                InstrKind::Store { addr } => RobKind::Store { addr },
+                InstrKind::Load { addr, dep_dist } => {
+                    let Some(&lq_id) = self.lq_free.last() else {
+                        break; // LQ full: stall dispatch
+                    };
+                    self.lq_free.pop();
+                    let dep_idx = (dep_dist > 0)
+                        .then(|| trace_idx.saturating_sub(dep_dist as u32))
+                        .filter(|&p| {
+                            matches!(self.trace.instrs[p as usize].kind, InstrKind::Load { .. })
+                                && p != trace_idx
+                        });
+                    if dep_idx.is_some() {
+                        // The producer's completion time is re-established
+                        // when (re-)dispatched; see squash_younger.
+                    }
+                    let slot = &mut self.lq[lq_id as usize];
+                    let gen = slot.gen;
+                    *slot = LqEntry {
+                        in_use: true,
+                        gen,
+                        addr,
+                        ip: instr.ip,
+                        ts,
+                        trace_idx,
+                        ready_at,
+                        dep_idx,
+                        issued: false,
+                        fill: None,
+                    };
+                    self.load_done_at[trace_idx as usize] = NOT_DONE;
+                    let mut e = RobEntry {
+                        trace_idx,
+                        ts,
+                        ip: instr.ip,
+                        kind: RobKind::Load,
+                        ready_at,
+                        lq_id,
+                    };
+                    self.push_rob(&mut e);
+                    self.cursor += 1;
+                    self.next_ts += 1;
+                    self.stats.dispatched += 1;
+                    continue;
+                }
+                InstrKind::Branch { taken } => {
+                    let predicted = self.predictor.predict(instr.ip);
+                    let resolve_at = ready_at + 1;
+                    self.resolve_heap.push(Reverse((resolve_at, ts)));
+                    self.resolve_meta
+                        .insert(ts, (instr.ip, taken, predicted, trace_idx));
+                    if predicted != taken {
+                        // The wrong path executes transiently between now
+                        // and resolve: inject its loads if the trace
+                        // specifies them (security experiments).
+                        if let Some(addrs) = self.trace.wrong_path.get(&trace_idx) {
+                            for &a in addrs {
+                                self.stats.wrong_path_loads += 1;
+                                let _ = mem.try_issue_load(
+                                    now,
+                                    LoadIssue {
+                                        core: self.id,
+                                        lq_id: LoadIssue::WRONG_PATH,
+                                        gen: 0,
+                                        addr: a,
+                                        ip: instr.ip,
+                                        ts,
+                                        wrong_path: true,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    RobKind::Branch { resolved: false }
+                }
+            };
+            let mut e = RobEntry {
+                trace_idx,
+                ts,
+                ip: instr.ip,
+                kind,
+                ready_at,
+                lq_id: u32::MAX,
+            };
+            self.push_rob(&mut e);
+            self.cursor += 1;
+            self.next_ts += 1;
+            self.stats.dispatched += 1;
+        }
+    }
+
+    fn push_rob(&mut self, e: &mut RobEntry) {
+        debug_assert!(self.rob.back().is_none_or(|b| b.ts < e.ts));
+        self.rob.push_back(*e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secpref_trace::Instr;
+    use secpref_types::{HitLevel, LineAddr};
+
+    /// Test memory: completes loads after a fixed latency.
+    struct FixedLatMem {
+        latency: Cycle,
+        inflight: Vec<(Cycle, u32, u32, Addr, Cycle)>,
+        issued_log: Vec<LoadIssue>,
+        reject_at: Option<Cycle>,
+    }
+
+    impl FixedLatMem {
+        fn new(latency: Cycle) -> Self {
+            FixedLatMem {
+                latency,
+                inflight: Vec::new(),
+                issued_log: Vec::new(),
+                reject_at: None,
+            }
+        }
+
+        fn deliver(&mut self, now: Cycle, core: &mut Core) {
+            let ready: Vec<_> = self
+                .inflight
+                .iter()
+                .filter(|(c, ..)| *c <= now)
+                .cloned()
+                .collect();
+            self.inflight.retain(|(c, ..)| *c > now);
+            for (done, lq, gen, addr, issued_at) in ready {
+                core.complete_load(
+                    lq,
+                    gen,
+                    FillInfo {
+                        line: addr.line(),
+                        hit_level: HitLevel::L2,
+                        issued_at,
+                        filled_at: done,
+                        merged_with_prefetch: false,
+                        hit_prefetched_line: false,
+                        fetch_latency: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    impl LoadPort for FixedLatMem {
+        fn try_issue_load(&mut self, now: Cycle, req: LoadIssue) -> bool {
+            if self.reject_at == Some(now) {
+                return false;
+            }
+            self.issued_log.push(req);
+            if !req.wrong_path {
+                self.inflight
+                    .push((now + self.latency, req.lq_id, req.gen, req.addr, now));
+            }
+            true
+        }
+    }
+
+    fn run(
+        trace: Trace,
+        latency: Cycle,
+        max_cycles: Cycle,
+    ) -> (Core, FixedLatMem, Vec<CoreEvent>, Cycle) {
+        let mut core = Core::new(0, CoreConfig::default(), Arc::new(trace));
+        let mut mem = FixedLatMem::new(latency);
+        let mut events = Vec::new();
+        for now in 0..max_cycles {
+            core.tick(now, &mut mem, &mut events);
+            mem.deliver(now, &mut core);
+            if core.is_done() {
+                return (core, mem, events, now);
+            }
+        }
+        panic!("core did not finish in {max_cycles} cycles");
+    }
+
+    #[test]
+    fn retires_whole_trace_in_order() {
+        let t = Trace::new(
+            "t",
+            vec![
+                Instr::load(1, 0),
+                Instr::alu(2),
+                Instr::store(3, 64),
+                Instr::load(4, 128),
+                Instr::alu(5),
+            ],
+        );
+        let (core, _, events, _) = run(t, 20, 10_000);
+        assert_eq!(core.stats().retired, 5);
+        // Events appear in program order: load@0, store@64, load@128.
+        let addrs: Vec<u64> = events
+            .iter()
+            .map(|e| match e {
+                CoreEvent::RetiredLoad { addr, .. } => addr.raw(),
+                CoreEvent::RetiredStore { addr, .. } => addr.raw(),
+            })
+            .collect();
+        assert_eq!(addrs, vec![0, 64, 128]);
+    }
+
+    #[test]
+    fn independent_loads_overlap() {
+        // 8 independent loads with 100-cycle latency should take ~100
+        // cycles total, not ~800 (memory-level parallelism).
+        let t = Trace::new("t", (0..8).map(|i| Instr::load(1, i * 4096)).collect());
+        let (_, _, _, cycles) = run(t, 100, 10_000);
+        assert!(cycles < 250, "took {cycles} cycles");
+    }
+
+    #[test]
+    fn dependent_loads_serialize() {
+        // A chain of 8 dependent loads must take at least 8×latency.
+        let instrs: Vec<Instr> = (0..8)
+            .map(|i| Instr::load_dep(1, i * 4096, if i == 0 { 0 } else { 1 }))
+            .collect();
+        let t = Trace::new("t", instrs);
+        let (_, _, _, cycles) = run(t, 100, 20_000);
+        assert!(cycles >= 7 * 100, "took only {cycles} cycles");
+    }
+
+    #[test]
+    fn misprediction_squashes_and_refetches() {
+        // Alternating random-looking outcomes for one IP: predictor will
+        // mispredict often; all instructions must still retire exactly once.
+        let mut instrs = Vec::new();
+        for i in 0..200u64 {
+            instrs.push(Instr::load(1, i * 64));
+            instrs.push(Instr::branch(7, (i * 7919) % 3 == 0));
+        }
+        let n = instrs.len() as u64;
+        let (core, _, events, _) = run(Trace::new("t", instrs), 10, 100_000);
+        assert_eq!(core.stats().retired, n);
+        assert!(core.stats().mispredicts > 0, "pattern should mispredict");
+        assert!(core.stats().squashed > 0);
+        // Every load retires exactly once despite squash-replay.
+        let loads = events
+            .iter()
+            .filter(|e| matches!(e, CoreEvent::RetiredLoad { .. }))
+            .count();
+        assert_eq!(loads, 200);
+    }
+
+    #[test]
+    fn wrong_path_loads_injected_on_mispredict_only() {
+        // Branch trained taken, then a surprise not-taken with an attached
+        // wrong-path load (the Spectre scenario).
+        let mut instrs = Vec::new();
+        for _ in 0..50 {
+            instrs.push(Instr::branch(9, true));
+            instrs.push(Instr::alu(1));
+        }
+        instrs.push(Instr::branch(9, false)); // mispredicts
+        let idx = (instrs.len() - 1) as u32;
+        instrs.push(Instr::alu(1));
+        let mut t = Trace::new("t", instrs);
+        t.attach_wrong_path(idx, vec![Addr::new(0xDEAD_0000)]);
+        let (core, mem, _, _) = run(t, 10, 100_000);
+        assert_eq!(core.stats().wrong_path_loads, 1);
+        let wp: Vec<_> = mem.issued_log.iter().filter(|r| r.wrong_path).collect();
+        assert_eq!(wp.len(), 1);
+        assert_eq!(wp[0].addr, Addr::new(0xDEAD_0000));
+    }
+
+    #[test]
+    fn stale_completion_ignored_after_squash() {
+        let t = Trace::new("t", vec![Instr::load(1, 0)]);
+        let mut core = Core::new(0, CoreConfig::default(), Arc::new(t));
+        let mut mem = FixedLatMem::new(5);
+        let mut events = Vec::new();
+        core.tick(0, &mut mem, &mut events);
+        let req = mem.issued_log.first().copied();
+        // Deliver with a wrong generation: must be dropped.
+        if let Some(r) = req {
+            core.complete_load(
+                r.lq_id,
+                r.gen.wrapping_add(1),
+                FillInfo {
+                    line: LineAddr::new(0),
+                    hit_level: HitLevel::L1d,
+                    issued_at: 0,
+                    filled_at: 1,
+                    merged_with_prefetch: false,
+                    hit_prefetched_line: false,
+                    fetch_latency: 1,
+                },
+            );
+        }
+        assert_eq!(core.stats().retired, 0, "stale fill must not retire load");
+    }
+
+    #[test]
+    fn rob_capacity_limits_window() {
+        let cfg = CoreConfig {
+            rob_entries: 4,
+            ..CoreConfig::default()
+        };
+        let t = Trace::new("t", (0..64).map(|_| Instr::alu(1)).collect());
+        let mut core = Core::new(0, cfg, Arc::new(t));
+        let mut mem = FixedLatMem::new(5);
+        let mut events = Vec::new();
+        core.tick(0, &mut mem, &mut events);
+        assert!(core.rob.len() <= 4);
+    }
+
+    #[test]
+    fn memory_backpressure_retries() {
+        let t = Trace::new("t", vec![Instr::load(1, 0)]);
+        let mut core = Core::new(0, CoreConfig::default(), Arc::new(t));
+        let mut mem = FixedLatMem::new(5);
+        mem.reject_at = Some(4); // the cycle the load becomes ready
+        let mut events = Vec::new();
+        for now in 0..200 {
+            core.tick(now, &mut mem, &mut events);
+            mem.deliver(now, &mut core);
+            if core.is_done() {
+                break;
+            }
+        }
+        assert!(core.is_done());
+        assert!(core.stats().issue_rejects >= 1);
+    }
+
+    #[test]
+    fn lq_full_stalls_dispatch() {
+        // More loads than LQ entries with an infinite-latency memory: the
+        // core must stall dispatch (not panic or drop loads).
+        struct NeverMem;
+        impl LoadPort for NeverMem {
+            fn try_issue_load(&mut self, _now: Cycle, _req: LoadIssue) -> bool {
+                true // accept, never complete
+            }
+        }
+        let cfg = CoreConfig {
+            lq_entries: 8,
+            ..CoreConfig::default()
+        };
+        let t = Trace::new("t", (0..64u64).map(|i| Instr::load(1, i * 64)).collect());
+        let mut core = Core::new(0, cfg, Arc::new(t));
+        let mut mem = NeverMem;
+        let mut events = Vec::new();
+        for now in 0..500 {
+            core.tick(now, &mut mem, &mut events);
+        }
+        assert_eq!(core.lq_occupancy(), 8, "LQ saturates at its capacity");
+        assert_eq!(core.stats().retired, 0);
+    }
+
+    #[test]
+    fn squash_replays_exactly_once_per_instruction() {
+        // A mispredicting branch in the middle: downstream loads are
+        // squashed and replayed; each retires exactly once, in order.
+        let mut instrs = Vec::new();
+        for _ in 0..60 {
+            instrs.push(Instr::branch(0x9, true));
+            instrs.push(Instr::alu(1));
+        }
+        instrs.push(Instr::branch(0x9, false)); // mispredicts
+        for i in 0..10u64 {
+            instrs.push(Instr::load(0x20, 0x8000 + i * 64));
+        }
+        let (core, _, events, _) = run(Trace::new("t", instrs), 8, 100_000);
+        let addrs: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                CoreEvent::RetiredLoad { addr, .. } => Some(addr.raw()),
+                _ => None,
+            })
+            .collect();
+        let expected: Vec<u64> = (0..10u64).map(|i| 0x8000 + i * 64).collect();
+        assert_eq!(addrs, expected);
+        assert!(core.stats().mispredicts >= 1);
+    }
+
+    #[test]
+    fn ts_is_strictly_increasing_across_retires() {
+        let mut instrs = Vec::new();
+        for i in 0..50u64 {
+            instrs.push(Instr::load(1, i * 64));
+            instrs.push(Instr::branch(2, i % 5 != 0));
+        }
+        let (_, _, events, _) = run(Trace::new("t", instrs), 6, 100_000);
+        let ts: Vec<u64> = events
+            .iter()
+            .map(|e| match e {
+                CoreEvent::RetiredLoad { ts, .. } => *ts,
+                CoreEvent::RetiredStore { ts, .. } => *ts,
+            })
+            .collect();
+        assert!(
+            ts.windows(2).all(|w| w[0] < w[1]),
+            "retire order follows ts"
+        );
+    }
+
+    #[test]
+    fn lq_frees_after_retire() {
+        let t = Trace::new("t", (0..300u64).map(|i| Instr::load(1, i * 64)).collect());
+        let (core, _, _, _) = run(t, 3, 100_000);
+        assert_eq!(core.lq_occupancy(), 0);
+        assert_eq!(core.stats().retired, 300);
+    }
+}

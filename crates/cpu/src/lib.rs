@@ -1,0 +1,22 @@
+//! Trace-driven out-of-order core model.
+//!
+//! The core consumes a [`secpref_trace::Trace`] and models the structures
+//! that matter for the paper's timing phenomena: a 352-entry ROB, a
+//! 128-entry load queue, 6-wide dispatch, 4-wide retire, a hashed-
+//! perceptron branch predictor with squash-and-refill on misprediction,
+//! and load-address dependencies that serialize pointer-chasing chains.
+//!
+//! Memory is abstracted behind the [`LoadPort`] trait: the full-system
+//! simulator implements it over the cache hierarchy and calls back
+//! [`Core::complete_load`] when data returns. Retirement produces
+//! [`CoreEvent`]s, which drive the GhostMinion commit engine and the
+//! on-commit prefetcher training.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod core;
+pub mod predictor;
+
+pub use crate::core::{Core, CoreEvent, CoreStats, LoadIssue, LoadPort};
+pub use predictor::PerceptronPredictor;

@@ -1,0 +1,89 @@
+//! The commit path: what happens when a speculative load retires, and the
+//! [`UpdateFilter`] hook that the Secure Update Filter implements.
+
+use secpref_types::HitLevel;
+
+/// What the commit engine does for a committed load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitAction {
+    /// Issue no update at all (SUF filtered a redundant one).
+    Drop,
+    /// GM hit: write the line from the GM into the L1D.
+    CommitWrite,
+    /// GM miss: re-fetch the line into the non-speculative hierarchy.
+    Refetch,
+}
+
+/// Writeback bits attached to the L1D fill performed at commit, governing
+/// how far the GhostMinion clean-line propagation travels on evictions
+/// (Fig. 7 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WbBits {
+    /// Propagate the clean line from L1D to L2 when evicted from L1D.
+    pub l1_to_l2: bool,
+    /// Propagate the clean line from L2 to the LLC when evicted from L2.
+    pub l2_to_llc: bool,
+}
+
+impl WbBits {
+    /// Unfiltered GhostMinion: propagate everywhere.
+    pub const ALL: WbBits = WbBits {
+        l1_to_l2: true,
+        l2_to_llc: true,
+    };
+}
+
+/// Policy deciding the commit-path behaviour for each committed load.
+///
+/// Implemented by [`AlwaysUpdate`] (baseline GhostMinion) and by the
+/// paper's Secure Update Filter in `secpref-core`.
+pub trait UpdateFilter: std::fmt::Debug + Send {
+    /// Chooses the commit action given the 2-bit hit level recorded in the
+    /// load queue and whether the GM still holds the line at commit.
+    fn commit_action(&self, hit_level: HitLevel, gm_hit: bool) -> CommitAction;
+
+    /// Chooses the writeback bits for the line installed in L1D at commit.
+    fn wb_bits(&self, hit_level: HitLevel) -> WbBits;
+
+    /// Per-core extra storage in bits (for the storage-overhead table).
+    fn storage_bits(&self) -> u64;
+}
+
+/// Baseline GhostMinion: every commit updates the hierarchy, and clean
+/// lines propagate the whole way down on eviction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysUpdate;
+
+impl UpdateFilter for AlwaysUpdate {
+    fn commit_action(&self, _hit_level: HitLevel, gm_hit: bool) -> CommitAction {
+        if gm_hit {
+            CommitAction::CommitWrite
+        } else {
+            CommitAction::Refetch
+        }
+    }
+
+    fn wb_bits(&self, _hit_level: HitLevel) -> WbBits {
+        WbBits::ALL
+    }
+
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_always_updates() {
+        let f = AlwaysUpdate;
+        for hl in [HitLevel::L1d, HitLevel::L2, HitLevel::Llc, HitLevel::Dram] {
+            assert_eq!(f.commit_action(hl, true), CommitAction::CommitWrite);
+            assert_eq!(f.commit_action(hl, false), CommitAction::Refetch);
+            assert_eq!(f.wb_bits(hl), WbBits::ALL);
+        }
+        assert_eq!(f.storage_bits(), 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! The GM: a small fully-associative cache with TimeGuarding.
+
+use secpref_types::{Cycle, LineAddr};
+
+/// Result of attempting to insert a line into the GM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GmInsertOutcome {
+    /// Inserted into a free slot.
+    Inserted,
+    /// Inserted after evicting a *younger* entry (strictness ordering
+    /// permits younger state to be destroyed by older instructions).
+    InsertedEvicting(LineAddr),
+    /// Dropped: every resident entry belongs to an older instruction, and
+    /// TimeGuarding forbids a younger instruction from evicting older
+    /// state (its eviction would be observable backwards in time).
+    Dropped,
+    /// The line was already resident; the entry's timestamp was lowered to
+    /// the older of the two (both instructions' data coexist).
+    AlreadyPresent,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct GmEntry {
+    line: LineAddr,
+    /// Strictness-ordering timestamp of the inserting instruction.
+    ts: u64,
+    /// Fetch latency the fill experienced (kept for Berti-style training).
+    latency: u32,
+    valid: bool,
+}
+
+/// The 2 KB fully-associative GhostMinion cache with TimeGuarding.
+///
+/// Lookups carry the accessing instruction's timestamp: entries inserted
+/// by *younger* instructions are invisible, so no transient instruction
+/// can signal backwards in time through GM state.
+///
+/// # Examples
+///
+/// ```
+/// use secpref_ghostminion::GmCache;
+/// use secpref_types::LineAddr;
+///
+/// let mut gm = GmCache::new(32);
+/// gm.insert(LineAddr::new(7), 100, 35);
+/// assert!(gm.lookup(LineAddr::new(7), 150).is_some()); // younger sees it
+/// assert!(gm.lookup(LineAddr::new(7), 50).is_none());  // older must not
+/// ```
+#[derive(Clone, Debug)]
+pub struct GmCache {
+    entries: Vec<GmEntry>,
+    /// Insertions dropped by TimeGuarding (statistics).
+    pub dropped_inserts: u64,
+}
+
+impl GmCache {
+    /// Creates a GM with `slots` fully-associative entries
+    /// (32 for the paper's 2 KB GM with 64 B lines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "GM needs at least one slot");
+        GmCache {
+            entries: vec![
+                GmEntry {
+                    line: LineAddr::new(0),
+                    ts: 0,
+                    latency: 0,
+                    valid: false,
+                };
+                slots
+            ],
+            dropped_inserts: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// TimeGuarded lookup: returns the fill latency recorded with the line
+    /// if it is resident *and* was inserted by an instruction no younger
+    /// than `ts`.
+    pub fn lookup(&self, line: LineAddr, ts: u64) -> Option<u32> {
+        self.entries
+            .iter()
+            .find(|e| e.valid && e.line == line && e.ts <= ts)
+            .map(|e| e.latency)
+    }
+
+    /// Unguarded residence check (for the commit path: the committing
+    /// instruction is by definition the oldest, so everything resident
+    /// with `ts <= commit ts` is visible; squashed younger leftovers are
+    /// not transferred).
+    pub fn lookup_commit(&self, line: LineAddr, ts: u64) -> Option<u32> {
+        self.lookup(line, ts)
+    }
+
+    /// Inserts a speculative fill under TimeGuarding rules.
+    pub fn insert(&mut self, line: LineAddr, ts: u64, latency: u32) -> GmInsertOutcome {
+        // Already resident: keep the older timestamp so the earliest
+        // instruction retains visibility rights.
+        if let Some(e) = self.entries.iter_mut().find(|e| e.valid && e.line == line) {
+            e.ts = e.ts.min(ts);
+            return GmInsertOutcome::AlreadyPresent;
+        }
+        if let Some(e) = self.entries.iter_mut().find(|e| !e.valid) {
+            *e = GmEntry {
+                line,
+                ts,
+                latency,
+                valid: true,
+            };
+            return GmInsertOutcome::Inserted;
+        }
+        // Full: the victim must be *younger* than the inserter.
+        let (idx, youngest_ts) = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, e.ts))
+            .max_by_key(|&(_, t)| t)
+            .expect("GM nonempty");
+        if youngest_ts > ts {
+            let victim = self.entries[idx].line;
+            self.entries[idx] = GmEntry {
+                line,
+                ts,
+                latency,
+                valid: true,
+            };
+            GmInsertOutcome::InsertedEvicting(victim)
+        } else {
+            self.dropped_inserts += 1;
+            GmInsertOutcome::Dropped
+        }
+    }
+
+    /// Removes the line at commit (it moves to L1D). Returns its recorded
+    /// fill latency if it was resident.
+    pub fn remove(&mut self, line: LineAddr) -> Option<u32> {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.valid && e.line == line)?;
+        e.valid = false;
+        Some(e.latency)
+    }
+
+    /// Drops entries older than `retire_horizon` that were never
+    /// committed (squashed leftovers), freeing slots. `now` is unused but
+    /// kept for symmetry with hardware that ages entries.
+    pub fn expire_older_than(&mut self, retire_horizon: u64, _now: Cycle) {
+        for e in &mut self.entries {
+            if e.valid && e.ts < retire_horizon {
+                e.valid = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn la(x: u64) -> LineAddr {
+        LineAddr::new(x)
+    }
+
+    #[test]
+    fn insert_and_guarded_lookup() {
+        let mut gm = GmCache::new(4);
+        assert_eq!(gm.insert(la(1), 10, 99), GmInsertOutcome::Inserted);
+        assert_eq!(gm.lookup(la(1), 10), Some(99));
+        assert_eq!(gm.lookup(la(1), 11), Some(99));
+        assert_eq!(
+            gm.lookup(la(1), 9),
+            None,
+            "older instruction blind to younger fill"
+        );
+    }
+
+    #[test]
+    fn younger_cannot_evict_older() {
+        let mut gm = GmCache::new(2);
+        gm.insert(la(1), 5, 0);
+        gm.insert(la(2), 6, 0);
+        // ts=7 is the youngest: full GM, all entries older → drop.
+        assert_eq!(gm.insert(la(3), 7, 0), GmInsertOutcome::Dropped);
+        assert_eq!(gm.dropped_inserts, 1);
+        assert!(gm.lookup(la(1), 100).is_some());
+        assert!(gm.lookup(la(2), 100).is_some());
+    }
+
+    #[test]
+    fn older_evicts_youngest() {
+        let mut gm = GmCache::new(2);
+        gm.insert(la(1), 5, 0);
+        gm.insert(la(2), 9, 0);
+        // ts=6 may evict the younger (ts=9) entry but not ts=5.
+        assert_eq!(
+            gm.insert(la(3), 6, 0),
+            GmInsertOutcome::InsertedEvicting(la(2))
+        );
+        assert!(gm.lookup(la(1), 100).is_some());
+        assert!(gm.lookup(la(2), 100).is_none());
+        assert!(gm.lookup(la(3), 100).is_some());
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_oldest_ts() {
+        let mut gm = GmCache::new(2);
+        gm.insert(la(1), 10, 0);
+        assert_eq!(gm.insert(la(1), 4, 0), GmInsertOutcome::AlreadyPresent);
+        // Now visible to ts=4.
+        assert!(gm.lookup(la(1), 4).is_some());
+    }
+
+    #[test]
+    fn remove_on_commit() {
+        let mut gm = GmCache::new(2);
+        gm.insert(la(1), 10, 42);
+        assert_eq!(gm.remove(la(1)), Some(42));
+        assert_eq!(gm.remove(la(1)), None);
+        assert_eq!(gm.occupancy(), 0);
+    }
+
+    #[test]
+    fn expire_clears_stale() {
+        let mut gm = GmCache::new(4);
+        gm.insert(la(1), 10, 0);
+        gm.insert(la(2), 20, 0);
+        gm.expire_older_than(15, 0);
+        assert!(gm.lookup(la(1), 100).is_none());
+        assert!(gm.lookup(la(2), 100).is_some());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Strictness invariant: after any operation sequence, a lookup
+            /// with timestamp T never observes an entry inserted with a
+            /// timestamp greater than T.
+            #[test]
+            fn timeguard_never_leaks_future(
+                ops in proptest::collection::vec((0u64..32, 0u64..64), 1..200)
+            ) {
+                let mut gm = GmCache::new(8);
+                let mut inserted: Vec<(u64, u64)> = Vec::new(); // (line, ts)
+                for (line, ts) in ops {
+                    gm.insert(la(line), ts, 1);
+                    inserted.push((line, ts));
+                    // Probe with an arbitrary timestamp.
+                    let probe_ts = ts / 2;
+                    if gm.lookup(la(line), probe_ts).is_some() {
+                        // Some insertion of this line must have ts <= probe.
+                        prop_assert!(
+                            inserted.iter().any(|&(l, t)| l == line && t <= probe_ts)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! The GhostMinion secure cache system (Ainsworth, MICRO 2021), as used by
+//! the paper as its baseline mitigation.
+//!
+//! GhostMinion adds a tiny (2 KB) *GM* cache accessed in parallel with the
+//! L1D. Speculative loads fill **only** the GM, leaving L1D/L2/LLC state
+//! (including replacement bits) untouched. When a load commits:
+//!
+//! * **GM hit** — the line moves from the GM into the L1D via an
+//!   *on-commit write*; upon later eviction from L1D it propagates to L2,
+//!   and from L2 to the LLC (clean-line propagation).
+//! * **GM miss** — the line is *re-fetched* into the non-speculative
+//!   hierarchy.
+//!
+//! Within the GM, *TimeGuarding* enforces strictness ordering: an
+//! instruction can only observe insertions made by instructions older in
+//! the strictness order, and younger entries can never evict older ones.
+//!
+//! The [`UpdateFilter`] trait is the hook the paper's Secure Update Filter
+//! (SUF, in `secpref-core`) plugs into: it decides, per committed load,
+//! whether the commit-path update is issued at all and how far the
+//! clean-line propagation travels.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod commit;
+pub mod gm;
+
+pub use commit::{AlwaysUpdate, CommitAction, UpdateFilter, WbBits};
+pub use gm::{GmCache, GmInsertOutcome};

@@ -1,0 +1,549 @@
+//! Set-associative cache array with pluggable replacement (true LRU by
+//! default — Table II — plus SRRIP and pseudo-random for ablations).
+//!
+//! The array stores only metadata (tags and status bits) — the simulator is
+//! trace-driven, so no data payloads exist. Two GhostMinion/SUF-specific
+//! status bits ride along with each line:
+//!
+//! * `prefetched` — set when a prefetch brought the line in and cleared on
+//!   first demand hit; feeds prefetch accuracy statistics and Berti's
+//!   latency-of-prefetched-line lookup.
+//! * `wb_bit` — the GhostMinion *writeback bit* (at L2) or the SUF
+//!   *L2 writeback bit* (at L1D): whether a clean line must be propagated
+//!   outward when evicted (Section IV, Fig. 7 of the paper).
+
+use secpref_types::LineAddr;
+
+/// Replacement policy for a [`SetAssocCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReplacementKind {
+    /// True least-recently-used (the Table II baseline).
+    #[default]
+    Lru,
+    /// Static re-reference interval prediction (2-bit RRPV).
+    Srrip,
+    /// Deterministic pseudo-random victims (xorshift).
+    Random,
+}
+
+/// Status attributes applied when filling a line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FillAttrs {
+    /// Line contains modified data that must be written back on eviction.
+    pub dirty: bool,
+    /// Line was brought in by a prefetch (not yet demanded).
+    pub prefetched: bool,
+    /// GhostMinion/SUF writeback bit: propagate outward on (clean) eviction.
+    pub wb_bit: bool,
+    /// The writeback bit to hand to the *next* level when this line is
+    /// propagated there (the SUF "L2 writeback bit" stored at L1D).
+    pub wb_next: bool,
+    /// Fetch latency the line experienced, in cycles. Berti stores this
+    /// alongside prefetched L1D lines so that demand hits on them can
+    /// train with the prefetch's latency (Section V-C).
+    pub fetch_latency: u32,
+}
+
+/// Metadata for one resident cache line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineMeta {
+    /// The resident line address.
+    pub line: LineAddr,
+    /// Line holds modified data.
+    pub dirty: bool,
+    /// Line was inserted by a prefetch and has not been demanded yet.
+    pub prefetched: bool,
+    /// GhostMinion/SUF writeback bit.
+    pub wb_bit: bool,
+    /// Writeback bit handed to the next level on propagation.
+    pub wb_next: bool,
+    /// Fetch latency recorded at fill time (see [`FillAttrs`]).
+    pub fetch_latency: u32,
+    lru: u64,
+    /// SRRIP re-reference prediction value (0 = imminent, 3 = distant).
+    rrpv: u8,
+    valid: bool,
+}
+
+impl LineMeta {
+    const INVALID: LineMeta = LineMeta {
+        line: LineAddr::new(0),
+        dirty: false,
+        prefetched: false,
+        wb_bit: false,
+        wb_next: false,
+        fetch_latency: 0,
+        lru: 0,
+        rrpv: 3,
+        valid: false,
+    };
+}
+
+/// A line pushed out of the cache by a fill or invalidation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The evicted line address.
+    pub line: LineAddr,
+    /// It held modified data (must be written back).
+    pub dirty: bool,
+    /// Its writeback bit (GhostMinion clean-line propagation decision).
+    pub wb_bit: bool,
+    /// The writeback bit to attach when propagating to the next level.
+    pub wb_next: bool,
+    /// It was prefetched and never demanded (a useless prefetch).
+    pub prefetched: bool,
+}
+
+/// A set-associative cache array with true-LRU replacement.
+///
+/// `probe` inspects without disturbing replacement state (GhostMinion's
+/// speculative accesses must not update LRU bits); `touch` performs the
+/// conventional LRU update for non-speculative accesses.
+///
+/// # Examples
+///
+/// ```
+/// use secpref_mem::{FillAttrs, SetAssocCache};
+/// use secpref_types::LineAddr;
+///
+/// let mut c = SetAssocCache::new(2, 1); // 2 sets, direct-mapped
+/// c.fill(LineAddr::new(0), FillAttrs::default());
+/// // Line 2 maps to set 0 as well and evicts line 0.
+/// let out = c.fill(LineAddr::new(2), FillAttrs::default());
+/// assert_eq!(out.unwrap().line, LineAddr::new(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    lines: Vec<LineMeta>,
+    lru_clock: u64,
+    valid_count: usize,
+    policy: ReplacementKind,
+    rng: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or either argument is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self::with_policy(sets, ways, ReplacementKind::Lru)
+    }
+
+    /// Creates an empty cache with the given replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or either argument is zero.
+    pub fn with_policy(sets: usize, ways: usize, policy: ReplacementKind) -> Self {
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
+        assert!(ways > 0, "ways must be nonzero");
+        SetAssocCache {
+            sets,
+            ways,
+            lines: vec![LineMeta::INVALID; sets * ways],
+            lru_clock: 0,
+            valid_count: 0,
+            policy,
+            rng: 0x243F_6A88_85A3_08D3,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of currently valid lines.
+    pub fn valid_lines(&self) -> usize {
+        self.valid_count
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() as usize) & (self.sets - 1)
+    }
+
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let s = self.set_index(line);
+        s * self.ways..(s + 1) * self.ways
+    }
+
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        self.set_range(line)
+            .find(|&i| self.lines[i].valid && self.lines[i].line == line)
+    }
+
+    /// Looks up a line **without** updating replacement state
+    /// (a GhostMinion speculative access).
+    pub fn probe(&self, line: LineAddr) -> Option<&LineMeta> {
+        self.find(line).map(|i| &self.lines[i])
+    }
+
+    /// Looks up a line and, on a hit, promotes it per the replacement
+    /// policy (a conventional non-speculative access). Returns the line's
+    /// metadata after update.
+    pub fn touch(&mut self, line: LineAddr) -> Option<LineMeta> {
+        let i = self.find(line)?;
+        self.lru_clock += 1;
+        self.lines[i].lru = self.lru_clock;
+        self.lines[i].rrpv = 0; // SRRIP: promote to imminent on reuse
+        Some(self.lines[i])
+    }
+
+    /// Marks a resident line's first demand use: clears the `prefetched`
+    /// bit and returns `(was_prefetched, fetch_latency)` if present.
+    pub fn mark_demand_use(&mut self, line: LineAddr) -> Option<(bool, u32)> {
+        let i = self.find(line)?;
+        let was = self.lines[i].prefetched;
+        self.lines[i].prefetched = false;
+        Some((was, self.lines[i].fetch_latency))
+    }
+
+    /// Sets the dirty bit of a resident line. Returns `false` on miss.
+    pub fn set_dirty(&mut self, line: LineAddr) -> bool {
+        match self.find(line) {
+            Some(i) => {
+                self.lines[i].dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sets the writeback bit of a resident line. Returns `false` on miss.
+    pub fn set_wb_bit(&mut self, line: LineAddr, wb: bool) -> bool {
+        match self.find(line) {
+            Some(i) => {
+                self.lines[i].wb_bit = wb;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `line` at MRU with the given attributes, evicting the LRU
+    /// victim of its set if the set is full. Filling a line that is already
+    /// resident refreshes its attributes (ORs `dirty`, keeps it MRU) and
+    /// evicts nothing.
+    pub fn fill(&mut self, line: LineAddr, attrs: FillAttrs) -> Option<EvictedLine> {
+        self.lru_clock += 1;
+        if let Some(i) = self.find(line) {
+            let l = &mut self.lines[i];
+            l.lru = self.lru_clock;
+            l.dirty |= attrs.dirty;
+            l.prefetched &= attrs.prefetched;
+            l.wb_bit |= attrs.wb_bit;
+            l.wb_next |= attrs.wb_next;
+            return None;
+        }
+        let range = self.set_range(line);
+        // Prefer an invalid way; otherwise ask the policy for a victim.
+        let victim = range
+            .clone()
+            .find(|&i| !self.lines[i].valid)
+            .unwrap_or_else(|| self.pick_victim(range));
+        let evicted = if self.lines[victim].valid {
+            let v = self.lines[victim];
+            Some(EvictedLine {
+                line: v.line,
+                dirty: v.dirty,
+                wb_bit: v.wb_bit,
+                wb_next: v.wb_next,
+                prefetched: v.prefetched,
+            })
+        } else {
+            self.valid_count += 1;
+            None
+        };
+        self.lines[victim] = LineMeta {
+            line,
+            dirty: attrs.dirty,
+            prefetched: attrs.prefetched,
+            wb_bit: attrs.wb_bit,
+            wb_next: attrs.wb_next,
+            fetch_latency: attrs.fetch_latency,
+            lru: self.lru_clock,
+            rrpv: 2, // SRRIP: inserted with a "long" re-reference interval
+            valid: true,
+        };
+        evicted
+    }
+
+    fn pick_victim(&mut self, range: std::ops::Range<usize>) -> usize {
+        match self.policy {
+            ReplacementKind::Lru => range
+                .min_by_key(|&i| self.lines[i].lru)
+                .expect("set has at least one way"),
+            ReplacementKind::Random => {
+                // xorshift64*: deterministic, seeded at construction.
+                self.rng ^= self.rng << 13;
+                self.rng ^= self.rng >> 7;
+                self.rng ^= self.rng << 17;
+                range.start + (self.rng as usize % self.ways)
+            }
+            ReplacementKind::Srrip => {
+                // Find a distant (RRPV==3) line, aging the set until one
+                // appears — bounded by 3 aging rounds.
+                loop {
+                    if let Some(i) = range.clone().find(|&i| self.lines[i].rrpv >= 3) {
+                        return i;
+                    }
+                    for i in range.clone() {
+                        self.lines[i].rrpv = self.lines[i].rrpv.saturating_add(1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes a line if resident, returning its eviction record.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedLine> {
+        let i = self.find(line)?;
+        let v = self.lines[i];
+        self.lines[i] = LineMeta::INVALID;
+        self.valid_count -= 1;
+        Some(EvictedLine {
+            line: v.line,
+            dirty: v.dirty,
+            wb_bit: v.wb_bit,
+            wb_next: v.wb_next,
+            prefetched: v.prefetched,
+        })
+    }
+
+    /// Iterates over all valid lines (for assertions and property tests).
+    pub fn iter(&self) -> impl Iterator<Item = &LineMeta> {
+        self.lines.iter().filter(|l| l.valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn la(x: u64) -> LineAddr {
+        LineAddr::new(x)
+    }
+
+    #[test]
+    fn fill_then_probe_hits() {
+        let mut c = SetAssocCache::new(16, 4);
+        assert!(c.probe(la(5)).is_none());
+        assert!(c.fill(la(5), FillAttrs::default()).is_none());
+        assert_eq!(c.probe(la(5)).unwrap().line, la(5));
+        assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.fill(la(1), FillAttrs::default());
+        c.fill(la(2), FillAttrs::default());
+        // Touch 1 so 2 becomes LRU.
+        c.touch(la(1));
+        let ev = c.fill(la(3), FillAttrs::default()).unwrap();
+        assert_eq!(ev.line, la(2));
+        assert!(c.probe(la(1)).is_some());
+        assert!(c.probe(la(3)).is_some());
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.fill(la(1), FillAttrs::default());
+        c.fill(la(2), FillAttrs::default());
+        // A speculative probe of line 1 must NOT protect it.
+        c.probe(la(1));
+        let ev = c.fill(la(3), FillAttrs::default()).unwrap();
+        assert_eq!(ev.line, la(1), "probe must not update LRU");
+    }
+
+    #[test]
+    fn refill_resident_line_evicts_nothing() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.fill(la(1), FillAttrs::default());
+        c.fill(la(2), FillAttrs::default());
+        assert!(c
+            .fill(
+                la(1),
+                FillAttrs {
+                    dirty: true,
+                    ..Default::default()
+                }
+            )
+            .is_none());
+        assert!(c.probe(la(1)).unwrap().dirty);
+        assert_eq!(c.valid_lines(), 2);
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = SetAssocCache::new(1, 1);
+        c.fill(
+            la(1),
+            FillAttrs {
+                dirty: true,
+                ..Default::default()
+            },
+        );
+        let ev = c.fill(la(2), FillAttrs::default()).unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn wb_bit_round_trips_through_eviction() {
+        let mut c = SetAssocCache::new(1, 1);
+        c.fill(
+            la(1),
+            FillAttrs {
+                wb_bit: true,
+                ..Default::default()
+            },
+        );
+        let ev = c.fill(la(2), FillAttrs::default()).unwrap();
+        assert!(ev.wb_bit);
+    }
+
+    #[test]
+    fn mark_demand_use_clears_prefetched() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.fill(
+            la(9),
+            FillAttrs {
+                prefetched: true,
+                fetch_latency: 77,
+                ..Default::default()
+            },
+        );
+        assert_eq!(c.mark_demand_use(la(9)), Some((true, 77)));
+        assert_eq!(c.mark_demand_use(la(9)), Some((false, 77)));
+        assert!(!c.probe(la(9)).unwrap().prefetched);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.fill(la(9), FillAttrs::default());
+        assert!(c.invalidate(la(9)).is_some());
+        assert!(c.probe(la(9)).is_none());
+        assert!(c.invalidate(la(9)).is_none());
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn set_isolation() {
+        let mut c = SetAssocCache::new(2, 1);
+        c.fill(la(0), FillAttrs::default());
+        // Line 1 maps to the other set: no eviction.
+        assert!(c.fill(la(1), FillAttrs::default()).is_none());
+        assert_eq!(c.valid_lines(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        let _ = SetAssocCache::new(3, 2);
+    }
+
+    #[test]
+    fn srrip_protects_reused_lines() {
+        let mut c = SetAssocCache::with_policy(1, 2, ReplacementKind::Srrip);
+        c.fill(la(1), FillAttrs::default());
+        c.fill(la(2), FillAttrs::default());
+        // Reuse line 1 repeatedly: RRPV drops to 0; line 2 stays at 2.
+        c.touch(la(1));
+        c.touch(la(1));
+        let ev = c.fill(la(3), FillAttrs::default()).unwrap();
+        assert_eq!(ev.line, la(2), "SRRIP evicts the distant line");
+        assert!(c.probe(la(1)).is_some());
+    }
+
+    #[test]
+    fn random_policy_is_deterministic() {
+        let run = || {
+            let mut c = SetAssocCache::with_policy(2, 4, ReplacementKind::Random);
+            let mut evicted = Vec::new();
+            for i in 0..64u64 {
+                if let Some(ev) = c.fill(la(i), FillAttrs::default()) {
+                    evicted.push(ev.line);
+                }
+            }
+            evicted
+        };
+        assert_eq!(run(), run(), "same seed, same victims");
+        assert!(!run().is_empty());
+    }
+
+    #[test]
+    fn all_policies_respect_capacity() {
+        for p in [
+            ReplacementKind::Lru,
+            ReplacementKind::Srrip,
+            ReplacementKind::Random,
+        ] {
+            let mut c = SetAssocCache::with_policy(4, 2, p);
+            for i in 0..100u64 {
+                c.fill(la(i), FillAttrs::default());
+            }
+            assert!(c.valid_lines() <= 8, "{p:?}");
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashSet;
+
+        proptest! {
+            /// No duplicate tags within the cache, and valid_lines is exact.
+            #[test]
+            fn no_duplicate_lines(ops in proptest::collection::vec((0u64..256, any::<bool>()), 1..200)) {
+                let mut c = SetAssocCache::new(8, 4);
+                for (addr, inv) in ops {
+                    if inv {
+                        c.invalidate(la(addr));
+                    } else {
+                        c.fill(la(addr), FillAttrs::default());
+                    }
+                    let mut seen = HashSet::new();
+                    let mut n = 0;
+                    for l in c.iter() {
+                        prop_assert!(seen.insert(l.line), "duplicate line {:?}", l.line);
+                        n += 1;
+                    }
+                    prop_assert_eq!(n, c.valid_lines());
+                    prop_assert!(n <= 32);
+                }
+            }
+
+            /// A filled line is always resident until evicted by a fill
+            /// mapping to the same set or an invalidation.
+            #[test]
+            fn fills_land_in_correct_set(addrs in proptest::collection::vec(0u64..1024, 1..100)) {
+                let mut c = SetAssocCache::new(16, 2);
+                for a in addrs {
+                    c.fill(la(a), FillAttrs::default());
+                    let resident = c.probe(la(a)).expect("just-filled line resident");
+                    prop_assert_eq!(resident.line, la(a));
+                }
+                // Every resident line maps to the set it sits in.
+                for (i, l) in c.lines.iter().enumerate() {
+                    if l.valid {
+                        prop_assert_eq!(i / c.ways, (l.line.raw() as usize) & (c.sets - 1));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Berti: the local-delta L1D prefetcher (Navarro-Torres et al.,
+//! MICRO 2022). Table III configuration: 128-entry history table,
+//! 16-entry delta table with 16 deltas each (2.55 KB).
+//!
+//! Berti is *self-timing*: it measures each fill's fetch latency and only
+//! learns deltas large enough that a prefetch triggered by the earlier
+//! access would have completed before the later access needed the data.
+//! Deltas with high per-IP coverage are prefetched into L1D, lower
+//! coverage into L2 (orchestration), modulated by L1D MSHR pressure.
+//!
+//! The [`BertiEngine`] exposes the training machinery with explicit
+//! timestamps/latencies so that the paper's TSB (in `secpref-core`) can
+//! feed it X-LQ access times and true fetch latencies, while the plain
+//! [`OnAccessBerti`] wrapper feeds whatever it observes at its training
+//! point (which, for naive on-commit operation on GhostMinion, is the
+//! misleading 1-cycle GM→L1D commit-write latency — the paper's Fig. 8
+//! pathology).
+
+use crate::{AccessEvent, FillEvent, Prefetcher};
+use secpref_types::{Cycle, Ip, LineAddr, PrefetchRequest};
+
+const HISTORY_SIZE: usize = 128;
+const DELTA_TABLE_SIZE: usize = 16;
+const DELTAS_PER_ENTRY: usize = 16;
+/// Coverage (×100) required to prefetch into L1D.
+const L1D_COVERAGE: u32 = 60;
+/// Coverage (×100) required to prefetch into L2.
+const L2_COVERAGE: u32 = 30;
+/// Searches before coverage estimates are trusted.
+const MIN_SEARCHES: u8 = 6;
+/// When the L1D MSHR has fewer free slots, demote L1D prefetches to L2.
+const MSHR_SLACK: usize = 4;
+const MAX_ABS_DELTA: i64 = 1024;
+/// Maximum prefetch requests issued per trigger (PQ bandwidth).
+const MAX_PF_PER_TRIGGER: usize = 8;
+/// History slots scanned for same-line dedup on insert.
+const DEDUP_SCAN: usize = 8;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct HistEntry {
+    valid: bool,
+    ip_tag: u32,
+    line: LineAddr,
+    /// The time this access could have triggered a prefetch.
+    trigger_time: Cycle,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct DeltaStat {
+    delta: i32,
+    count: u8,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct DeltaEntry {
+    valid: bool,
+    ip_tag: u32,
+    deltas: [DeltaStat; DELTAS_PER_ENTRY],
+    searches: u8,
+    lru: u64,
+}
+
+/// The Berti training/prediction engine.
+///
+/// # Examples
+///
+/// ```
+/// use secpref_prefetch::BertiEngine;
+/// use secpref_types::{Ip, LineAddr};
+///
+/// let mut e = BertiEngine::new();
+/// let ip = Ip::new(0x4);
+/// // Accesses to consecutive lines every 10 cycles; fetch latency 35:
+/// // only deltas >= 4 are timely (4 accesses × 10 cycles >= 35).
+/// for i in 0..40u64 {
+///     let t = i * 10;
+///     e.record_access(ip, LineAddr::new(i), t);
+///     e.train(ip, LineAddr::new(i), t, 35);
+/// }
+/// let mut out = Vec::new();
+/// e.prefetches(ip, LineAddr::new(40), 16, &mut out);
+/// assert!(out.iter().all(|r| r.line.raw() >= 44), "learned timely delta");
+/// ```
+#[derive(Clone, Debug)]
+pub struct BertiEngine {
+    history: Vec<HistEntry>,
+    head: usize,
+    table: Vec<DeltaEntry>,
+    lru_clock: u64,
+}
+
+impl Default for BertiEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BertiEngine {
+    /// Creates the Table III configuration.
+    pub fn new() -> Self {
+        BertiEngine {
+            history: vec![HistEntry::default(); HISTORY_SIZE],
+            head: 0,
+            table: vec![DeltaEntry::default(); DELTA_TABLE_SIZE],
+            lru_clock: 0,
+        }
+    }
+
+    fn ip_tag(ip: Ip) -> u32 {
+        (ip.raw() ^ (ip.raw() >> 17)) as u32
+    }
+
+    /// Records an access as a potential future prefetch trigger.
+    /// `trigger_time` is when a prefetch issued by this access would have
+    /// left: the access time for on-access prefetching, the commit time
+    /// for on-commit prefetching.
+    pub fn record_access(&mut self, ip: Ip, line: LineAddr, trigger_time: Cycle) {
+        let tag = Self::ip_tag(ip);
+        // Same-line dedup: repeated accesses within a line would flood the
+        // history and shrink its effective depth; keep the earliest entry
+        // (the earliest prefetch-trigger opportunity).
+        for k in 1..=DEDUP_SCAN {
+            let h = &self.history[(self.head + HISTORY_SIZE - k) % HISTORY_SIZE];
+            if h.valid && h.ip_tag == tag && h.line == line {
+                return;
+            }
+        }
+        self.history[self.head] = HistEntry {
+            valid: true,
+            ip_tag: tag,
+            line,
+            trigger_time,
+        };
+        self.head = (self.head + 1) % HISTORY_SIZE;
+    }
+
+    /// Trains deltas for (`ip`, `line`): searches the history for same-IP
+    /// accesses whose `trigger_time + latency <= need_time` (a prefetch
+    /// they triggered would have arrived in time) and credits the delta.
+    pub fn train(&mut self, ip: Ip, line: LineAddr, need_time: Cycle, latency: u32) {
+        let tag = Self::ip_tag(ip);
+        let mut timely: [Option<i32>; DELTAS_PER_ENTRY] = [None; DELTAS_PER_ENTRY];
+        let mut n = 0;
+        // Scan newest → oldest: the nearest timely access yields the
+        // smallest (most reusable) delta, as in the Berti hardware search.
+        for k in 1..=HISTORY_SIZE {
+            let h = &self.history[(self.head + HISTORY_SIZE - k) % HISTORY_SIZE];
+            if !h.valid || h.ip_tag != tag || h.line == line {
+                continue;
+            }
+            if h.trigger_time + latency as Cycle > need_time {
+                continue; // not timely
+            }
+            let d = line.delta(h.line);
+            if d == 0 || d.abs() > MAX_ABS_DELTA {
+                continue;
+            }
+            if n < DELTAS_PER_ENTRY && !timely[..n].contains(&Some(d as i32)) {
+                timely[n] = Some(d as i32);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            // Still count the search so coverage reflects misses the
+            // learned deltas would not have covered.
+            self.bump_search(tag);
+            return;
+        }
+        let e = self.entry_mut(tag);
+        e.searches = e.searches.saturating_add(1);
+        for d in timely.iter().flatten() {
+            if let Some(s) = e.deltas.iter_mut().find(|s| s.delta == *d && s.count > 0) {
+                s.count = s.count.saturating_add(1);
+            } else if let Some(s) = e.deltas.iter_mut().min_by_key(|s| s.count) {
+                *s = DeltaStat {
+                    delta: *d,
+                    count: 1,
+                };
+            }
+        }
+        if e.searches >= 64 {
+            e.searches /= 2;
+            for s in &mut e.deltas {
+                s.count /= 2;
+            }
+        }
+    }
+
+    fn bump_search(&mut self, tag: u32) {
+        if let Some(e) = self.table.iter_mut().find(|e| e.valid && e.ip_tag == tag) {
+            e.searches = e.searches.saturating_add(1);
+        }
+    }
+
+    fn entry_mut(&mut self, tag: u32) -> &mut DeltaEntry {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        if let Some(i) = self.table.iter().position(|e| e.valid && e.ip_tag == tag) {
+            self.table[i].lru = clock;
+            return &mut self.table[i];
+        }
+        let victim = self
+            .table
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
+            .map(|(i, _)| i)
+            .expect("delta table nonempty");
+        self.table[victim] = DeltaEntry {
+            valid: true,
+            ip_tag: tag,
+            deltas: [DeltaStat::default(); DELTAS_PER_ENTRY],
+            searches: 0,
+            lru: clock,
+        };
+        &mut self.table[victim]
+    }
+
+    /// Issues prefetch requests for the trigger (`ip`, `line`):
+    /// high-coverage deltas go to L1D (demoted to L2 under MSHR
+    /// pressure), medium-coverage deltas to L2.
+    pub fn prefetches(
+        &self,
+        ip: Ip,
+        line: LineAddr,
+        mshr_free: usize,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        let tag = Self::ip_tag(ip);
+        let Some(e) = self.table.iter().find(|e| e.valid && e.ip_tag == tag) else {
+            return;
+        };
+        if e.searches < MIN_SEARCHES {
+            return;
+        }
+        // Highest-coverage deltas first, bounded by PQ bandwidth.
+        let mut ranked: Vec<(u32, i32)> = e
+            .deltas
+            .iter()
+            .filter(|s| s.count > 0 && s.delta != 0)
+            .map(|s| (s.count as u32 * 100 / e.searches.max(1) as u32, s.delta))
+            .filter(|(cov, _)| *cov >= L2_COVERAGE)
+            .collect();
+        ranked.sort_unstable_by(|a, b| b.cmp(a));
+        ranked.truncate(MAX_PF_PER_TRIGGER);
+        for (coverage, delta) in ranked {
+            let target = line.offset(delta as i64);
+            if coverage >= L1D_COVERAGE {
+                if mshr_free > MSHR_SLACK {
+                    out.push(PrefetchRequest::to_l1d(target, ip));
+                } else {
+                    out.push(PrefetchRequest::to_l2(target, ip));
+                }
+            } else {
+                out.push(PrefetchRequest::to_l2(target, ip));
+            }
+        }
+    }
+}
+
+/// Berti as a [`Prefetcher`]: trains from whatever the simulator feeds it
+/// (speculative accesses+fills on-access; commit-path events on-commit).
+///
+/// # Examples
+///
+/// ```
+/// use secpref_prefetch::{OnAccessBerti, Prefetcher};
+/// assert_eq!(OnAccessBerti::new().name(), "Berti");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct OnAccessBerti {
+    engine: BertiEngine,
+}
+
+impl OnAccessBerti {
+    /// Creates the Table III configuration.
+    pub fn new() -> Self {
+        OnAccessBerti {
+            engine: BertiEngine::new(),
+        }
+    }
+
+    /// Access to the shared engine (used by tests and TSB comparisons).
+    pub fn engine(&self) -> &BertiEngine {
+        &self.engine
+    }
+}
+
+impl Prefetcher for OnAccessBerti {
+    fn name(&self) -> &'static str {
+        "Berti"
+    }
+
+    fn storage_bytes(&self) -> f64 {
+        // 128-entry history (~57 b) + 16 delta-table rows of 16 delta
+        // stats (~50 b each) plus tag/metadata ≈ 2.55 KB per Table III.
+        (HISTORY_SIZE as f64 * 57.0
+            + DELTA_TABLE_SIZE as f64 * (DELTAS_PER_ENTRY as f64 * 50.0 + 50.0))
+            / 8.0
+    }
+
+    fn observe_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>) {
+        // A hit on a prefetched line trains with the latency the prefetch
+        // experienced (stored alongside the L1D line).
+        if ev.hit && ev.hit_prefetched && ev.fetch_latency > 0 {
+            self.engine
+                .train(ev.ip, ev.line, ev.cycle, ev.fetch_latency);
+        }
+        self.engine.record_access(ev.ip, ev.line, ev.cycle);
+        self.engine.prefetches(ev.ip, ev.line, ev.mshr_free, out);
+    }
+
+    fn observe_fill(&mut self, ev: &FillEvent) {
+        if ev.by_prefetch {
+            return; // prefetch fills train via the Hitp path on use
+        }
+        let need_time = ev.cycle.saturating_sub(ev.latency as Cycle);
+        self.engine.train(ev.ip, ev.line, need_time, ev.latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple_access;
+
+    #[test]
+    fn learns_latency_covering_delta() {
+        let mut e = BertiEngine::new();
+        let ip = Ip::new(0x4);
+        for i in 0..60u64 {
+            let t = i * 10;
+            e.record_access(ip, LineAddr::new(100 + i), t);
+            e.train(ip, LineAddr::new(100 + i), t, 35);
+        }
+        let mut out = Vec::new();
+        e.prefetches(ip, LineAddr::new(200), 16, &mut out);
+        assert!(!out.is_empty());
+        for r in &out {
+            let d = r.line.raw() as i64 - 200;
+            assert!(
+                d >= 4,
+                "delta {d} cannot hide a 35-cycle latency at 10 cycles/access"
+            );
+        }
+    }
+
+    #[test]
+    fn short_latency_learns_short_delta() {
+        let mut e = BertiEngine::new();
+        let ip = Ip::new(0x4);
+        for i in 0..60u64 {
+            let t = i * 10;
+            e.record_access(ip, LineAddr::new(i), t);
+            e.train(ip, LineAddr::new(i), t, 5);
+        }
+        let mut out = Vec::new();
+        e.prefetches(ip, LineAddr::new(100), 16, &mut out);
+        assert!(
+            out.iter().any(|r| r.line.raw() == 101),
+            "delta +1 is timely at 5-cycle latency"
+        );
+    }
+
+    #[test]
+    fn fig8_pathology_commit_clock_learns_undersized_delta() {
+        // The paper's Fig. 8: on-commit Berti sees the 1-cycle commit-write
+        // latency and learns +1 even though the true fetch latency needs
+        // +2 — reproducing the "late prefetch" pathology.
+        let ip = Ip::new(0x4);
+        // Commits every 2 cycles; naive observes latency 1.
+        let mut naive = BertiEngine::new();
+        for i in 0..40u64 {
+            let commit_t = i * 2;
+            naive.record_access(ip, LineAddr::new(i), commit_t);
+            naive.train(ip, LineAddr::new(i), commit_t, 1);
+        }
+        let mut out = Vec::new();
+        naive.prefetches(ip, LineAddr::new(50), 16, &mut out);
+        assert!(out.iter().any(|r| r.line.raw() == 51), "naive learns +1");
+
+        // TSB-style training: same commit triggers, but true latency 3 and
+        // access-time targets (accesses 2 cycles before commits).
+        let mut tsb = BertiEngine::new();
+        for i in 0..40u64 {
+            let commit_t = i * 2;
+            let access_t = commit_t.saturating_sub(1);
+            tsb.record_access(ip, LineAddr::new(i), commit_t);
+            tsb.train(ip, LineAddr::new(i), access_t, 3);
+        }
+        let mut out = Vec::new();
+        tsb.prefetches(ip, LineAddr::new(50), 16, &mut out);
+        assert!(
+            out.iter().all(|r| r.line.raw() >= 52),
+            "TSB learns a delta that covers the true latency: {:?}",
+            out.iter().map(|r| r.line.raw()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mshr_pressure_demotes_to_l2() {
+        let mut e = BertiEngine::new();
+        let ip = Ip::new(0x4);
+        for i in 0..60u64 {
+            e.record_access(ip, LineAddr::new(i), i * 20);
+            e.train(ip, LineAddr::new(i), i * 20, 5);
+        }
+        let mut relaxed = Vec::new();
+        e.prefetches(ip, LineAddr::new(100), 16, &mut relaxed);
+        let mut pressured = Vec::new();
+        e.prefetches(ip, LineAddr::new(100), 1, &mut pressured);
+        assert!(relaxed
+            .iter()
+            .any(|r| r.fill_level == secpref_types::CacheLevel::L1d));
+        assert!(pressured
+            .iter()
+            .all(|r| r.fill_level == secpref_types::CacheLevel::L2));
+    }
+
+    #[test]
+    fn irregular_stream_stays_quiet() {
+        let mut p = OnAccessBerti::new();
+        let mut out = Vec::new();
+        let lines = [7u64, 91234, 33, 5555, 12, 987_654, 4, 777];
+        for (i, &l) in lines.iter().enumerate() {
+            p.observe_access(&simple_access(0x4, l, i as u64 * 50, false), &mut out);
+            p.observe_fill(&FillEvent {
+                line: LineAddr::new(l),
+                ip: Ip::new(0x4),
+                cycle: i as u64 * 50 + 40,
+                latency: 40,
+                by_prefetch: false,
+            });
+        }
+        assert!(out.is_empty(), "no coherent deltas to learn: {out:?}");
+    }
+
+    #[test]
+    fn prefetcher_wrapper_trains_on_fills() {
+        let mut p = OnAccessBerti::new();
+        let mut out = Vec::new();
+        for i in 0..80u64 {
+            let t = i * 10;
+            p.observe_access(&simple_access(0x4, 1000 + i, t, false), &mut out);
+            p.observe_fill(&FillEvent {
+                line: LineAddr::new(1000 + i),
+                ip: Ip::new(0x4),
+                cycle: t + 30,
+                latency: 30,
+                by_prefetch: false,
+            });
+        }
+        assert!(!out.is_empty(), "stream with stable latency must prefetch");
+    }
+}

@@ -1,0 +1,197 @@
+//! The classic IP-stride prefetcher (the Intel/AMD L1D prefetcher of the
+//! paper's Table III: 1024 entries, 8 KB).
+
+use crate::{AccessEvent, FillEvent, Prefetcher};
+use secpref_types::PrefetchRequest;
+
+const TABLE_SIZE: usize = 1024;
+const CONF_MAX: u8 = 3;
+/// Confidence required before prefetching.
+const CONF_TRIGGER: u8 = 2;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Entry {
+    tag: u16,
+    valid: bool,
+    last_line: u64,
+    stride: i64,
+    conf: u8,
+}
+
+/// Per-IP constant-stride prefetcher with a 2-bit confidence counter and a
+/// tunable prefetch distance (the TS knob).
+///
+/// # Examples
+///
+/// ```
+/// use secpref_prefetch::{IpStride, Prefetcher, simple_access};
+///
+/// let mut p = IpStride::new();
+/// let mut out = Vec::new();
+/// for i in 0..8u64 {
+///     p.observe_access(&simple_access(0x400, 100 + 2 * i, i, false), &mut out);
+/// }
+/// // A stable +2 stride triggers strided prefetches.
+/// assert!(!out.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct IpStride {
+    table: Vec<Entry>,
+    distance: u32,
+    degree: u32,
+}
+
+impl Default for IpStride {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IpStride {
+    /// Creates the Table III configuration (1024 entries), with the
+    /// baseline distance of 4 and degree of 2 (Intel-style streamer reach).
+    pub fn new() -> Self {
+        IpStride {
+            table: vec![Entry::default(); TABLE_SIZE],
+            distance: 4,
+            degree: 2,
+        }
+    }
+
+    fn index(ip: u64) -> (usize, u16) {
+        let idx = (ip ^ (ip >> 10)) as usize & (TABLE_SIZE - 1);
+        let tag = (ip >> 10) as u16;
+        (idx, tag)
+    }
+}
+
+impl Prefetcher for IpStride {
+    fn name(&self) -> &'static str {
+        "IP-Stride"
+    }
+
+    fn storage_bytes(&self) -> f64 {
+        // 1024 entries × 64 bits (tag, last address, stride, confidence).
+        TABLE_SIZE as f64 * 8.0
+    }
+
+    fn observe_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>) {
+        let (idx, tag) = Self::index(ev.ip.raw());
+        let e = &mut self.table[idx];
+        if !e.valid || e.tag != tag {
+            *e = Entry {
+                tag,
+                valid: true,
+                last_line: ev.line.raw(),
+                stride: 0,
+                conf: 0,
+            };
+            return;
+        }
+        let delta = ev.line.raw() as i64 - e.last_line as i64;
+        e.last_line = ev.line.raw();
+        if delta == 0 {
+            return; // same line, nothing to learn
+        }
+        if delta == e.stride {
+            e.conf = (e.conf + 1).min(CONF_MAX);
+        } else if e.conf > 0 {
+            e.conf -= 1;
+        } else {
+            e.stride = delta;
+        }
+        if e.conf >= CONF_TRIGGER && e.stride != 0 {
+            for k in 0..self.degree {
+                let target = ev.line.offset(e.stride * (self.distance as i64 + k as i64));
+                out.push(PrefetchRequest::to_l1d(target, ev.ip));
+            }
+        }
+    }
+
+    fn observe_fill(&mut self, _ev: &FillEvent) {}
+
+    fn set_timeliness_knob(&mut self, k: u32) {
+        self.distance = k.max(1);
+    }
+
+    fn timeliness_knob(&self) -> u32 {
+        self.distance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple_access;
+
+    fn drive(p: &mut IpStride, ip: u64, lines: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (i, &l) in lines.iter().enumerate() {
+            p.observe_access(&simple_access(ip, l, i as u64, false), &mut out);
+        }
+        out.iter().map(|r| r.line.raw()).collect()
+    }
+
+    #[test]
+    fn learns_positive_stride() {
+        let mut p = IpStride::new();
+        let targets = drive(&mut p, 0x10, &[100, 104, 108, 112, 116]);
+        assert!(!targets.is_empty());
+        // All targets extend the +4 pattern ahead of the demand stream.
+        for t in &targets {
+            assert_eq!((t - 100) % 4, 0);
+            assert!(*t > 112);
+        }
+    }
+
+    #[test]
+    fn learns_negative_stride() {
+        let mut p = IpStride::new();
+        let targets = drive(&mut p, 0x10, &[1000, 997, 994, 991, 988]);
+        assert!(!targets.is_empty());
+        assert!(targets.iter().all(|&t| t < 988));
+    }
+
+    #[test]
+    fn random_pattern_stays_quiet() {
+        let mut p = IpStride::new();
+        let targets = drive(&mut p, 0x10, &[5, 900, 33, 712, 61, 4, 888, 123]);
+        assert!(targets.is_empty());
+    }
+
+    #[test]
+    fn distance_knob_moves_targets() {
+        let mut near = IpStride::new();
+        near.set_timeliness_knob(1);
+        let t1 = drive(&mut near, 0x10, &[0, 1, 2, 3, 4]);
+        let mut far = IpStride::new();
+        far.set_timeliness_knob(8);
+        let t8 = drive(&mut far, 0x10, &[0, 1, 2, 3, 4]);
+        assert!(!t1.is_empty() && !t8.is_empty());
+        assert!(t8.iter().min().unwrap() > t1.iter().min().unwrap());
+        assert_eq!(far.timeliness_knob(), 8);
+    }
+
+    #[test]
+    fn distinct_ips_tracked_separately() {
+        let mut p = IpStride::new();
+        let mut out = Vec::new();
+        for i in 0..10u64 {
+            p.observe_access(&simple_access(0x10, 100 + i, 2 * i, false), &mut out);
+            p.observe_access(
+                &simple_access(0x2000, 5000 + 3 * i, 2 * i + 1, false),
+                &mut out,
+            );
+        }
+        let lines: Vec<u64> = out.iter().map(|r| r.line.raw()).collect();
+        assert!(lines.iter().any(|&l| (100..200).contains(&l)));
+        assert!(lines.iter().any(|&l| l >= 5000));
+    }
+
+    #[test]
+    fn same_line_rereference_does_not_destroy_training() {
+        let mut p = IpStride::new();
+        let t = drive(&mut p, 0x10, &[10, 11, 11, 12, 12, 13, 14]);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,437 @@
+//! SPP+PPF: the Signature Path Prefetcher with the Perceptron-based
+//! Prefetch Filter (Bhatia et al., ISCA 2019). Table III configuration:
+//! 256-entry signature table, 512-entry pattern table, perceptron weight
+//! tables of 4096×4 / 2048×2 / 1024×2 / 128×1, and 1024-entry prefetch
+//! and reject tables (≈39.2 KB). Placed at the L2.
+//!
+//! SPP walks a *signature path*: each page's recent delta history is
+//! compressed into a 12-bit signature; the pattern table maps signatures
+//! to likely next deltas; lookahead chains predictions while the path
+//! confidence stays high. PPF vets every proposal with a perceptron over
+//! hashed features and learns from prefetch outcomes.
+//!
+//! The TS variant's *skip-k* knob (Section V-D of the MICRO'24 paper)
+//! suppresses the first `k` steps of the lookahead walk, so on-commit
+//! triggering still targets lines far enough ahead to arrive in time.
+
+use crate::{AccessEvent, Feedback, FillEvent, Prefetcher};
+use secpref_types::{LineAddr, PrefetchRequest};
+
+const ST_SIZE: usize = 256;
+const PT_SIZE: usize = 512;
+const PT_WAYS: usize = 4;
+const SIG_MASK: u16 = 0xFFF;
+const MAX_DEPTH: u32 = 8;
+/// Path-confidence floor (×1000) below which lookahead stops.
+const PATH_CONF_FLOOR: u32 = 180;
+const WEIGHT_MAX: i8 = 31;
+const WEIGHT_MIN: i8 = -32;
+/// Perceptron sum at or above this accepts the proposal.
+const TAU: i32 = 0;
+const FILTER_SIZE: usize = 1024;
+
+/// Sizes of the nine PPF feature weight tables (Table III).
+const FEATURE_SIZES: [usize; 9] = [4096, 4096, 4096, 4096, 2048, 2048, 1024, 1024, 128];
+
+#[derive(Clone, Copy, Debug, Default)]
+struct StEntry {
+    tag: u16,
+    sig: u16,
+    last_offset: u8,
+    valid: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct PtDelta {
+    delta: i8,
+    c_delta: u8,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct PtEntry {
+    c_sig: u8,
+    deltas: [PtDelta; PT_WAYS],
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct FilterEntry {
+    tag: u32,
+    valid: bool,
+    indices: [u16; 9],
+}
+
+/// The SPP+PPF prefetcher (L2).
+///
+/// # Examples
+///
+/// ```
+/// use secpref_prefetch::{SppPpf, Prefetcher, simple_access};
+///
+/// let mut p = SppPpf::new();
+/// let mut out = Vec::new();
+/// for i in 0..40u64 {
+///     p.observe_access(&simple_access(0x8, i, i, false), &mut out);
+/// }
+/// assert!(!out.is_empty(), "+1 stream becomes a confident signature path");
+/// ```
+#[derive(Clone, Debug)]
+pub struct SppPpf {
+    st: Vec<StEntry>,
+    pt: Vec<PtEntry>,
+    weights: Vec<Vec<i8>>,
+    prefetch_table: Vec<FilterEntry>,
+    reject_table: Vec<FilterEntry>,
+    skip_k: u32,
+}
+
+impl Default for SppPpf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SppPpf {
+    /// Creates the Table III configuration.
+    pub fn new() -> Self {
+        SppPpf {
+            st: vec![StEntry::default(); ST_SIZE],
+            pt: vec![PtEntry::default(); PT_SIZE],
+            weights: FEATURE_SIZES.iter().map(|&s| vec![0i8; s]).collect(),
+            prefetch_table: vec![FilterEntry::default(); FILTER_SIZE],
+            reject_table: vec![FilterEntry::default(); FILTER_SIZE],
+            skip_k: 0,
+        }
+    }
+
+    fn st_index(page: u64) -> (usize, u16) {
+        (
+            (page ^ (page >> 8)) as usize & (ST_SIZE - 1),
+            (page >> 8) as u16,
+        )
+    }
+
+    fn advance_sig(sig: u16, delta: i8) -> u16 {
+        ((sig << 3) ^ (delta as u16 & 0x3F)) & SIG_MASK
+    }
+
+    fn pt_train(&mut self, sig: u16, delta: i8) {
+        let e = &mut self.pt[sig as usize & (PT_SIZE - 1)];
+        e.c_sig = e.c_sig.saturating_add(1);
+        if let Some(d) = e
+            .deltas
+            .iter_mut()
+            .find(|d| d.delta == delta && d.c_delta > 0)
+        {
+            d.c_delta = d.c_delta.saturating_add(1);
+        } else if let Some(d) = e.deltas.iter_mut().min_by_key(|d| d.c_delta) {
+            *d = PtDelta { delta, c_delta: 1 };
+        }
+        // Periodic halving keeps counters adaptive.
+        if e.c_sig == u8::MAX {
+            e.c_sig /= 2;
+            for d in &mut e.deltas {
+                d.c_delta /= 2;
+            }
+        }
+    }
+
+    fn best_delta(&self, sig: u16) -> Option<(i8, u32)> {
+        let e = &self.pt[sig as usize & (PT_SIZE - 1)];
+        if e.c_sig == 0 {
+            return None;
+        }
+        let d = e.deltas.iter().max_by_key(|d| d.c_delta)?;
+        if d.c_delta == 0 || d.delta == 0 {
+            return None;
+        }
+        Some((d.delta, d.c_delta as u32 * 1000 / e.c_sig as u32))
+    }
+
+    /// The nine PPF feature indices for a proposal.
+    fn features(
+        &self,
+        ip: u64,
+        line: u64,
+        sig: u16,
+        delta: i8,
+        depth: u32,
+        path_conf: u32,
+    ) -> [u16; 9] {
+        let offset = line & 63;
+        let mix = |x: u64, m: usize| -> u16 {
+            ((x ^ (x >> 13)).wrapping_mul(0x2545F4914F6CDD1D) as usize & (m - 1)) as u16
+        };
+        [
+            mix(ip, FEATURE_SIZES[0]),
+            mix(ip ^ (sig as u64) << 17, FEATURE_SIZES[1]),
+            mix(ip.wrapping_add(delta as u64), FEATURE_SIZES[2]),
+            mix(line, FEATURE_SIZES[3]),
+            mix(sig as u64, FEATURE_SIZES[4]),
+            mix(offset | ((depth as u64) << 6), FEATURE_SIZES[5]),
+            mix(delta as u64 & 0xFF, FEATURE_SIZES[6]),
+            mix(
+                (path_conf as u64 / 100) ^ ((depth as u64) << 4),
+                FEATURE_SIZES[7],
+            ),
+            (depth as u16) & (FEATURE_SIZES[8] as u16 - 1),
+        ]
+    }
+
+    fn perceptron_sum(&self, idx: &[u16; 9]) -> i32 {
+        idx.iter()
+            .enumerate()
+            .map(|(t, &i)| self.weights[t][i as usize] as i32)
+            .sum()
+    }
+
+    fn train_weights(&mut self, idx: &[u16; 9], up: bool) {
+        for (t, &i) in idx.iter().enumerate() {
+            let w = &mut self.weights[t][i as usize];
+            *w = if up {
+                w.saturating_add(1).min(WEIGHT_MAX)
+            } else {
+                w.saturating_sub(1).max(WEIGHT_MIN)
+            };
+        }
+    }
+
+    fn filter_slot(line: u64) -> (usize, u32) {
+        let h = line.wrapping_mul(0x9E3779B97F4A7C15);
+        ((h as usize) & (FILTER_SIZE - 1), (h >> 44) as u32)
+    }
+
+    fn remember(table: &mut [FilterEntry], line: u64, indices: [u16; 9]) {
+        let (i, tag) = Self::filter_slot(line);
+        table[i] = FilterEntry {
+            tag,
+            valid: true,
+            indices,
+        };
+    }
+
+    fn recall(table: &mut [FilterEntry], line: u64) -> Option<[u16; 9]> {
+        let (i, tag) = Self::filter_slot(line);
+        let e = table[i];
+        if e.valid && e.tag == tag {
+            table[i].valid = false;
+            Some(e.indices)
+        } else {
+            None
+        }
+    }
+}
+
+impl Prefetcher for SppPpf {
+    fn name(&self) -> &'static str {
+        "SPP+PPF"
+    }
+
+    fn storage_bytes(&self) -> f64 {
+        let st = ST_SIZE as f64 * 34.0 / 8.0;
+        let pt = PT_SIZE as f64 * 72.0 / 8.0;
+        let w: usize = FEATURE_SIZES.iter().sum();
+        let weights = w as f64 * 6.0 / 8.0;
+        let filters = 2.0 * FILTER_SIZE as f64 * 68.0 / 8.0;
+        st + pt + weights + filters
+    }
+
+    fn observe_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>) {
+        let page = ev.line.page();
+        let offset = ev.line.page_offset() as u8;
+        let (si, tag) = Self::st_index(page);
+        let st = &mut self.st[si];
+        if !st.valid || st.tag != tag {
+            *st = StEntry {
+                tag,
+                sig: 0,
+                last_offset: offset,
+                valid: true,
+            };
+            return;
+        }
+        let delta = offset as i16 - st.last_offset as i16;
+        st.last_offset = offset;
+        if delta == 0 {
+            return;
+        }
+        let delta = delta as i8;
+        let old_sig = st.sig;
+        let start_sig = Self::advance_sig(old_sig, delta);
+        st.sig = start_sig;
+        self.pt_train(old_sig, delta);
+
+        // Lookahead walk along the signature path.
+        let mut sig = start_sig;
+        let mut cur_offset = offset as i32;
+        let mut path_conf = 1000u32;
+        for depth in 0..MAX_DEPTH {
+            let Some((d, conf)) = self.best_delta(sig) else {
+                break;
+            };
+            path_conf = path_conf * conf / 1000;
+            if path_conf < PATH_CONF_FLOOR {
+                break;
+            }
+            let next = cur_offset + d as i32;
+            if !(0..64).contains(&next) {
+                break; // page boundary: GHR handoff not modelled
+            }
+            cur_offset = next;
+            let line = LineAddr::new(page * 64 + next as u64);
+            sig = Self::advance_sig(sig, d);
+            if depth < self.skip_k {
+                continue; // TS skip-k: suppress near-term steps
+            }
+            // PPF vote.
+            let idx = self.features(ev.ip.raw(), line.raw(), sig, d, depth, path_conf);
+            if self.perceptron_sum(&idx) >= TAU {
+                Self::remember(&mut self.prefetch_table, line.raw(), idx);
+                out.push(PrefetchRequest::to_l2(line, ev.ip));
+            } else {
+                Self::remember(&mut self.reject_table, line.raw(), idx);
+            }
+        }
+    }
+
+    fn observe_fill(&mut self, _ev: &FillEvent) {}
+
+    fn feedback(&mut self, fb: Feedback) {
+        match fb {
+            Feedback::Useful { line } | Feedback::Late { line } => {
+                if let Some(idx) = Self::recall(&mut self.prefetch_table, line.raw()) {
+                    self.train_weights(&idx, true);
+                }
+            }
+            Feedback::Useless { line } => {
+                if let Some(idx) = Self::recall(&mut self.prefetch_table, line.raw()) {
+                    self.train_weights(&idx, false);
+                }
+            }
+            Feedback::DemandMiss { line } => {
+                // We rejected something that was needed: push toward accept.
+                if let Some(idx) = Self::recall(&mut self.reject_table, line.raw()) {
+                    self.train_weights(&idx, true);
+                }
+            }
+        }
+    }
+
+    fn set_timeliness_knob(&mut self, k: u32) {
+        self.skip_k = k.min(5);
+    }
+
+    fn timeliness_knob(&self) -> u32 {
+        self.skip_k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple_access;
+
+    fn drive(p: &mut SppPpf, ip: u64, lines: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (i, &l) in lines.iter().enumerate() {
+            p.observe_access(&simple_access(ip, l, i as u64, false), &mut out);
+        }
+        out.iter().map(|r| r.line.raw()).collect()
+    }
+
+    #[test]
+    fn unit_stride_walks_ahead() {
+        let mut p = SppPpf::new();
+        let lines: Vec<u64> = (0..40).collect();
+        let t = drive(&mut p, 0x8, &lines);
+        assert!(!t.is_empty());
+        assert!(t.iter().all(|&x| x > 2), "targets are ahead of the stream");
+    }
+
+    #[test]
+    fn alternating_deltas_learned() {
+        let mut p = SppPpf::new();
+        // +3, +1, +3, +1 … within a page, repeated over several pages.
+        let mut lines = Vec::new();
+        for page in 0..20u64 {
+            let mut off = 0u64;
+            while off < 56 {
+                lines.push(page * 64 + off);
+                off += 3;
+                lines.push(page * 64 + off);
+                off += 1;
+            }
+        }
+        let t = drive(&mut p, 0x8, &lines);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn lookahead_stops_at_page_boundary() {
+        let mut p = SppPpf::new();
+        let lines: Vec<u64> = (0..64).collect(); // page 0 only
+        let t = drive(&mut p, 0x8, &lines);
+        assert!(t.iter().all(|&x| x < 64), "no cross-page prefetches: {t:?}");
+    }
+
+    #[test]
+    fn skip_k_suppresses_near_prefetches() {
+        let lines: Vec<u64> = (0..60).collect();
+        let mut p0 = SppPpf::new();
+        let t0 = drive(&mut p0, 0x8, &lines);
+        let mut p3 = SppPpf::new();
+        p3.set_timeliness_knob(3);
+        let t3 = drive(&mut p3, 0x8, &lines);
+        assert!(!t0.is_empty() && !t3.is_empty());
+        // Skipping the first k lookahead steps emits strictly fewer
+        // proposals for the same stream.
+        assert!(
+            t3.len() < t0.len(),
+            "skipping emits fewer, farther prefetches"
+        );
+        assert_eq!(p3.timeliness_knob(), 3);
+    }
+
+    #[test]
+    fn ppf_learns_to_reject_useless_streams() {
+        let mut p = SppPpf::new();
+        let mut out = Vec::new();
+        // Train a +1 path and repeatedly mark its prefetches useless.
+        for round in 0..60u64 {
+            for i in 0..32u64 {
+                p.observe_access(
+                    &simple_access(0x8, round * 64 + i, round * 64 + i, false),
+                    &mut out,
+                );
+            }
+            for r in out.drain(..) {
+                p.feedback(Feedback::Useless { line: r.line });
+            }
+        }
+        // After sustained negative feedback the filter clams up.
+        let mut tail = Vec::new();
+        for i in 0..32u64 {
+            p.observe_access(&simple_access(0x8, 10_000 * 64 + i, i, false), &mut tail);
+        }
+        assert!(
+            tail.len() < 8,
+            "perceptron should now reject most proposals (got {})",
+            tail.len()
+        );
+    }
+
+    #[test]
+    fn demand_miss_on_rejected_line_reopens_filter() {
+        let mut p = SppPpf::new();
+        // Push a feature vector's weights down so proposals get rejected.
+        let idx = p.features(0x8, 123, 5, 1, 0, 900);
+        for _ in 0..40 {
+            p.train_weights(&idx, false);
+        }
+        let sum_before = p.perceptron_sum(&idx);
+        SppPpf::remember(&mut p.reject_table, 777, idx);
+        p.feedback(Feedback::DemandMiss {
+            line: LineAddr::new(777),
+        });
+        assert!(p.perceptron_sum(&idx) > sum_before);
+    }
+}

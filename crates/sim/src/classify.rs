@@ -1,0 +1,239 @@
+//! Demand-miss classification (Fig. 6): late / commit-late / missed
+//! opportunity / uncovered.
+//!
+//! The commit-late and missed-opportunity categories are defined relative
+//! to what an *on-access* prefetcher would have done. When the main
+//! prefetcher runs on-commit, a **shadow** copy of the same prefetcher is
+//! trained on the access-time stream; its would-have-issued prefetches
+//! are recorded (never injected into the memory system) and compared
+//! against the on-commit prefetcher's actual issues:
+//!
+//! * demand merged onto an in-flight prefetch → **late** (classic);
+//! * shadow had issued it, actual issues it *after* the miss →
+//!   **commit-late** (the paper's new class);
+//! * shadow had issued it, actual never does → **missed opportunity**;
+//! * otherwise → **uncovered**.
+
+use crate::metrics::MissClassCounts;
+use secpref_prefetch::{AccessEvent, FillEvent, Prefetcher};
+use secpref_types::{Cycle, LineAddr, PrefetchRequest};
+use std::collections::{HashMap, VecDeque};
+
+/// How long after a miss the on-commit prefetcher may still issue the
+/// prefetch for it to count as commit-late rather than missed.
+const RESOLVE_WINDOW: Cycle = 5_000;
+/// Capacity of the issued-line trackers.
+const TRACK_CAP: usize = 8192;
+
+/// A bounded line → cycle map with FIFO aging.
+#[derive(Debug, Default)]
+struct IssueTracker {
+    map: HashMap<LineAddr, Cycle>,
+    order: VecDeque<LineAddr>,
+}
+
+impl IssueTracker {
+    fn insert(&mut self, line: LineAddr, at: Cycle) {
+        if self.map.insert(line, at).is_none() {
+            self.order.push_back(line);
+            if self.order.len() > TRACK_CAP {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn get(&self, line: LineAddr) -> Option<Cycle> {
+        self.map.get(&line).copied()
+    }
+}
+
+/// The Fig. 6 classifier for one core.
+#[derive(Debug)]
+pub struct Classifier {
+    shadow: Box<dyn Prefetcher>,
+    shadow_issued: IssueTracker,
+    actual_issued: IssueTracker,
+    pending: VecDeque<(LineAddr, Cycle)>,
+    counts: MissClassCounts,
+    scratch: Vec<PrefetchRequest>,
+}
+
+impl Classifier {
+    /// Creates a classifier whose shadow is `shadow` (a fresh instance of
+    /// the same prefetcher kind as the main one).
+    pub fn new(shadow: Box<dyn Prefetcher>) -> Self {
+        Classifier {
+            shadow,
+            shadow_issued: IssueTracker::default(),
+            actual_issued: IssueTracker::default(),
+            pending: VecDeque::new(),
+            counts: MissClassCounts::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Feeds the shadow an access-time demand event (the stream an
+    /// on-access prefetcher would see). Its prefetches are recorded, not
+    /// issued.
+    pub fn shadow_access(&mut self, ev: &AccessEvent) {
+        self.scratch.clear();
+        // Split borrows: shadow and scratch are separate fields.
+        let Classifier {
+            shadow,
+            scratch,
+            shadow_issued,
+            ..
+        } = self;
+        shadow.observe_access(ev, scratch);
+        for r in scratch.iter() {
+            shadow_issued.insert(r.line, ev.cycle);
+        }
+    }
+
+    /// Feeds the shadow an access-path fill (real latencies, so Berti-like
+    /// shadows learn properly).
+    pub fn shadow_fill(&mut self, ev: &FillEvent) {
+        self.shadow.observe_fill(ev);
+    }
+
+    /// Notes a prefetch actually issued by the on-commit prefetcher and
+    /// resolves any pending misses on that line as commit-late.
+    pub fn actual_issue(&mut self, line: LineAddr, now: Cycle) {
+        self.actual_issued.insert(line, now);
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].0 == line {
+                self.pending.remove(i);
+                self.counts.commit_late += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Classifies a demand miss at the prefetcher's cache level.
+    /// `merged_with_prefetch` is the MSHR-merge signal (classic late).
+    pub fn demand_miss(&mut self, line: LineAddr, now: Cycle, merged_with_prefetch: bool) {
+        self.resolve_stale(now);
+        if merged_with_prefetch {
+            self.counts.late += 1;
+            return;
+        }
+        match (self.shadow_issued.get(line), self.actual_issued.get(line)) {
+            (Some(shadow_at), None) if shadow_at <= now => {
+                // The on-access prefetcher would have covered it; wait to
+                // see whether on-commit eventually triggers (commit-late)
+                // or never does (missed opportunity).
+                self.pending.push_back((line, now));
+            }
+            (Some(_), Some(_)) => {
+                // Both triggered but the line still missed (prefetch was
+                // dropped or evicted): effectively a late prefetch.
+                self.counts.late += 1;
+            }
+            _ => self.counts.uncovered += 1,
+        }
+    }
+
+    fn resolve_stale(&mut self, now: Cycle) {
+        while let Some(&(_, at)) = self.pending.front() {
+            if at + RESOLVE_WINDOW < now {
+                self.pending.pop_front();
+                self.counts.missed_opportunity += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Final counts; drains still-pending misses as missed opportunities.
+    pub fn finish(mut self) -> MissClassCounts {
+        self.counts.missed_opportunity += self.pending.len() as u64;
+        self.counts
+    }
+
+    /// Counts so far (without draining pending entries).
+    pub fn counts(&self) -> MissClassCounts {
+        self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secpref_prefetch::NullPrefetcher;
+
+    fn la(x: u64) -> LineAddr {
+        LineAddr::new(x)
+    }
+
+    fn classifier() -> Classifier {
+        Classifier::new(Box::new(NullPrefetcher))
+    }
+
+    #[test]
+    fn merge_is_late() {
+        let mut c = classifier();
+        c.demand_miss(la(1), 100, true);
+        assert_eq!(c.counts().late, 1);
+    }
+
+    #[test]
+    fn shadow_only_then_actual_is_commit_late() {
+        let mut c = classifier();
+        c.shadow_issued.insert(la(5), 50);
+        c.demand_miss(la(5), 100, false);
+        assert_eq!(c.counts().total(), 0, "classification deferred");
+        c.actual_issue(la(5), 300);
+        assert_eq!(c.counts().commit_late, 1);
+    }
+
+    #[test]
+    fn shadow_only_never_actual_is_missed_opportunity() {
+        let mut c = classifier();
+        c.shadow_issued.insert(la(5), 50);
+        c.demand_miss(la(5), 100, false);
+        // Another miss far in the future forces stale resolution.
+        c.demand_miss(la(9), 100 + RESOLVE_WINDOW + 1, false);
+        assert_eq!(c.counts().missed_opportunity, 1);
+        assert_eq!(c.counts().uncovered, 1);
+    }
+
+    #[test]
+    fn neither_is_uncovered() {
+        let mut c = classifier();
+        c.demand_miss(la(7), 10, false);
+        assert_eq!(c.counts().uncovered, 1);
+    }
+
+    #[test]
+    fn both_issued_but_missed_is_late() {
+        let mut c = classifier();
+        c.shadow_issued.insert(la(5), 50);
+        c.actual_issue(la(5), 60);
+        c.demand_miss(la(5), 100, false);
+        assert_eq!(c.counts().late, 1);
+    }
+
+    #[test]
+    fn finish_drains_pending_as_missed() {
+        let mut c = classifier();
+        c.shadow_issued.insert(la(5), 50);
+        c.demand_miss(la(5), 100, false);
+        let counts = c.finish();
+        assert_eq!(counts.missed_opportunity, 1);
+    }
+
+    #[test]
+    fn tracker_bounded() {
+        let mut t = IssueTracker::default();
+        for i in 0..(TRACK_CAP as u64 + 100) {
+            t.insert(la(i), i);
+        }
+        assert!(t.map.len() <= TRACK_CAP);
+        assert!(t.get(la(0)).is_none(), "oldest entries age out");
+        assert!(t.get(la(TRACK_CAP as u64 + 99)).is_some());
+    }
+}

@@ -1,0 +1,84 @@
+//! Dynamic-energy model of the memory hierarchy (Fig. 14).
+//!
+//! The paper uses CACTI-P and the Micron DRAM power calculator at 7 nm.
+//! Fig. 14 reports *normalized* dynamic energy, which depends only on the
+//! per-access energy ratios between structures; we use fixed per-access
+//! constants in the CACTI-7nm ballpark (documented in DESIGN.md §4).
+
+use crate::metrics::CoreMetrics;
+
+/// Per-access dynamic energy in picojoules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// GM access (tiny fully-associative array).
+    pub gm_pj: f64,
+    /// L1D access.
+    pub l1d_pj: f64,
+    /// L2 access.
+    pub l2_pj: f64,
+    /// LLC access.
+    pub llc_pj: f64,
+    /// DRAM line transfer.
+    pub dram_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        // CACTI-P-style 7 nm ballpark: each level roughly 4-5× the
+        // previous, DRAM ~20× the LLC.
+        EnergyModel {
+            gm_pj: 1.2,
+            l1d_pj: 6.0,
+            l2_pj: 28.0,
+            llc_pj: 110.0,
+            dram_pj: 2200.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Total dynamic energy (in nanojoules) implied by a core's traffic.
+    pub fn dynamic_energy_nj(&self, m: &CoreMetrics) -> f64 {
+        let pj = m.gm_accesses as f64 * self.gm_pj
+            + m.l1d.total_accesses() as f64 * self.l1d_pj
+            + m.l2.total_accesses() as f64 * self.l2_pj
+            + m.llc.total_accesses() as f64 * self.llc_pj
+            + m.dram_accesses as f64 * self.dram_pj;
+        pj / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_with_traffic() {
+        let e = EnergyModel::default();
+        let mut a = CoreMetrics::default();
+        a.l1d.demand_accesses = 1000;
+        let mut b = a.clone();
+        b.l1d.demand_accesses = 2000;
+        assert!(e.dynamic_energy_nj(&b) > e.dynamic_energy_nj(&a));
+    }
+
+    #[test]
+    fn dram_dominates_equal_counts() {
+        let e = EnergyModel::default();
+        let mut cache_heavy = CoreMetrics::default();
+        cache_heavy.l1d.demand_accesses = 100;
+        let dram_heavy = CoreMetrics {
+            dram_accesses: 100,
+            ..CoreMetrics::default()
+        };
+        assert!(e.dynamic_energy_nj(&dram_heavy) > 10.0 * e.dynamic_energy_nj(&cache_heavy));
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        let e = EnergyModel::default();
+        assert!(
+            e.gm_pj < e.l1d_pj && e.l1d_pj < e.l2_pj && e.l2_pj < e.llc_pj && e.llc_pj < e.dram_pj
+        );
+    }
+}

@@ -1,0 +1,1198 @@
+//! The full memory system: per-core GM + L1D + L2, a shared LLC and DRAM,
+//! the GhostMinion commit engine, prefetcher integration, and the Fig. 6
+//! classifier — driven by a cycle-ordered event queue.
+//!
+//! ## Request flows
+//!
+//! **Speculative demand load (GhostMinion).** The GM and L1D are probed in
+//! parallel without touching replacement state; on a miss the request
+//! allocates MSHRs level by level (contending for ports) and the response
+//! fills **only the GM**, recording the 2-bit hit level for SUF.
+//!
+//! **Commit path.** When a load retires, the [`UpdateFilter`] decides
+//! between dropping the update (SUF), an on-commit write (GM hit → L1D
+//! fill with writeback bits), or a re-fetch walking the hierarchy. Clean
+//! lines later propagate outward on eviction if their writeback bit says
+//! so.
+//!
+//! **Prefetches** are injected at the L1D or L2, drop on duplicates, fill
+//! with the `prefetched` bit set, and report useful/late/useless outcomes
+//! back to the prefetcher.
+
+use crate::classify::Classifier;
+use crate::metrics::CoreMetrics;
+use secpref_cpu::LoadIssue;
+use secpref_ghostminion::{CommitAction, GmCache, UpdateFilter, WbBits};
+use secpref_mem::{
+    DramModel, DramRequest, FillAttrs, MshrFile, MshrToken, PortScheduler, SetAssocCache, Tlb,
+};
+use secpref_prefetch::{AccessEvent, Feedback, FillEvent, Prefetcher};
+use secpref_types::{
+    AccessKind, CacheConfig, CacheLevel, CoreId, Cycle, FillInfo, HitLevel, Ip, LineAddr,
+    PrefetchMode, PrefetchRequest, PrefetcherKind, SystemConfig,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+const EV_ACCESS: u8 = 0;
+const EV_RESPONSE: u8 = 1;
+/// Maximum in-flight prefetch requests per core (prefetch queue depth);
+/// excess proposals are dropped at injection.
+const PF_QUEUE_DEPTH: usize = 48;
+/// Recently-injected prefetch lines remembered for injection-time dedup.
+const PF_RECENT: usize = 64;
+/// Retry bound: a request stuck this long indicates a livelock bug.
+const MAX_RETRIES: u32 = 1_000_000;
+/// Prefetch requests accepted per training event.
+const MAX_PF_PER_EVENT: usize = 16;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ReqKind {
+    Load,
+    Store,
+    Prefetch,
+    Refetch,
+    CommitWrite,
+    CleanProp,
+    DirtyWb,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Req {
+    core: CoreId,
+    line: LineAddr,
+    ip: Ip,
+    kind: ReqKind,
+    lq: u32,
+    gen: u32,
+    ts: u64,
+    wrong_path: bool,
+    issued_at: Cycle,
+    /// 0 = L1D, 1 = L2, 2 = LLC, 3 = DRAM.
+    cur_level: u8,
+    path: [Option<MshrToken>; 3],
+    merged_prefetch: bool,
+    hit_prefetched: bool,
+    hit_pf_latency: u32,
+    hit_level: HitLevel,
+    retries: u32,
+    /// Prefetch fills into L1D (true) or stops at L2 (false).
+    pf_fill_l1: bool,
+    wb: WbBits,
+    /// CleanProp: the wb bit the line carries at its destination.
+    wb_next_fill: bool,
+    /// Load still holds an L1D input-queue slot (released at first grant).
+    holds_l1_slot: bool,
+    /// Metrics for the current level access were already recorded.
+    counted: bool,
+    /// Parked waiting for MSHR space (retries skip the port).
+    waiting_mshr: bool,
+    alive: bool,
+}
+
+struct LevelState {
+    cache: SetAssocCache,
+    mshr: MshrFile,
+    ports: PortScheduler,
+    waiting: HashMap<MshrToken, Vec<u32>>,
+    latency: Cycle,
+}
+
+fn replacement(cfg: &CacheConfig) -> secpref_mem::ReplacementKind {
+    match cfg.replacement {
+        secpref_types::config::ReplacementChoice::Lru => secpref_mem::ReplacementKind::Lru,
+        secpref_types::config::ReplacementChoice::Srrip => secpref_mem::ReplacementKind::Srrip,
+        secpref_types::config::ReplacementChoice::Random => secpref_mem::ReplacementKind::Random,
+    }
+}
+
+impl LevelState {
+    fn new(cfg: &CacheConfig) -> Self {
+        LevelState {
+            cache: SetAssocCache::with_policy(cfg.sets(), cfg.ways, replacement(cfg)),
+            mshr: MshrFile::new(cfg.mshrs),
+            ports: PortScheduler::new(cfg.ports_per_cycle),
+            waiting: HashMap::new(),
+            latency: cfg.latency,
+        }
+    }
+}
+
+/// The simulated memory system shared by all cores.
+pub struct Hierarchy {
+    cfg: SystemConfig,
+    secure: bool,
+    on_commit: bool,
+    gm: Vec<GmCache>,
+    l1d: Vec<LevelState>,
+    l2: Vec<LevelState>,
+    llc: LevelState,
+    dram: DramModel,
+    filter: Box<dyn UpdateFilter>,
+    prefetchers: Vec<Box<dyn Prefetcher>>,
+    classifiers: Vec<Option<Classifier>>,
+    reqs: Vec<Req>,
+    free: Vec<u32>,
+    events: BinaryHeap<Reverse<(Cycle, u64, u32, u8)>>,
+    seq: u64,
+    /// Completed demand loads, drained by the system each cycle:
+    /// (core, lq, gen, fill).
+    pub completions: Vec<(CoreId, u32, u32, FillInfo)>,
+    /// Per-core metrics.
+    pub metrics: Vec<CoreMetrics>,
+    tlbs: Vec<Option<Tlb>>,
+    l1_inflight: Vec<usize>,
+    commit_count: Vec<u64>,
+    pf_scratch: Vec<PrefetchRequest>,
+    pf_outstanding: Vec<usize>,
+    pf_recent: Vec<[LineAddr; PF_RECENT]>,
+    pf_recent_head: Vec<usize>,
+    now: Cycle,
+}
+
+impl std::fmt::Debug for Hierarchy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hierarchy")
+            .field("cores", &self.cfg.cores)
+            .field("secure", &self.secure)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl Hierarchy {
+    /// Builds the memory system for `cfg`, with the given per-core
+    /// prefetchers, update filter, and optional classifiers.
+    pub fn new(
+        cfg: SystemConfig,
+        prefetchers: Vec<Box<dyn Prefetcher>>,
+        filter: Box<dyn UpdateFilter>,
+        classifiers: Vec<Option<Classifier>>,
+    ) -> Self {
+        assert_eq!(prefetchers.len(), cfg.cores);
+        assert_eq!(classifiers.len(), cfg.cores);
+        let cores = cfg.cores;
+        Hierarchy {
+            secure: cfg.secure.is_secure(),
+            on_commit: cfg.prefetch_mode == PrefetchMode::OnCommit,
+            gm: (0..cores).map(|_| GmCache::new(cfg.gm.lines())).collect(),
+            l1d: (0..cores).map(|_| LevelState::new(&cfg.l1d)).collect(),
+            l2: (0..cores).map(|_| LevelState::new(&cfg.l2)).collect(),
+            llc: LevelState::new(&cfg.llc),
+            dram: DramModel::new(cfg.dram.clone()),
+            filter,
+            prefetchers,
+            classifiers,
+            reqs: Vec::with_capacity(4096),
+            free: Vec::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            completions: Vec::new(),
+            metrics: vec![CoreMetrics::default(); cores],
+            tlbs: (0..cores)
+                .map(|_| {
+                    cfg.tlb.enabled.then(|| {
+                        Tlb::new(
+                            cfg.tlb.l1_entries,
+                            cfg.tlb.l1_ways,
+                            cfg.tlb.l1_latency,
+                            cfg.tlb.stlb_entries,
+                            cfg.tlb.stlb_ways,
+                            cfg.tlb.stlb_latency,
+                            cfg.tlb.walk_latency,
+                        )
+                    })
+                })
+                .collect(),
+            l1_inflight: vec![0; cores],
+            commit_count: vec![0; cores],
+            pf_scratch: Vec::new(),
+            pf_outstanding: vec![0; cores],
+            pf_recent: vec![[LineAddr::new(u64::MAX); PF_RECENT]; cores],
+            pf_recent_head: vec![0; cores],
+            cfg,
+            now: 0,
+        }
+    }
+
+    /// Whether this system has an L1 prefetcher (vs an L2 one).
+    fn pf_is_l1(&self) -> bool {
+        self.cfg.prefetcher.is_l1_prefetcher()
+    }
+
+    fn alloc_req(&mut self, req: Req) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.reqs[id as usize] = req;
+            id
+        } else {
+            self.reqs.push(req);
+            (self.reqs.len() - 1) as u32
+        }
+    }
+
+    fn free_req(&mut self, rid: u32) {
+        let req = &mut self.reqs[rid as usize];
+        req.alive = false;
+        if matches!(req.kind, ReqKind::Prefetch) {
+            let core = req.core;
+            self.pf_outstanding[core] = self.pf_outstanding[core].saturating_sub(1);
+        }
+        self.free.push(rid);
+    }
+
+    fn schedule(&mut self, at: Cycle, rid: u32, kind: u8) {
+        self.seq += 1;
+        self.events.push(Reverse((at, self.seq, rid, kind)));
+    }
+
+    fn blank_req(core: CoreId, line: LineAddr, ip: Ip, kind: ReqKind, now: Cycle) -> Req {
+        Req {
+            core,
+            line,
+            ip,
+            kind,
+            lq: 0,
+            gen: 0,
+            ts: 0,
+            wrong_path: false,
+            issued_at: now,
+            cur_level: 0,
+            path: [None; 3],
+            merged_prefetch: false,
+            hit_prefetched: false,
+            hit_pf_latency: 0,
+            hit_level: HitLevel::L1d,
+            retries: 0,
+            pf_fill_l1: true,
+            wb: WbBits::ALL,
+            wb_next_fill: false,
+            holds_l1_slot: false,
+            counted: false,
+            waiting_mshr: false,
+            alive: true,
+        }
+    }
+
+    /// Core-facing load issue (the [`secpref_cpu::LoadPort`] entry point).
+    /// Returns `false` when the L1D input queue is full (backpressure).
+    pub fn issue_load(&mut self, now: Cycle, issue: LoadIssue) -> bool {
+        if self.l1_inflight[issue.core] >= self.cfg.l1d.queue_depth {
+            return false;
+        }
+        self.l1_inflight[issue.core] += 1;
+        let mut req = Self::blank_req(issue.core, issue.addr.line(), issue.ip, ReqKind::Load, now);
+        req.lq = issue.lq_id;
+        req.gen = issue.gen;
+        req.ts = issue.ts;
+        req.wrong_path = issue.wrong_path;
+        req.holds_l1_slot = true;
+        if issue.wrong_path {
+            self.metrics[issue.core].wrong_path_loads += 1;
+        }
+        let rid = self.alloc_req(req);
+        // Address translation happens before the cache access: the TLB
+        // adds latency (1 cycle when it hits the dTLB).
+        let at = now + self.translate(issue.core, issue.addr);
+        self.schedule(at, rid, EV_ACCESS);
+        true
+    }
+
+    /// Translation latency for `addr` on `core` (0 when TLBs are off).
+    fn translate(&mut self, core: CoreId, addr: secpref_types::Addr) -> Cycle {
+        match &mut self.tlbs[core] {
+            Some(tlb) => tlb.translate(addr).1,
+            None => 0,
+        }
+    }
+
+    /// TLB statistics for `core`, if TLB modelling is enabled.
+    pub fn tlb_stats(&self, core: CoreId) -> Option<secpref_mem::tlb::TlbStats> {
+        self.tlbs[core].as_ref().map(|t| t.stats())
+    }
+
+    /// Issues the non-speculative write of a retired store.
+    pub fn issue_store(&mut self, now: Cycle, core: CoreId, ip: Ip, line: LineAddr, ts: u64) {
+        let mut req = Self::blank_req(core, line, ip, ReqKind::Store, now);
+        req.ts = ts;
+        let rid = self.alloc_req(req);
+        self.schedule(now, rid, EV_ACCESS);
+    }
+
+    /// Advances the memory system to `now`: ticks DRAM and processes all
+    /// events due at or before `now`.
+    pub fn tick(&mut self, now: Cycle) {
+        self.now = now;
+        let mut done = Vec::new();
+        self.dram.tick(now, &mut done);
+        for (rid, _) in done {
+            let rid = rid as u32;
+            let req = &mut self.reqs[rid as usize];
+            req.hit_level = HitLevel::Dram;
+            self.schedule(now, rid, EV_RESPONSE);
+        }
+        while let Some(&Reverse((at, _, rid, kind))) = self.events.peek() {
+            if at > now {
+                break;
+            }
+            self.events.pop();
+            if !self.reqs[rid as usize].alive {
+                continue;
+            }
+            match kind {
+                EV_ACCESS => self.on_access(now, rid),
+                _ => self.on_response(now, rid),
+            }
+        }
+        // MSHR occupancy statistics.
+        for c in 0..self.cfg.cores {
+            let m = &mut self.metrics[c];
+            m.l1d.mshr_occupancy_integral += self.l1d[c].mshr.occupancy() as u64;
+            m.l1d.mshr_full_cycles += self.l1d[c].mshr.is_full() as u64;
+            m.l2.mshr_occupancy_integral += self.l2[c].mshr.occupancy() as u64;
+            m.l2.mshr_full_cycles += self.l2[c].mshr.is_full() as u64;
+        }
+    }
+
+    /// Resets the metrics at the warm-up boundary (caches stay warm).
+    pub fn reset_metrics(&mut self) {
+        for m in &mut self.metrics {
+            *m = CoreMetrics::default();
+        }
+    }
+
+    fn level_metrics(&mut self, core: CoreId, lvl: u8) -> &mut crate::metrics::LevelMetrics {
+        match lvl {
+            0 => &mut self.metrics[core].l1d,
+            1 => &mut self.metrics[core].l2,
+            _ => &mut self.metrics[core].llc,
+        }
+    }
+
+    fn access_kind(kind: ReqKind) -> AccessKind {
+        match kind {
+            ReqKind::Load => AccessKind::Load,
+            ReqKind::Store => AccessKind::Store,
+            ReqKind::Prefetch => AccessKind::Prefetch,
+            ReqKind::Refetch => AccessKind::Refetch,
+            ReqKind::CommitWrite => AccessKind::CommitWrite,
+            ReqKind::CleanProp => AccessKind::Writeback,
+            ReqKind::DirtyWb => AccessKind::Writeback,
+        }
+    }
+
+    fn retry(&mut self, now: Cycle, rid: u32) {
+        let req = &mut self.reqs[rid as usize];
+        req.retries += 1;
+        assert!(
+            req.retries < MAX_RETRIES,
+            "request livelocked: {:?} at level {}",
+            req.kind,
+            req.cur_level
+        );
+        self.schedule(now + 1, rid, EV_ACCESS);
+    }
+
+    fn on_access(&mut self, now: Cycle, rid: u32) {
+        let req = self.reqs[rid as usize];
+        if req.cur_level == 3 {
+            self.access_dram(now, rid);
+            return;
+        }
+        let core = req.core;
+        let lvl = req.cur_level;
+        // A request parked on a full MSHR file waits without consuming
+        // lookup bandwidth (it sits in the input queue in hardware).
+        if req.waiting_mshr {
+            let full = match lvl {
+                0 => self.l1d[core].mshr.is_full(),
+                1 => self.l2[core].mshr.is_full(),
+                _ => self.llc.mshr.is_full(),
+            };
+            if full {
+                self.retry(now, rid);
+                return;
+            }
+            self.reqs[rid as usize].waiting_mshr = false;
+        }
+        // Port arbitration at this level; prefetches yield to demands.
+        let low_priority = matches!(req.kind, ReqKind::Prefetch);
+        let ports = match lvl {
+            0 => &mut self.l1d[core].ports,
+            1 => &mut self.l2[core].ports,
+            _ => &mut self.llc.ports,
+        };
+        let granted = if low_priority {
+            ports.try_acquire_low_priority(now)
+        } else {
+            ports.try_acquire(now)
+        };
+        if !granted {
+            self.level_metrics(core, lvl).port_stalls += 1;
+            self.retry(now, rid);
+            return;
+        }
+        if req.holds_l1_slot {
+            self.l1_inflight[core] = self.l1_inflight[core].saturating_sub(1);
+            self.reqs[rid as usize].holds_l1_slot = false;
+        }
+        if !req.counted {
+            self.level_metrics(core, lvl)
+                .record_access(Self::access_kind(req.kind));
+            self.reqs[rid as usize].counted = true;
+        }
+
+        match req.kind {
+            ReqKind::CommitWrite => {
+                // GM → L1D transfer: fill with the filter's wb bits.
+                self.fill_cache(
+                    now,
+                    core,
+                    0,
+                    req.line,
+                    FillAttrs {
+                        dirty: false,
+                        prefetched: false,
+                        wb_bit: req.wb.l1_to_l2,
+                        wb_next: req.wb.l2_to_llc,
+                        fetch_latency: 0,
+                    },
+                );
+                // On-commit L1 prefetchers observe the (misleading)
+                // 1-cycle commit-write fill latency.
+                self.pf_fill_event(core, true, req.line, req.ip, now + 1, 1, false);
+                self.free_req(rid);
+            }
+            ReqKind::CleanProp | ReqKind::DirtyWb => {
+                let target = req.cur_level;
+                self.fill_cache(
+                    now,
+                    core,
+                    target,
+                    req.line,
+                    FillAttrs {
+                        dirty: matches!(req.kind, ReqKind::DirtyWb),
+                        prefetched: false,
+                        wb_bit: req.wb_next_fill,
+                        wb_next: false,
+                        fetch_latency: 0,
+                    },
+                );
+                self.free_req(rid);
+            }
+            ReqKind::Load | ReqKind::Store | ReqKind::Prefetch | ReqKind::Refetch => {
+                self.access_cache_level(now, rid);
+            }
+        }
+    }
+
+    /// Demand/prefetch/refetch lookup at L1D/L2/LLC.
+    fn access_cache_level(&mut self, now: Cycle, rid: u32) {
+        let req = self.reqs[rid as usize];
+        let core = req.core;
+        let lvl = req.cur_level;
+        let is_demand = matches!(req.kind, ReqKind::Load | ReqKind::Store);
+        let speculative = self.secure && matches!(req.kind, ReqKind::Load);
+
+        // GhostMinion: speculative loads probe the GM in parallel with L1D.
+        if lvl == 0 && speculative {
+            self.metrics[core].gm_accesses += 1;
+            if self.gm[core].lookup(req.line, req.ts).is_some() {
+                self.observe_demand_l1(now, rid, true, false, 0);
+                let r = &mut self.reqs[rid as usize];
+                r.hit_level = HitLevel::L1d;
+                self.schedule(now + 1, rid, EV_RESPONSE); // 1-cycle GM
+                return;
+            }
+        }
+
+        let (hit, was_prefetched, pf_latency) = {
+            let level = match lvl {
+                0 => &mut self.l1d[core],
+                1 => &mut self.l2[core],
+                _ => &mut self.llc,
+            };
+            if speculative {
+                // No replacement-state update for speculative accesses.
+                match level.cache.probe(req.line) {
+                    Some(meta) => (true, meta.prefetched, meta.fetch_latency),
+                    None => (false, false, 0),
+                }
+            } else if level.cache.touch(req.line).is_some() {
+                let (was_pf, lat) = level.cache.mark_demand_use(req.line).unwrap_or((false, 0));
+                // Prefetch requests must not clear the prefetched bit.
+                if matches!(req.kind, ReqKind::Prefetch) {
+                    (true, false, 0)
+                } else {
+                    if matches!(req.kind, ReqKind::Store) {
+                        level.cache.set_dirty(req.line);
+                    }
+                    (true, was_pf, lat)
+                }
+            } else {
+                (false, false, 0)
+            }
+        };
+        if speculative && hit {
+            // Statistics-only: record first demand use of prefetched lines.
+            let (was_pf2, lat2) = self.l1d[core]
+                .cache
+                .mark_demand_use(req.line)
+                .unwrap_or((false, 0));
+            let _ = (was_pf2, lat2);
+        }
+
+        // Prefetcher useful-feedback on demand hit to a prefetched line.
+        let pf_here = (lvl == 0) == self.pf_is_l1();
+        if hit && is_demand && was_prefetched && pf_here {
+            self.metrics[core].prefetch.useful += 1;
+            self.feedback(core, Feedback::Useful { line: req.line });
+        }
+        // Demand observation for on-access prefetchers and the shadow.
+        if is_demand && lvl == 0 {
+            self.observe_demand_l1(now, rid, hit, was_prefetched, pf_latency);
+        } else if is_demand && lvl == 1 {
+            self.observe_demand_l2(now, rid, hit);
+        }
+
+        // A prefetch may be dropped only before it has allocated any MSHR;
+        // afterwards it must run to completion or it would leak entries.
+        let committed = req.path.iter().any(Option::is_some);
+        if hit {
+            match req.kind {
+                ReqKind::Prefetch if !committed => {
+                    // Already resident at its origin level: drop.
+                    self.metrics[core].prefetch.dropped_duplicate += 1;
+                    self.free_req(rid);
+                }
+                _ => {
+                    let lat = match lvl {
+                        0 => self.l1d[core].latency,
+                        1 => self.l2[core].latency,
+                        _ => self.llc.latency,
+                    };
+                    let r = &mut self.reqs[rid as usize];
+                    r.hit_level = HitLevel::from_level(match lvl {
+                        0 => CacheLevel::L1d,
+                        1 => CacheLevel::L2,
+                        _ => CacheLevel::Llc,
+                    });
+                    r.hit_prefetched = was_prefetched;
+                    r.hit_pf_latency = pf_latency;
+                    self.schedule(now + lat, rid, EV_RESPONSE);
+                }
+            }
+            return;
+        }
+
+        // Miss: merge or allocate an MSHR.
+        let demandish = !matches!(req.kind, ReqKind::Prefetch);
+        let merge_result = {
+            let level = match lvl {
+                0 => &mut self.l1d[core],
+                1 => &mut self.l2[core],
+                _ => &mut self.llc,
+            };
+            level.mshr.find(req.line).map(|(t, e)| (t, e.is_prefetch))
+        };
+        if let Some((token, in_flight_is_pf)) = merge_result {
+            if matches!(req.kind, ReqKind::Prefetch) && !committed {
+                self.metrics[core].prefetch.dropped_duplicate += 1;
+                self.free_req(rid);
+                return;
+            }
+            {
+                let level = match lvl {
+                    0 => &mut self.l1d[core],
+                    1 => &mut self.l2[core],
+                    _ => &mut self.llc,
+                };
+                level.mshr.merge(req.line, demandish, req.ts);
+                level.waiting.entry(token).or_default().push(rid);
+            }
+            // Merging onto an in-flight *demand* is a hit-under-miss, not
+            // a new miss; merging onto a *prefetch* is the paper's "late
+            // prefetch" and counts as a demand miss (Fig. 6).
+            if is_demand && in_flight_is_pf {
+                self.count_demand_miss(now, rid, lvl, true);
+            }
+            if in_flight_is_pf && is_demand && pf_here {
+                self.metrics[core].prefetch.late += 1;
+                self.reqs[rid as usize].merged_prefetch = true;
+                self.feedback(core, Feedback::Late { line: req.line });
+            }
+            return;
+        }
+        let full = match lvl {
+            0 => self.l1d[core].mshr.is_full(),
+            1 => self.l2[core].mshr.is_full(),
+            _ => self.llc.mshr.is_full(),
+        };
+        if full {
+            self.level_metrics(core, lvl).mshr_full_stalls += 1;
+            if matches!(req.kind, ReqKind::Prefetch) && !committed {
+                self.metrics[core].prefetch.dropped_resources += 1;
+                self.free_req(rid);
+            } else {
+                self.reqs[rid as usize].waiting_mshr = true;
+                self.retry(now, rid);
+            }
+            return;
+        }
+        // Allocate and descend.
+        let is_pf = matches!(req.kind, ReqKind::Prefetch);
+        let token = {
+            let level = match lvl {
+                0 => &mut self.l1d[core],
+                1 => &mut self.l2[core],
+                _ => &mut self.llc,
+            };
+            level
+                .mshr
+                .alloc(req.line, is_pf, now, if is_pf { u64::MAX } else { req.ts })
+                .expect("checked not-full, no existing entry")
+        };
+        if is_demand {
+            self.count_demand_miss(now, rid, lvl, false);
+        }
+        if is_pf {
+            self.metrics[core].prefetch.issued += 1;
+        }
+        let lat = match lvl {
+            0 => self.l1d[core].latency,
+            1 => self.l2[core].latency,
+            _ => self.llc.latency,
+        };
+        let r = &mut self.reqs[rid as usize];
+        r.path[lvl as usize] = Some(token);
+        r.cur_level = lvl + 1;
+        r.counted = false;
+        self.schedule(now + lat, rid, EV_ACCESS);
+    }
+
+    fn access_dram(&mut self, now: Cycle, rid: u32) {
+        let req = self.reqs[rid as usize];
+        self.metrics[req.core].dram_accesses += 1;
+        let dram_req = DramRequest {
+            line: req.line,
+            is_write: matches!(req.kind, ReqKind::DirtyWb),
+            token: rid as u64,
+            arrival: now,
+        };
+        match self.dram.enqueue(dram_req) {
+            Ok(()) => {
+                if matches!(req.kind, ReqKind::DirtyWb) {
+                    self.free_req(rid); // writes complete silently
+                }
+                // Reads resolve via dram.tick → EV_RESPONSE.
+            }
+            Err(_) => {
+                self.metrics[req.core].dram_accesses -= 1;
+                self.retry(now, rid);
+            }
+        }
+    }
+
+    fn count_demand_miss(&mut self, now: Cycle, rid: u32, lvl: u8, merged_onto_pf: bool) {
+        let req = self.reqs[rid as usize];
+        self.level_metrics(req.core, lvl).demand_misses += 1;
+        let pf_here = (lvl == 0) == self.pf_is_l1();
+        if pf_here {
+            self.feedback(req.core, Feedback::DemandMiss { line: req.line });
+            if let Some(c) = self.classifiers[req.core].as_mut() {
+                c.demand_miss(req.line, now, merged_onto_pf);
+            }
+        }
+    }
+
+    /// Demand-access observation at L1D: on-access prefetcher training
+    /// (L1 prefetchers) plus the always-on shadow.
+    fn observe_demand_l1(
+        &mut self,
+        now: Cycle,
+        rid: u32,
+        hit: bool,
+        hit_prefetched: bool,
+        pf_latency: u32,
+    ) {
+        if !self.pf_is_l1() || self.cfg.prefetcher == PrefetcherKind::None {
+            return;
+        }
+        let req = self.reqs[rid as usize];
+        let ev = AccessEvent {
+            ip: req.ip,
+            line: req.line,
+            cycle: now,
+            hit,
+            access_cycle: now,
+            fetch_latency: if hit_prefetched { pf_latency } else { 0 },
+            hit_prefetched,
+            mshr_free: self.l1d[req.core].mshr.capacity() - self.l1d[req.core].mshr.occupancy(),
+        };
+        if let Some(c) = self.classifiers[req.core].as_mut() {
+            c.shadow_access(&ev);
+        }
+        if !self.on_commit {
+            self.train_and_inject(now, req.core, &ev);
+        }
+    }
+
+    fn observe_demand_l2(&mut self, now: Cycle, rid: u32, hit: bool) {
+        if self.pf_is_l1() || self.cfg.prefetcher == PrefetcherKind::None {
+            return;
+        }
+        let req = self.reqs[rid as usize];
+        let ev = AccessEvent {
+            ip: req.ip,
+            line: req.line,
+            cycle: now,
+            hit,
+            access_cycle: now,
+            fetch_latency: 0,
+            hit_prefetched: false,
+            mshr_free: self.l2[req.core].mshr.capacity() - self.l2[req.core].mshr.occupancy(),
+        };
+        if let Some(c) = self.classifiers[req.core].as_mut() {
+            c.shadow_access(&ev);
+        }
+        if !self.on_commit {
+            self.train_and_inject(now, req.core, &ev);
+        }
+    }
+
+    fn train_and_inject(&mut self, now: Cycle, core: CoreId, ev: &AccessEvent) {
+        let mut scratch = std::mem::take(&mut self.pf_scratch);
+        scratch.clear();
+        self.prefetchers[core].observe_access(ev, &mut scratch);
+        scratch.truncate(MAX_PF_PER_EVENT);
+        for pf in scratch.iter() {
+            self.inject_prefetch(now, core, *pf);
+        }
+        self.pf_scratch = scratch;
+    }
+
+    fn inject_prefetch(&mut self, now: Cycle, core: CoreId, pf: PrefetchRequest) {
+        self.metrics[core].prefetch.proposed += 1;
+        if let Some(c) = self.classifiers[core].as_mut() {
+            c.actual_issue(pf.line, now);
+        }
+        // Injection-time dedup: the same target proposed again while it is
+        // still fresh (resident, in flight, or queued) is dropped without
+        // burning a cache port on discovering the duplicate.
+        if self.pf_recent[core].contains(&pf.line) {
+            self.metrics[core].prefetch.dropped_duplicate += 1;
+            return;
+        }
+        // Prefetch-queue depth: a full PQ drops further proposals.
+        if self.pf_outstanding[core] >= PF_QUEUE_DEPTH {
+            self.metrics[core].prefetch.dropped_resources += 1;
+            return;
+        }
+        let head = self.pf_recent_head[core];
+        self.pf_recent[core][head] = pf.line;
+        self.pf_recent_head[core] = (head + 1) % PF_RECENT;
+        self.pf_outstanding[core] += 1;
+        let mut req = Self::blank_req(core, pf.line, pf.trigger_ip, ReqKind::Prefetch, now);
+        req.pf_fill_l1 = pf.fill_level == CacheLevel::L1d;
+        req.cur_level = if self.pf_is_l1() && req.pf_fill_l1 {
+            0
+        } else {
+            1
+        };
+        let rid = self.alloc_req(req);
+        self.schedule(now, rid, EV_ACCESS);
+    }
+
+    fn feedback(&mut self, core: CoreId, fb: Feedback) {
+        self.prefetchers[core].feedback(fb);
+    }
+
+    /// L1-level fill event for on-commit L1 prefetchers (commit writes and
+    /// re-fetch fills) and access-path fills for on-access mode / shadows.
+    #[allow(clippy::too_many_arguments)]
+    fn pf_fill_event(
+        &mut self,
+        core: CoreId,
+        commit_path: bool,
+        line: LineAddr,
+        ip: Ip,
+        at: Cycle,
+        latency: u32,
+        by_prefetch: bool,
+    ) {
+        if !self.pf_is_l1() || self.cfg.prefetcher == PrefetcherKind::None {
+            return;
+        }
+        let ev = FillEvent {
+            line,
+            ip,
+            cycle: at,
+            latency,
+            by_prefetch,
+        };
+        if commit_path {
+            if self.on_commit {
+                self.prefetchers[core].observe_fill(&ev);
+            }
+        } else {
+            if let Some(c) = self.classifiers[core].as_mut() {
+                c.shadow_fill(&ev);
+            }
+            if !self.on_commit {
+                self.prefetchers[core].observe_fill(&ev);
+            }
+        }
+    }
+
+    fn fill_cache(&mut self, now: Cycle, core: CoreId, lvl: u8, line: LineAddr, attrs: FillAttrs) {
+        let evicted = {
+            let level = match lvl {
+                0 => &mut self.l1d[core],
+                1 => &mut self.l2[core],
+                _ => &mut self.llc,
+            };
+            level.cache.fill(line, attrs)
+        };
+        if let Some(ev) = evicted {
+            self.handle_eviction(now, core, lvl, ev);
+        }
+    }
+
+    fn handle_eviction(&mut self, now: Cycle, core: CoreId, lvl: u8, ev: secpref_mem::EvictedLine) {
+        // Useless-prefetch accounting at the prefetcher's level.
+        let pf_here = (lvl == 0) == self.pf_is_l1();
+        if ev.prefetched && pf_here && lvl <= 1 {
+            self.metrics[core].prefetch.useless += 1;
+            self.feedback(core, Feedback::Useless { line: ev.line });
+        }
+        match lvl {
+            0 | 1 => {
+                let target = lvl + 1;
+                if ev.dirty {
+                    let mut req = Self::blank_req(core, ev.line, Ip::new(0), ReqKind::DirtyWb, now);
+                    req.cur_level = target;
+                    let rid = self.alloc_req(req);
+                    self.schedule(now + 1, rid, EV_ACCESS);
+                } else if self.secure && ev.wb_bit {
+                    // GhostMinion clean-line commit propagation.
+                    self.metrics[core].commit.propagations += 1;
+                    let mut req =
+                        Self::blank_req(core, ev.line, Ip::new(0), ReqKind::CleanProp, now);
+                    req.cur_level = target;
+                    req.wb_next_fill = if lvl == 0 { ev.wb_next } else { false };
+                    let rid = self.alloc_req(req);
+                    self.schedule(now + 1, rid, EV_ACCESS);
+                } else if self.secure && self.cfg.suf {
+                    // SUF skipped a propagation: score its accuracy.
+                    self.metrics[core].commit.propagation_skipped += 1;
+                    let present = if lvl == 0 {
+                        self.l2[core].cache.probe(ev.line).is_some()
+                            || self.llc.cache.probe(ev.line).is_some()
+                    } else {
+                        self.llc.cache.probe(ev.line).is_some()
+                    };
+                    if present {
+                        self.metrics[core].commit.propagation_skip_correct += 1;
+                    } else {
+                        self.metrics[core].commit.propagation_skip_wrong += 1;
+                    }
+                }
+            }
+            _ => {
+                if ev.dirty {
+                    let mut req = Self::blank_req(core, ev.line, Ip::new(0), ReqKind::DirtyWb, now);
+                    req.cur_level = 3;
+                    let rid = self.alloc_req(req);
+                    self.schedule(now + 1, rid, EV_ACCESS);
+                }
+            }
+        }
+    }
+
+    /// Data became available for `rid` (probe hit deeper in the hierarchy
+    /// or DRAM completion): unwind the MSHR path, fill caches per policy,
+    /// wake waiters, and deliver the completion.
+    fn on_response(&mut self, now: Cycle, rid: u32) {
+        let req = self.reqs[rid as usize];
+        let core = req.core;
+        // Unwind allocated MSHRs from deepest to shallowest.
+        for lvl in (0..3u8).rev() {
+            let Some(token) = req.path[lvl as usize] else {
+                continue;
+            };
+            let waiters = {
+                let level = match lvl {
+                    0 => &mut self.l1d[core],
+                    1 => &mut self.l2[core],
+                    _ => &mut self.llc,
+                };
+                level.mshr.complete(token);
+                level.waiting.remove(&token).unwrap_or_default()
+            };
+            self.fill_on_path(now, rid, lvl);
+            for w in waiters {
+                let hl = req.hit_level;
+                let wr = &mut self.reqs[w as usize];
+                wr.hit_level = hl;
+                self.schedule(now, w, EV_RESPONSE);
+            }
+        }
+        self.finish_request(now, rid);
+    }
+
+    /// Fill policy for a level on a request's response path.
+    fn fill_on_path(&mut self, now: Cycle, rid: u32, lvl: u8) {
+        let req = self.reqs[rid as usize];
+        let core = req.core;
+        let latency = (now - req.issued_at) as u32;
+        match req.kind {
+            ReqKind::Load if !self.secure => {
+                self.fill_cache(now, core, lvl, req.line, FillAttrs::default());
+            }
+            // GhostMinion: speculative fills go to the GM only (at
+            // finish_request); the hierarchy stays untouched.
+            ReqKind::Store => {
+                if lvl == 0 {
+                    self.fill_cache(
+                        now,
+                        core,
+                        lvl,
+                        req.line,
+                        FillAttrs {
+                            dirty: true,
+                            ..FillAttrs::default()
+                        },
+                    );
+                } else if !self.secure {
+                    self.fill_cache(now, core, lvl, req.line, FillAttrs::default());
+                }
+            }
+            ReqKind::Prefetch => {
+                self.fill_cache(
+                    now,
+                    core,
+                    lvl,
+                    req.line,
+                    FillAttrs {
+                        prefetched: true,
+                        fetch_latency: latency,
+                        ..FillAttrs::default()
+                    },
+                );
+            }
+            ReqKind::Refetch => {
+                let attrs = if lvl == 0 {
+                    FillAttrs {
+                        wb_bit: req.wb.l1_to_l2,
+                        wb_next: req.wb.l2_to_llc,
+                        ..FillAttrs::default()
+                    }
+                } else {
+                    FillAttrs::default()
+                };
+                self.fill_cache(now, core, lvl, req.line, attrs);
+            }
+            _ => {}
+        }
+    }
+
+    fn finish_request(&mut self, now: Cycle, rid: u32) {
+        let req = self.reqs[rid as usize];
+        let core = req.core;
+        let latency = (now - req.issued_at) as u32;
+        match req.kind {
+            ReqKind::Load => {
+                if self.secure && req.hit_level != HitLevel::L1d {
+                    // Speculative fill into the GM, timestamped with the
+                    // oldest waiting instruction.
+                    self.gm[core].insert(req.line, req.ts, latency);
+                }
+                if req.hit_level != HitLevel::L1d {
+                    let m = &mut self.metrics[core].l1d;
+                    m.miss_latency_sum += latency as u64;
+                    m.miss_latency_count += 1;
+                    // Access-path fill event (real latency) for on-access
+                    // prefetchers and the shadow.
+                    self.pf_fill_event(core, false, req.line, req.ip, now, latency, false);
+                }
+                if !req.wrong_path {
+                    let fetch_latency = if req.hit_level == HitLevel::L1d {
+                        if req.hit_prefetched {
+                            req.hit_pf_latency
+                        } else {
+                            0
+                        }
+                    } else {
+                        latency
+                    };
+                    self.completions.push((
+                        core,
+                        req.lq,
+                        req.gen,
+                        FillInfo {
+                            line: req.line,
+                            hit_level: req.hit_level,
+                            issued_at: req.issued_at,
+                            filled_at: now,
+                            merged_with_prefetch: req.merged_prefetch,
+                            hit_prefetched_line: req.hit_prefetched,
+                            fetch_latency,
+                        },
+                    ));
+                }
+            }
+            ReqKind::Refetch
+                // On-commit L1 prefetchers observe the re-fetch fill with
+                // its (real, long) latency.
+                if req.hit_level != HitLevel::L1d => {
+                    self.pf_fill_event(core, true, req.line, req.ip, now, latency, false);
+                }
+            _ => {}
+        }
+        self.free_req(rid);
+    }
+
+    /// Commit-path processing of a retired load (GhostMinion Section II-C,
+    /// SUF Section IV, on-commit prefetcher training Section V).
+    pub fn commit_load(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        ip: Ip,
+        line: LineAddr,
+        ts: u64,
+        fill: &FillInfo,
+    ) {
+        if self.secure {
+            let gm_hit = self.gm[core].lookup_commit(line, ts).is_some();
+            let action = self.filter.commit_action(fill.hit_level, gm_hit);
+            match action {
+                CommitAction::Drop => {
+                    self.metrics[core].commit.suf_dropped += 1;
+                    let present = self.l1d[core].cache.probe(line).is_some() || gm_hit;
+                    if present {
+                        self.metrics[core].commit.suf_drop_correct += 1;
+                    } else {
+                        self.metrics[core].commit.suf_drop_wrong += 1;
+                    }
+                    self.gm[core].remove(line);
+                }
+                CommitAction::CommitWrite => {
+                    self.gm[core].remove(line);
+                    self.metrics[core].commit.commit_writes += 1;
+                    let mut req = Self::blank_req(core, line, ip, ReqKind::CommitWrite, now);
+                    req.wb = self.filter.wb_bits(fill.hit_level);
+                    let rid = self.alloc_req(req);
+                    self.schedule(now, rid, EV_ACCESS);
+                }
+                CommitAction::Refetch => {
+                    self.metrics[core].commit.refetches += 1;
+                    let mut req = Self::blank_req(core, line, ip, ReqKind::Refetch, now);
+                    req.ts = ts;
+                    req.wb = self.filter.wb_bits(fill.hit_level);
+                    let rid = self.alloc_req(req);
+                    self.schedule(now, rid, EV_ACCESS);
+                }
+            }
+            // Periodically expire GM leftovers of squashed instructions.
+            self.commit_count[core] += 1;
+            if self.commit_count[core].is_multiple_of(16) {
+                self.gm[core].expire_older_than(ts, now);
+            }
+        }
+        // On-commit prefetcher training/triggering.
+        if self.on_commit && self.cfg.prefetcher != PrefetcherKind::None {
+            if self.pf_is_l1() {
+                let ev = AccessEvent {
+                    ip,
+                    line,
+                    cycle: now,
+                    hit: fill.hit_level == HitLevel::L1d,
+                    access_cycle: fill.issued_at,
+                    fetch_latency: fill.fetch_latency,
+                    hit_prefetched: fill.hit_prefetched_line,
+                    mshr_free: self.l1d[core].mshr.capacity() - self.l1d[core].mshr.occupancy(),
+                };
+                self.train_and_inject(now, core, &ev);
+            } else if fill.hit_level >= HitLevel::L2 {
+                let ev = AccessEvent {
+                    ip,
+                    line,
+                    cycle: now,
+                    hit: fill.hit_level == HitLevel::L2,
+                    access_cycle: fill.issued_at,
+                    fetch_latency: fill.fetch_latency,
+                    hit_prefetched: false,
+                    mshr_free: self.l2[core].mshr.capacity() - self.l2[core].mshr.occupancy(),
+                };
+                self.train_and_inject(now, core, &ev);
+            }
+        }
+    }
+
+    /// Commit-path processing of a retired store (non-speculative write).
+    pub fn commit_store(&mut self, now: Cycle, core: CoreId, ip: Ip, line: LineAddr, ts: u64) {
+        self.issue_store(now, core, ip, line, ts);
+    }
+
+    /// Finishes classification, folding pending entries into the metrics.
+    pub fn finalize(&mut self) {
+        for core in 0..self.cfg.cores {
+            if let Some(c) = self.classifiers[core].take() {
+                self.metrics[core].class = c.finish();
+            }
+        }
+    }
+
+    /// Resets one core's metrics at its warm-up boundary.
+    pub fn reset_core_metrics(&mut self, core: CoreId) {
+        self.metrics[core] = CoreMetrics::default();
+    }
+
+    /// Replaces the commit-path update filter (ablation studies).
+    pub fn set_filter(&mut self, filter: Box<dyn UpdateFilter>) {
+        self.filter = filter;
+    }
+
+    /// Sets a core's prefetcher timeliness knob (ablation studies).
+    pub fn set_timeliness_knob(&mut self, core: CoreId, k: u32) {
+        self.prefetchers[core].set_timeliness_knob(k);
+    }
+
+    /// DRAM statistics (shared).
+    pub fn dram_stats(&self) -> secpref_mem::dram::DramStats {
+        self.dram.stats()
+    }
+
+    /// Debug snapshot: (queued events, live requests, L1 MSHR occupancy,
+    /// L1 inflight count) — used by the livelock watchdog.
+    pub fn debug_state(&self, core: CoreId) -> (usize, usize, usize, usize) {
+        (
+            self.events.len(),
+            self.reqs.len() - self.free.len(),
+            self.l1d[core].mshr.occupancy(),
+            self.l1_inflight[core],
+        )
+    }
+
+    /// Probes whether `line` is resident in the given level of `core`'s
+    /// hierarchy without disturbing any state (used by security tests:
+    /// "did the transient load leave a footprint?").
+    pub fn probe_line(&self, core: CoreId, level: CacheLevel, line: LineAddr) -> bool {
+        match level {
+            CacheLevel::L1d => self.l1d[core].cache.probe(line).is_some(),
+            CacheLevel::L2 => self.l2[core].cache.probe(line).is_some(),
+            CacheLevel::Llc => self.llc.cache.probe(line).is_some(),
+            CacheLevel::Dram => true,
+        }
+    }
+
+    /// Probes the GM (timing-unaware residence check for tests).
+    pub fn probe_gm(&self, core: CoreId, line: LineAddr) -> bool {
+        self.gm[core].lookup(line, u64::MAX).is_some()
+    }
+
+    /// In-flight classifier counts (debug/tests).
+    pub fn classification(&self, core: CoreId) -> Option<crate::metrics::MissClassCounts> {
+        self.classifiers[core].as_ref().map(|c| c.counts())
+    }
+}

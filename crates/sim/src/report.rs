@@ -1,0 +1,176 @@
+//! Simulation reports: the per-run numbers every figure is derived from.
+
+use crate::energy::EnergyModel;
+use crate::metrics::CoreMetrics;
+use secpref_mem::dram::DramStats;
+use secpref_types::{CacheLevel, SystemConfig};
+
+/// The result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Human-readable configuration label (e.g.
+    /// `Berti/on-commit/GhostMinion+SUF`).
+    pub label: String,
+    /// Per-core measurement-window metrics.
+    pub cores: Vec<CoreMetrics>,
+    /// Shared DRAM statistics.
+    pub dram: DramStats,
+    /// Dynamic energy of the memory hierarchy in nanojoules.
+    pub energy_nj: f64,
+}
+
+impl SimReport {
+    /// Builds a report from raw metrics.
+    pub fn new(cfg: &SystemConfig, cores: Vec<CoreMetrics>, dram: DramStats) -> Self {
+        let model = EnergyModel::default();
+        let energy_nj = cores.iter().map(|c| model.dynamic_energy_nj(c)).sum();
+        let mut label = format!(
+            "{}/{}/{}",
+            cfg.prefetcher,
+            cfg.prefetch_mode,
+            if cfg.secure.is_secure() {
+                "GhostMinion"
+            } else {
+                "non-secure"
+            }
+        );
+        if cfg.suf {
+            label.push_str("+SUF");
+        }
+        if cfg.timely_secure {
+            label.push_str("+TS");
+        }
+        SimReport {
+            label,
+            cores,
+            dram,
+            energy_nj,
+        }
+    }
+
+    /// IPC of core 0 (single-core runs).
+    pub fn ipc(&self) -> f64 {
+        self.cores[0].ipc()
+    }
+
+    /// Per-core IPCs.
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.cores.iter().map(|c| c.ipc()).collect()
+    }
+
+    /// APKI at a level, core 0.
+    pub fn apki(&self, level: CacheLevel) -> f64 {
+        self.cores[0].apki(level)
+    }
+
+    /// Demand MPKI at a level, core 0.
+    pub fn mpki(&self, level: CacheLevel) -> f64 {
+        self.cores[0].mpki(level)
+    }
+
+    /// Average L1D demand-load miss latency, core 0.
+    pub fn l1d_miss_latency(&self) -> f64 {
+        self.cores[0].l1d.avg_miss_latency()
+    }
+
+    /// Prefetch accuracy, core 0.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        self.cores[0].prefetch.accuracy()
+    }
+
+    /// SUF filtering accuracy, core 0.
+    pub fn suf_accuracy(&self) -> f64 {
+        self.cores[0].commit.suf_accuracy()
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: IPC {:.3}, L1D APKI {:.0}, L1D MPKI {:.1}, miss lat {:.0} cy, pf acc {:.0}%, {:.0} nJ",
+            self.label,
+            self.ipc(),
+            self.apki(CacheLevel::L1d),
+            self.mpki(CacheLevel::L1d),
+            self.l1d_miss_latency(),
+            self.prefetch_accuracy() * 100.0,
+            self.energy_nj,
+        )
+    }
+}
+
+/// Weighted speedup of a multi-core run against per-trace single-core
+/// baseline IPCs (the paper's multi-core metric): Σᵢ IPCᵢ^shared / IPCᵢ^alone.
+pub fn weighted_speedup(shared_ipcs: &[f64], alone_ipcs: &[f64]) -> f64 {
+    assert_eq!(shared_ipcs.len(), alone_ipcs.len());
+    shared_ipcs
+        .iter()
+        .zip(alone_ipcs)
+        .map(|(s, a)| if *a > 0.0 { s / a } else { 0.0 })
+        .sum()
+}
+
+/// Geometric mean (the paper's averaging rule for normalized values).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.max(1e-12).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean (the paper's averaging rule for raw values).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn weighted_speedup_sums_ratios() {
+        let ws = weighted_speedup(&[0.5, 1.0], &[1.0, 1.0]);
+        assert!((ws - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_one_line_summary() {
+        use secpref_types::SystemConfig;
+        let r = SimReport::new(
+            &SystemConfig::baseline(1),
+            vec![CoreMetrics::default()],
+            DramStats::default(),
+        );
+        let s = format!("{r}");
+        assert!(s.contains("IPC"));
+        assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn label_encodes_configuration() {
+        use secpref_types::{PrefetchMode, PrefetcherKind, SecureMode};
+        let cfg = SystemConfig::baseline(1)
+            .with_secure(SecureMode::GhostMinion)
+            .with_prefetcher(PrefetcherKind::Berti)
+            .with_mode(PrefetchMode::OnCommit)
+            .with_suf(true)
+            .with_timely_secure(true);
+        let r = SimReport::new(&cfg, vec![CoreMetrics::default()], DramStats::default());
+        assert!(r.label.contains("Berti"));
+        assert!(r.label.contains("GhostMinion"));
+        assert!(r.label.contains("+SUF"));
+        assert!(r.label.contains("+TS"));
+    }
+}

@@ -1,0 +1,300 @@
+//! The full-system simulator: cores + memory hierarchy, warm-up handling,
+//! and the run loop.
+
+use crate::classify::Classifier;
+use crate::hierarchy::Hierarchy;
+use crate::report::SimReport;
+use secpref_core::SecureUpdateFilter;
+use secpref_cpu::{Core, CoreEvent, LoadIssue, LoadPort};
+use secpref_ghostminion::{AlwaysUpdate, UpdateFilter};
+use secpref_prefetch::Prefetcher;
+use secpref_trace::Trace;
+use secpref_types::{Cycle, PrefetchMode, PrefetcherKind, SystemConfig};
+use std::sync::Arc;
+
+/// Default warm-up window in instructions (scaled from the paper's 50 M).
+pub const DEFAULT_WARMUP: u64 = 50_000;
+/// Default measurement window in instructions (scaled from the paper's
+/// 200 M SimPoints).
+pub const DEFAULT_MEASURE: u64 = 200_000;
+/// Give up if no core retires anything for this many cycles.
+const WATCHDOG_CYCLES: Cycle = 2_000_000;
+
+/// Builds the configured prefetcher instance for one core: the paper's
+/// timely-secure variant when `timely_secure` is set, the base prefetcher
+/// otherwise.
+pub fn build_prefetcher(cfg: &SystemConfig) -> Box<dyn Prefetcher> {
+    if cfg.timely_secure {
+        secpref_core::build_timely_secure(cfg.prefetcher)
+    } else {
+        secpref_prefetch::build(cfg.prefetcher)
+    }
+}
+
+fn build_filter(cfg: &SystemConfig) -> Box<dyn UpdateFilter> {
+    if cfg.suf {
+        Box::new(SecureUpdateFilter::with_sizes(
+            cfg.core.lq_entries as u64,
+            cfg.l1d.lines() as u64,
+        ))
+    } else {
+        Box::new(AlwaysUpdate)
+    }
+}
+
+fn build_classifier(cfg: &SystemConfig) -> Option<Classifier> {
+    if cfg.prefetch_mode == PrefetchMode::OnCommit && cfg.prefetcher != PrefetcherKind::None {
+        // The shadow is the *base* on-access prefetcher of the same kind.
+        Some(Classifier::new(secpref_prefetch::build(cfg.prefetcher)))
+    } else {
+        None
+    }
+}
+
+struct CoreState {
+    core: Core,
+    trace: Arc<Trace>,
+    /// Instructions retired by already-finished replays of the trace.
+    retired_base: u64,
+    warmup_cycle: Option<Cycle>,
+    finished_cycle: Option<Cycle>,
+}
+
+impl CoreState {
+    fn total_retired(&self) -> u64 {
+        self.retired_base + self.core.retired()
+    }
+}
+
+/// The assembled simulator.
+///
+/// # Examples
+///
+/// ```
+/// use secpref_sim::System;
+/// use secpref_trace::{Instr, Trace};
+/// use secpref_types::SystemConfig;
+/// use std::sync::Arc;
+///
+/// let trace = Arc::new(Trace::new("t", (0..500u64).map(|i| Instr::load(1, i * 64)).collect()));
+/// let mut sys = System::new(SystemConfig::baseline(1), vec![trace]).with_window(100, 300);
+/// sys.run();
+/// let report = sys.report();
+/// assert!(report.ipc() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<CoreState>,
+    hierarchy: Hierarchy,
+    warmup: u64,
+    measure: u64,
+    now: Cycle,
+    finished: bool,
+}
+
+impl std::fmt::Debug for CoreState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreState")
+            .field("retired", &self.total_retired())
+            .finish()
+    }
+}
+
+struct PortAdapter<'a> {
+    h: &'a mut Hierarchy,
+}
+
+impl LoadPort for PortAdapter<'_> {
+    fn try_issue_load(&mut self, now: Cycle, req: LoadIssue) -> bool {
+        self.h.issue_load(now, req)
+    }
+}
+
+impl System {
+    /// Creates a system running `traces[i]` on core `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the trace count does not
+    /// match `cfg.cores`.
+    pub fn new(cfg: SystemConfig, traces: Vec<Arc<Trace>>) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        assert_eq!(traces.len(), cfg.cores, "one trace per core");
+        let prefetchers = (0..cfg.cores).map(|_| build_prefetcher(&cfg)).collect();
+        let classifiers = (0..cfg.cores).map(|_| build_classifier(&cfg)).collect();
+        let hierarchy = Hierarchy::new(cfg.clone(), prefetchers, build_filter(&cfg), classifiers);
+        let cores = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| CoreState {
+                core: Core::new(i, cfg.core.clone(), t.clone()),
+                trace: t,
+                retired_base: 0,
+                warmup_cycle: None,
+                finished_cycle: None,
+            })
+            .collect();
+        System {
+            cfg,
+            cores,
+            hierarchy,
+            warmup: DEFAULT_WARMUP,
+            measure: DEFAULT_MEASURE,
+            now: 0,
+            finished: false,
+        }
+    }
+
+    /// Overrides the warm-up / measurement windows (instructions).
+    pub fn with_window(mut self, warmup: u64, measure: u64) -> Self {
+        self.warmup = warmup;
+        self.measure = measure;
+        self
+    }
+
+    /// Replaces the commit-path update filter — for ablations of the
+    /// SUF mechanism (e.g. [`secpref_core::DropOnlySuf`]).
+    pub fn with_update_filter(mut self, filter: Box<dyn UpdateFilter>) -> Self {
+        self.hierarchy.set_filter(filter);
+        self
+    }
+
+    /// Sets a core's prefetcher timeliness knob (distance / skip-k) —
+    /// used by the distance-sweep ablation.
+    pub fn set_timeliness_knob(&mut self, core: usize, k: u32) {
+        self.hierarchy.set_timeliness_knob(core, k);
+    }
+
+    /// Runs the simulation to completion: every core retires
+    /// `warmup + measure` instructions (traces replay if shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system livelocks (no retirement progress for
+    /// millions of cycles) — a simulator bug, not a workload property.
+    pub fn run(&mut self) {
+        let target = self.warmup + self.measure;
+        let mut last_progress = (0u64, 0 as Cycle);
+        loop {
+            let now = self.now;
+            self.hierarchy.tick(now);
+            // Deliver memory completions to the owning cores.
+            let completions: Vec<_> = self.hierarchy.completions.drain(..).collect();
+            for (c, lq, gen, fill) in completions {
+                self.cores[c].core.complete_load(lq, gen, fill);
+            }
+            let mut all_done = true;
+            let mut events: Vec<CoreEvent> = Vec::new();
+            for c in 0..self.cores.len() {
+                let st = &mut self.cores[c];
+                if st.total_retired() >= target {
+                    if st.finished_cycle.is_none() {
+                        st.finished_cycle = Some(now);
+                        let warm_start = st.warmup_cycle.unwrap_or(0);
+                        self.hierarchy.metrics[c].cycles = now - warm_start;
+                        self.hierarchy.metrics[c].instructions = st.total_retired() - self.warmup;
+                    }
+                    continue;
+                }
+                all_done = false;
+                // Warm-up boundary: reset this core's metrics.
+                if st.warmup_cycle.is_none() && st.total_retired() >= self.warmup {
+                    st.warmup_cycle = Some(now);
+                    self.hierarchy.reset_core_metrics(c);
+                }
+                // Trace exhausted but target not reached: replay.
+                if st.core.is_done() {
+                    st.retired_base += st.core.retired();
+                    st.core = Core::new(c, self.cfg.core.clone(), st.trace.clone());
+                }
+                events.clear();
+                let mut port = PortAdapter {
+                    h: &mut self.hierarchy,
+                };
+                st.core.tick(now, &mut port, &mut events);
+                for ev in &events {
+                    match *ev {
+                        CoreEvent::RetiredLoad { ip, addr, ts, fill } => {
+                            self.hierarchy
+                                .commit_load(now, c, ip, addr.line(), ts, &fill);
+                        }
+                        CoreEvent::RetiredStore { ip, addr, ts } => {
+                            self.hierarchy.commit_store(now, c, ip, addr.line(), ts);
+                        }
+                    }
+                }
+            }
+            if all_done {
+                break;
+            }
+            if self.now.is_multiple_of(100_000)
+                && std::env::var_os("SECPREF_TRACE_PROGRESS").is_some()
+            {
+                eprintln!(
+                    "[sim] cycle={} retired={:?} state={:?} lq={}",
+                    self.now,
+                    self.cores
+                        .iter()
+                        .map(|s| s.total_retired())
+                        .collect::<Vec<_>>(),
+                    self.hierarchy.debug_state(0),
+                    self.cores[0].core.lq_occupancy(),
+                );
+            }
+            // Watchdog.
+            let retired_now: u64 = self.cores.iter().map(|s| s.total_retired()).sum();
+            if retired_now > last_progress.0 {
+                last_progress = (retired_now, now);
+            } else {
+                assert!(
+                    now - last_progress.1 < WATCHDOG_CYCLES,
+                    "simulator livelock: no retirement since cycle {} (now {now})",
+                    last_progress.1
+                );
+            }
+            self.now += 1;
+        }
+        self.hierarchy.finalize();
+        self.finished = true;
+    }
+
+    /// Builds the report (callable after [`System::run`]).
+    pub fn report(&self) -> SimReport {
+        SimReport::new(
+            &self.cfg,
+            self.hierarchy.metrics.clone(),
+            self.hierarchy.dram_stats(),
+        )
+    }
+
+    /// Probe a cache level for a line (security experiments).
+    pub fn probe_line(
+        &self,
+        core: usize,
+        level: secpref_types::CacheLevel,
+        line: secpref_types::LineAddr,
+    ) -> bool {
+        self.hierarchy.probe_line(core, level, line)
+    }
+
+    /// Probe the GM for a line (security experiments).
+    pub fn probe_gm(&self, core: usize, line: secpref_types::LineAddr) -> bool {
+        self.hierarchy.probe_gm(core, line)
+    }
+
+    /// Wrong-path loads injected so far (per core).
+    pub fn wrong_path_loads(&self, core: usize) -> u64 {
+        self.cores[core].core.stats().wrong_path_loads
+    }
+
+    /// Core statistics (mispredicts, squashes, …).
+    pub fn core_stats(&self, core: usize) -> secpref_cpu::CoreStats {
+        self.cores[core].core.stats()
+    }
+
+    /// The cycle the simulation ended at.
+    pub fn cycles(&self) -> Cycle {
+        self.now
+    }
+}

@@ -1,0 +1,5 @@
+//! Trace generators: SPEC-like synthetic kernels and GAP graph kernels.
+
+pub mod gap;
+pub mod graph;
+pub mod spec;

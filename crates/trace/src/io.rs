@@ -1,0 +1,270 @@
+//! Compact binary trace serialization (a ChampSim-style `.strace` format).
+//!
+//! Generated traces can be saved once and reloaded by later runs or other
+//! tools. The format is versioned, little-endian, and self-describing:
+//!
+//! ```text
+//! magic   8 B   "SECPREF\0"
+//! version 4 B   u32 (currently 1)
+//! n_instr 8 B   u64
+//! n_wp    8 B   u64 — wrong-path entries
+//! name    4 B length + UTF-8 bytes
+//! instrs  n_instr × 12 B records
+//! wrong-path entries: (u32 index, u32 count, count × u64 addresses)
+//! ```
+//!
+//! Each instruction record is `(tag: u8, pad: u8, dep: u16, ip_lo: u32,
+//! payload: u64)` where payload is the address for memory ops and the
+//! taken flag for branches. IPs are reconstructed from a 32-bit
+//! compression (sufficient for the synthetic generators, asserted on
+//! write).
+
+use crate::instr::{Instr, InstrKind, Trace};
+use secpref_types::{Addr, Ip};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"SECPREF\0";
+const VERSION: u32 = 1;
+
+const TAG_ALU: u8 = 0;
+const TAG_LOAD: u8 = 1;
+const TAG_STORE: u8 = 2;
+const TAG_BRANCH: u8 = 3;
+
+fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn get_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Serializes a trace. `writer` can be a `File`, a `Vec<u8>`, or any
+/// `Write` (pass `&mut w` to keep ownership).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Panics
+///
+/// Panics if an instruction pointer exceeds 32 bits (the synthetic
+/// generators never produce such IPs).
+pub fn write_trace(mut writer: impl Write, trace: &Trace) -> io::Result<()> {
+    let w = &mut writer;
+    w.write_all(MAGIC)?;
+    put_u32(w, VERSION)?;
+    put_u64(w, trace.instrs.len() as u64)?;
+    put_u64(w, trace.wrong_path.len() as u64)?;
+    put_u32(w, trace.name.len() as u32)?;
+    w.write_all(trace.name.as_bytes())?;
+    for i in &trace.instrs {
+        assert!(
+            i.ip.raw() <= u32::MAX as u64,
+            "IP exceeds 32-bit compression"
+        );
+        let (tag, dep, payload): (u8, u16, u64) = match i.kind {
+            InstrKind::Alu => (TAG_ALU, 0, 0),
+            InstrKind::Load { addr, dep_dist } => (TAG_LOAD, dep_dist, addr.raw()),
+            InstrKind::Store { addr } => (TAG_STORE, 0, addr.raw()),
+            InstrKind::Branch { taken } => (TAG_BRANCH, 0, taken as u64),
+        };
+        w.write_all(&[tag, 0])?;
+        w.write_all(&dep.to_le_bytes())?;
+        put_u32(w, i.ip.raw() as u32)?;
+        put_u64(w, payload)?;
+    }
+    for (&idx, addrs) in &trace.wrong_path {
+        put_u32(w, idx)?;
+        put_u32(w, addrs.len() as u32)?;
+        for a in addrs {
+            put_u64(w, a.raw())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a trace written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic/version/tag, and propagates I/O
+/// errors (including truncation) from the reader.
+pub fn read_trace(mut reader: impl Read) -> io::Result<Trace> {
+    let r = &mut reader;
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = get_u32(r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let n_instr = get_u64(r)? as usize;
+    let n_wp = get_u64(r)? as usize;
+    let name_len = get_u32(r)? as usize;
+    if name_len > 4096 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "name too long"));
+    }
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "name not UTF-8"))?;
+    let mut instrs = Vec::with_capacity(n_instr.min(1 << 28));
+    for _ in 0..n_instr {
+        let mut head = [0u8; 4];
+        r.read_exact(&mut head)?;
+        let tag = head[0];
+        let dep = u16::from_le_bytes([head[2], head[3]]);
+        let ip = Ip::new(get_u32(r)? as u64);
+        let payload = get_u64(r)?;
+        let kind = match tag {
+            TAG_ALU => InstrKind::Alu,
+            TAG_LOAD => InstrKind::Load {
+                addr: Addr::new(payload),
+                dep_dist: dep,
+            },
+            TAG_STORE => InstrKind::Store {
+                addr: Addr::new(payload),
+            },
+            TAG_BRANCH => InstrKind::Branch {
+                taken: payload != 0,
+            },
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad instruction tag {tag}"),
+                ))
+            }
+        };
+        instrs.push(Instr { ip, kind });
+    }
+    let mut trace = Trace::new(name, instrs);
+    for _ in 0..n_wp {
+        let idx = get_u32(r)?;
+        let count = get_u32(r)? as usize;
+        if count > 1 << 20 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "wrong-path burst too large",
+            ));
+        }
+        let mut addrs = Vec::with_capacity(count);
+        for _ in 0..count {
+            addrs.push(Addr::new(get_u64(r)?));
+        }
+        trace.wrong_path.insert(idx, addrs);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+
+    fn round_trip(t: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, t).expect("write");
+        read_trace(buf.as_slice()).expect("read")
+    }
+
+    #[test]
+    fn round_trips_generated_trace() {
+        let t = suite::trace_by_name("gcc_like").unwrap().generate(5_000);
+        let u = round_trip(&t);
+        assert_eq!(t.name, u.name);
+        assert_eq!(t.instrs, u.instrs);
+        assert_eq!(t.wrong_path, u.wrong_path);
+    }
+
+    #[test]
+    fn round_trips_wrong_path() {
+        let mut t = Trace::new("wp", vec![Instr::branch(0x10, true), Instr::alu(0x20)]);
+        t.attach_wrong_path(0, vec![Addr::new(0xDEAD_BEEF), Addr::new(0x1234_5678_9ABC)]);
+        let u = round_trip(&t);
+        assert_eq!(u.wrong_path[&0].len(), 2);
+        assert_eq!(u.wrong_path[&0][1], Addr::new(0x1234_5678_9ABC));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&b"NOTATRACE....."[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let t = Trace::new("v", vec![Instr::alu(1)]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        buf[8] = 99; // corrupt version
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let t = suite::trace_by_name("leela_like").unwrap().generate(100);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn size_is_compact() {
+        let t = suite::trace_by_name("bwaves_like")
+            .unwrap()
+            .generate(10_000);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        // 16 B/record budget incl. header.
+        assert!(buf.len() < 10_000 * 16 + 64, "{} bytes", buf.len());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Any syntactically valid trace survives a round trip.
+            #[test]
+            fn arbitrary_traces_round_trip(
+                ops in proptest::collection::vec((0u8..4, 0u64..1 << 40, any::<bool>(), 0u16..64), 0..200)
+            ) {
+                let instrs: Vec<Instr> = ops
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(tag, addr, taken, dep))| {
+                        let ip = 0x1000 + (i as u64 % 97) * 4;
+                        match tag {
+                            0 => Instr::alu(ip),
+                            1 => Instr::load_dep(ip, addr, dep),
+                            2 => Instr::store(ip, addr),
+                            _ => Instr::branch(ip, taken),
+                        }
+                    })
+                    .collect();
+                let t = Trace::new("prop", instrs);
+                let u = round_trip(&t);
+                prop_assert_eq!(t.instrs, u.instrs);
+            }
+        }
+    }
+}

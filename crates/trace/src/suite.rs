@@ -1,0 +1,198 @@
+//! The workload suite registry: every SPEC-like and GAP-like trace the
+//! experiments run, addressable by name, with a process-wide cache so a
+//! trace is generated once per (name, length) pair no matter how many
+//! experiment configurations consume it.
+
+use crate::gen::gap::{self, GapKernel};
+use crate::gen::graph::CsrGraph;
+use crate::gen::spec::{self, SpecKernel};
+use crate::instr::Trace;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A named, deterministic trace generator.
+pub trait TraceGenerator: Send + Sync {
+    /// The trace name (e.g. `mcf_like_a`, `bfs_large`).
+    fn name(&self) -> &str;
+    /// Generates exactly `n` instructions.
+    fn generate(&self, n: usize) -> Trace;
+}
+
+impl TraceGenerator for SpecKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn generate(&self, n: usize) -> Trace {
+        SpecKernel::generate(self, n)
+    }
+}
+
+/// Generator wrapper for a GAP kernel over a synthetic power-law graph.
+#[derive(Clone, Debug)]
+pub struct GapGenerator {
+    name: String,
+    kernel: GapKernel,
+    vertices: usize,
+    avg_degree: usize,
+    seed: u64,
+}
+
+impl GapGenerator {
+    /// Creates a generator for `kernel` over a `vertices`-vertex graph.
+    pub fn new(
+        name: &str,
+        kernel: GapKernel,
+        vertices: usize,
+        avg_degree: usize,
+        seed: u64,
+    ) -> Self {
+        GapGenerator {
+            name: name.to_string(),
+            kernel,
+            vertices,
+            avg_degree,
+            seed,
+        }
+    }
+}
+
+impl TraceGenerator for GapGenerator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn generate(&self, n: usize) -> Trace {
+        // Graphs are cached: several kernels share the same topology.
+        let graph = cached_graph(self.vertices, self.avg_degree, self.seed);
+        let mut t = gap::generate(self.kernel, &graph, self.seed, n);
+        t.name = self.name.clone();
+        t
+    }
+}
+
+/// Cache key for graphs: (vertices, avg_degree, seed).
+type GraphCache = Mutex<HashMap<(usize, usize, u64), Arc<CsrGraph>>>;
+
+fn cached_graph(vertices: usize, avg_degree: usize, seed: u64) -> Arc<CsrGraph> {
+    static GRAPHS: OnceLock<GraphCache> = OnceLock::new();
+    let lock = GRAPHS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = lock.lock().expect("graph cache poisoned");
+    map.entry((vertices, avg_degree, seed))
+        .or_insert_with(|| Arc::new(CsrGraph::power_law(vertices, avg_degree, seed)))
+        .clone()
+}
+
+/// Vertex count of the "large" GAP graphs: property arrays (8 B/vertex)
+/// exceed the 2 MB LLC, putting the kernels in the paper's memory-bound
+/// regime.
+const GAP_LARGE: usize = 360_000;
+/// Vertex count of the "small" GAP graphs (LLC-resident properties).
+const GAP_SMALL: usize = 40_000;
+
+/// All GAP generators in the suite.
+pub fn gap_suite() -> Vec<GapGenerator> {
+    vec![
+        GapGenerator::new("bfs_small", GapKernel::Bfs, GAP_SMALL, 12, 101),
+        GapGenerator::new("bfs_large", GapKernel::Bfs, GAP_LARGE, 12, 102),
+        GapGenerator::new("pr_large", GapKernel::Pr, GAP_LARGE, 12, 102),
+        GapGenerator::new("cc_large", GapKernel::Cc, GAP_LARGE, 12, 102),
+        GapGenerator::new("sssp_large", GapKernel::Sssp, GAP_LARGE, 12, 102),
+        GapGenerator::new("bc_large", GapKernel::Bc, GAP_LARGE, 12, 102),
+        GapGenerator::new("tc_small", GapKernel::Tc, GAP_SMALL, 12, 101),
+    ]
+}
+
+/// Names of every SPEC-like trace.
+pub fn spec_names() -> Vec<String> {
+    spec::roster().into_iter().map(|k| k.name).collect()
+}
+
+/// Names of every GAP-like trace.
+pub fn gap_names() -> Vec<String> {
+    gap_suite().into_iter().map(|g| g.name).collect()
+}
+
+/// Every generator in the suite (SPEC-like first, then GAP).
+pub fn all_traces() -> Vec<Box<dyn TraceGenerator>> {
+    let mut v: Vec<Box<dyn TraceGenerator>> = Vec::new();
+    for k in spec::roster() {
+        v.push(Box::new(k));
+    }
+    for g in gap_suite() {
+        v.push(Box::new(g));
+    }
+    v
+}
+
+/// Looks up a generator by trace name.
+pub fn trace_by_name(name: &str) -> Option<Box<dyn TraceGenerator>> {
+    all_traces().into_iter().find(|g| g.name() == name)
+}
+
+/// Cache key for traces: (name, length).
+type TraceCache = Mutex<HashMap<(String, usize), Arc<Trace>>>;
+
+/// Generates (or fetches from the process-wide cache) the trace `name`
+/// truncated/extended to exactly `n` instructions.
+///
+/// # Panics
+///
+/// Panics if `name` is not registered in the suite.
+pub fn cached_trace(name: &str, n: usize) -> Arc<Trace> {
+    static TRACES: OnceLock<TraceCache> = OnceLock::new();
+    let lock = TRACES.get_or_init(|| Mutex::new(HashMap::new()));
+    // Generate outside the lock would risk duplicate work but avoid
+    // holding during long generation; duplicate avoidance matters more on
+    // the single-threaded experiment driver, so hold the lock.
+    let mut map = lock.lock().expect("trace cache poisoned");
+    map.entry((name.to_string(), n))
+        .or_insert_with(|| {
+            let g =
+                trace_by_name(name).unwrap_or_else(|| panic!("trace `{name}` is not in the suite"));
+            Arc::new(g.generate(n))
+        })
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_both_families() {
+        let names: Vec<String> = all_traces().iter().map(|g| g.name().to_string()).collect();
+        assert!(names.len() >= 20);
+        assert!(names.iter().any(|n| n.starts_with("mcf")));
+        assert!(names.iter().any(|n| n.starts_with("bfs")));
+        // No duplicate names.
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(trace_by_name("bwaves_like").is_some());
+        assert!(trace_by_name("pr_large").is_some());
+        assert!(trace_by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn cache_returns_same_arc() {
+        let a = cached_trace("bfs_small", 2000);
+        let b = cached_trace("bfs_small", 2000);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.instrs.len(), 2000);
+    }
+
+    #[test]
+    fn generator_name_matches_trace_name() {
+        for g in all_traces() {
+            if g.name().contains("large") {
+                continue; // skip slow big-graph builds in unit tests
+            }
+            let t = g.generate(500);
+            assert_eq!(t.name, g.name());
+        }
+    }
+}

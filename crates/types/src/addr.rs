@@ -1,0 +1,272 @@
+//! Byte addresses, cache-line addresses, and instruction pointers.
+
+use std::fmt;
+
+/// Cache line size in bytes (64 B throughout the paper's system).
+pub const LINE_SIZE: u64 = 64;
+
+/// Number of block-offset bits within a cache line (`log2(LINE_SIZE)`).
+pub const OFFSET_BITS: u32 = 6;
+
+/// A byte address in the simulated virtual address space.
+///
+/// # Examples
+///
+/// ```
+/// use secpref_types::Addr;
+/// let a = Addr::new(0x1000);
+/// assert_eq!(a.raw(), 0x1000);
+/// assert_eq!((a + 64).line(), a.line().next());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache line containing this address.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> OFFSET_BITS)
+    }
+
+    /// Returns the byte offset within the cache line.
+    pub const fn offset(self) -> u64 {
+        self.0 & (LINE_SIZE - 1)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl std::ops::Add<u64> for Addr {
+    type Output = Addr;
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0.wrapping_add(rhs))
+    }
+}
+
+impl std::ops::Sub<u64> for Addr {
+    type Output = Addr;
+    fn sub(self, rhs: u64) -> Addr {
+        Addr(self.0.wrapping_sub(rhs))
+    }
+}
+
+/// A cache-line address: a byte address shifted right by [`OFFSET_BITS`].
+///
+/// Using a distinct type prevents the classic bug of mixing byte addresses
+/// with line numbers in prefetcher delta arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use secpref_types::{Addr, LineAddr};
+/// let l = Addr::new(0x1040).line();
+/// assert_eq!(l, LineAddr::new(0x41));
+/// assert_eq!(l.delta(Addr::new(0x1000).line()), 1);
+/// assert_eq!(l.offset(-1), LineAddr::new(0x40));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line number (byte address >> 6).
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// Returns the raw line number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte address of the first byte of this line.
+    pub const fn base_addr(self) -> Addr {
+        Addr(self.0 << OFFSET_BITS)
+    }
+
+    /// Returns the immediately following line.
+    pub const fn next(self) -> LineAddr {
+        LineAddr(self.0 + 1)
+    }
+
+    /// Returns the line at signed line-delta `d` from this line.
+    pub const fn offset(self, d: i64) -> LineAddr {
+        LineAddr(self.0.wrapping_add(d as u64))
+    }
+
+    /// Returns the signed line delta `self - earlier` as used by
+    /// delta-based prefetchers such as Berti and SPP.
+    pub const fn delta(self, earlier: LineAddr) -> i64 {
+        self.0.wrapping_sub(earlier.0) as i64
+    }
+
+    /// Returns the 2 KB spatial region number containing this line
+    /// (32 lines per region; Bingo's region granularity).
+    pub const fn region_2k(self) -> u64 {
+        self.0 >> 5
+    }
+
+    /// Returns the line index within its 2 KB region (0..32).
+    pub const fn region_2k_offset(self) -> u32 {
+        (self.0 & 31) as u32
+    }
+
+    /// Returns the 4 KB page number containing this line.
+    pub const fn page(self) -> u64 {
+        self.0 >> 6
+    }
+
+    /// Returns the line index within its 4 KB page (0..64).
+    pub const fn page_offset(self) -> u32 {
+        (self.0 & 63) as u32
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<Addr> for LineAddr {
+    fn from(a: Addr) -> Self {
+        a.line()
+    }
+}
+
+/// The instruction pointer (program counter) of a load or store.
+///
+/// Prefetchers key their tables on the IP; it needs no arithmetic beyond
+/// hashing, so it is a plain opaque newtype.
+///
+/// # Examples
+///
+/// ```
+/// use secpref_types::Ip;
+/// let ip = Ip::new(0x40_1000);
+/// assert_eq!(ip.raw(), 0x40_1000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ip(u64);
+
+impl Ip {
+    /// Creates an instruction pointer from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        Ip(raw)
+    }
+
+    /// Returns the raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the low `bits` bits — the common table-index hash
+    /// used by IP-indexed prefetcher tables.
+    pub const fn index_bits(self, bits: u32) -> usize {
+        (self.0 & ((1u64 << bits) - 1)) as usize
+    }
+}
+
+impl fmt::Debug for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ip({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Ip {
+    fn from(raw: u64) -> Self {
+        Ip(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_line_round_trip() {
+        let a = Addr::new(0x12345);
+        assert_eq!(a.line().base_addr().raw(), 0x12345 & !(LINE_SIZE - 1));
+        assert_eq!(a.offset(), 0x12345 % LINE_SIZE);
+    }
+
+    #[test]
+    fn line_delta_signed() {
+        let a = LineAddr::new(100);
+        let b = LineAddr::new(97);
+        assert_eq!(a.delta(b), 3);
+        assert_eq!(b.delta(a), -3);
+        assert_eq!(b.offset(3), a);
+        assert_eq!(a.offset(-3), b);
+    }
+
+    #[test]
+    fn region_decomposition() {
+        let l = LineAddr::new(0x1234);
+        assert_eq!(l.region_2k() * 32 + l.region_2k_offset() as u64, l.raw());
+        assert_eq!(l.page() * 64 + l.page_offset() as u64, l.raw());
+    }
+
+    #[test]
+    fn addr_arith() {
+        let a = Addr::new(0x1000);
+        assert_eq!((a + 0x40).line(), a.line().next());
+        assert_eq!(a + 8 - 8, a);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(format!("{}", Addr::new(255)), "0xff");
+        assert_eq!(format!("{}", LineAddr::new(255)), "0xff");
+        assert_eq!(format!("{:x}", Addr::new(255)), "ff");
+    }
+
+    #[test]
+    fn ip_index_bits() {
+        let ip = Ip::new(0xABCD);
+        assert_eq!(ip.index_bits(8), 0xCD);
+        assert_eq!(ip.index_bits(4), 0xD);
+    }
+}

@@ -1,0 +1,56 @@
+//! A Fig. 15-style multi-core experiment: 4-core heterogeneous mixes,
+//! weighted speedup of the paper's proposal vs naive secure prefetching.
+//!
+//! ```sh
+//! cargo run --release --example multicore_mixes
+//! ```
+
+use secure_prefetch::prelude::*;
+use secure_prefetch::sim::{self, weighted_speedup};
+use secure_prefetch::trace::suite;
+use std::sync::Arc;
+
+fn main() {
+    let mixes: Vec<[&str; 4]> = vec![
+        ["bwaves_like", "mcf_like_a", "xalancbmk_like", "gcc_like"],
+        ["lbm_like", "omnetpp_like", "bfs_small", "xz_like"],
+    ];
+    let warmup = 8_000;
+    let measure = 30_000;
+
+    let base = SystemConfig::baseline(1);
+    let gm = base.clone().with_secure(SecureMode::GhostMinion);
+    let berti_commit = gm
+        .clone()
+        .with_prefetcher(PrefetcherKind::Berti)
+        .with_mode(PrefetchMode::OnCommit);
+    let configs: Vec<(&str, SystemConfig)> = vec![
+        ("GhostMinion no-pref", gm),
+        ("on-commit Berti    ", berti_commit.clone()),
+        (
+            "TSB + SUF          ",
+            berti_commit.with_timely_secure(true).with_suf(true),
+        ),
+    ];
+
+    for mix in &mixes {
+        println!("\nmix: {mix:?}");
+        // Per-trace single-core baseline IPCs (non-secure, no prefetch).
+        let traces: Vec<Arc<_>> = mix.iter().map(|n| suite::cached_trace(n, 60_000)).collect();
+        let alone: Vec<f64> = traces
+            .iter()
+            .map(|t| sim::run_single_with_window(&base, t, warmup, measure).ipc())
+            .collect();
+        let base_mix = sim::run_multi_with_window(&base, traces.clone(), warmup, measure);
+        let base_ws = weighted_speedup(&base_mix.ipcs(), &alone);
+        for (name, cfg) in &configs {
+            let r = sim::run_multi_with_window(cfg, traces.clone(), warmup, measure);
+            let ws = weighted_speedup(&r.ipcs(), &alone);
+            println!(
+                "  {name}  weighted speedup {:.3} (normalized {:.3})",
+                ws,
+                ws / base_ws
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! A Fig. 1-style shootout: all five prefetchers on three workload
+//! classes, across the three prefetch-point configurations.
+//!
+//! ```sh
+//! cargo run --release --example prefetcher_shootout
+//! ```
+
+use secure_prefetch::prelude::*;
+use secure_prefetch::sim;
+use secure_prefetch::trace::suite;
+
+fn main() {
+    let traces = ["bwaves_like", "xalancbmk_like", "mcf_like_a"];
+    let base = SystemConfig::baseline(1);
+
+    for name in traces {
+        let trace = suite::cached_trace(name, 120_000);
+        let base_ipc = sim::run_single_with_window(&base, &trace, 15_000, 80_000).ipc();
+        println!("\n=== {name} (baseline IPC {base_ipc:.3}) ===");
+        println!(
+            "{:10} {:>14} {:>14} {:>14}",
+            "prefetcher", "acc/non-secure", "acc/secure", "commit/secure"
+        );
+        for kind in PrefetcherKind::EVALUATED {
+            let acc_ns = base.clone().with_prefetcher(kind);
+            let acc_s = acc_ns.clone().with_secure(SecureMode::GhostMinion);
+            let com_s = acc_s.clone().with_mode(PrefetchMode::OnCommit);
+            let speedup = |cfg: &SystemConfig| {
+                sim::run_single_with_window(cfg, &trace, 15_000, 80_000).ipc() / base_ipc
+            };
+            println!(
+                "{:10} {:>14.3} {:>14.3} {:>14.3}",
+                kind.name(),
+                speedup(&acc_ns),
+                speedup(&acc_s),
+                speedup(&com_s)
+            );
+        }
+    }
+}

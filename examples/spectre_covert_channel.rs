@@ -1,0 +1,120 @@
+//! A Spectre-style covert channel through the cache and through the
+//! hardware prefetcher, and how GhostMinion + on-commit prefetching
+//! closes both (the paper's threat model, Section II-A).
+//!
+//! The victim trains a bounds-check branch, then one instance mispredicts
+//! and *transiently* loads secret-dependent addresses. The attacker then
+//! inspects cache state (the simulation equivalent of a timing probe):
+//!
+//! 1. **Non-secure cache** — the transient load's line is in L1D: leak.
+//! 2. **GhostMinion** — the line only ever entered the GM, which squashed
+//!    state cannot be probed from: no leak.
+//! 3. **GhostMinion + on-access IP-stride** — the transient loads *train
+//!    the prefetcher*, whose (non-speculative!) prefetch fills leak a
+//!    secret-correlated line into the real caches: leak restored.
+//! 4. **GhostMinion + on-commit IP-stride** — squashed loads never reach
+//!    commit, the prefetcher never trains: no leak.
+//!
+//! ```sh
+//! cargo run --release --example spectre_covert_channel
+//! ```
+
+use secure_prefetch::prelude::*;
+use secure_prefetch::sim::System;
+use secure_prefetch::trace::{Instr, Trace};
+use std::sync::Arc;
+
+/// The secret-dependent address region (never touched architecturally).
+const SECRET_BASE: u64 = 0x6666_0000;
+
+/// Builds the victim trace: branch training, one misprediction with
+/// attached transient loads walking a secret-dependent stride, padding.
+fn victim_trace() -> Arc<Trace> {
+    let mut instrs = Vec::new();
+    // Warm the branch predictor: the bounds check always passes.
+    for i in 0..200u64 {
+        instrs.push(Instr::load(0x100, 0x1000 + (i % 16) * 64));
+        instrs.push(Instr::branch(0x200, true));
+        instrs.push(Instr::alu(0x300));
+    }
+    // The out-of-bounds access: the branch resolves not-taken, but the
+    // predictor says taken — the wrong path executes transiently.
+    instrs.push(Instr::branch(0x200, false));
+    let gadget_idx = (instrs.len() - 1) as u32;
+    // Padding so the pipeline drains and the attacker "returns".
+    for i in 0..600u64 {
+        instrs.push(Instr::alu(0x400));
+        if i % 7 == 0 {
+            instrs.push(Instr::load(0x500, 0x2000 + (i % 8) * 64));
+        }
+    }
+    let mut t = Trace::new("spectre_victim", instrs);
+    // The transient gadget: four strided secret-dependent loads — enough
+    // to train a stride prefetcher.
+    t.attach_wrong_path(
+        gadget_idx,
+        (0..4).map(|k| Addr::new(SECRET_BASE + k * 64)).collect(),
+    );
+    Arc::new(t)
+}
+
+/// Runs the victim and reports which secret-region lines the attacker can
+/// observe in the non-speculative cache hierarchy afterwards.
+fn observable_lines(cfg: &SystemConfig) -> Vec<u64> {
+    let trace = victim_trace();
+    let n = trace.instrs.len() as u64;
+    let mut sys = System::new(cfg.clone(), vec![trace]).with_window(0, n);
+    sys.run();
+    assert!(
+        sys.wrong_path_loads(0) > 0,
+        "the gadget must have executed transiently"
+    );
+    // Probe a window of lines around the secret region, like a
+    // prime+probe attacker timing each candidate.
+    let mut seen = Vec::new();
+    for k in 0..16u64 {
+        let line = Addr::new(SECRET_BASE + k * 64).line();
+        for level in [CacheLevel::L1d, CacheLevel::L2, CacheLevel::Llc] {
+            if sys.probe_line(0, level, line) {
+                seen.push(k);
+                break;
+            }
+        }
+    }
+    seen
+}
+
+fn main() {
+    let base = SystemConfig::baseline(1);
+    let gm = base.clone().with_secure(SecureMode::GhostMinion);
+
+    let scenarios: Vec<(&str, SystemConfig)> = vec![
+        ("non-secure cache, no prefetcher      ", base.clone()),
+        ("GhostMinion, no prefetcher           ", gm.clone()),
+        (
+            "GhostMinion + ON-ACCESS IP-stride    ",
+            gm.clone().with_prefetcher(PrefetcherKind::IpStride),
+        ),
+        (
+            "GhostMinion + ON-COMMIT IP-stride    ",
+            gm.clone()
+                .with_prefetcher(PrefetcherKind::IpStride)
+                .with_mode(PrefetchMode::OnCommit),
+        ),
+    ];
+
+    println!("Transient gadget loads 4 secret-dependent lines; attacker probes the caches.\n");
+    for (name, cfg) in scenarios {
+        let seen = observable_lines(&cfg);
+        let verdict = if seen.is_empty() {
+            "NO LEAK"
+        } else {
+            "LEAKED "
+        };
+        println!("{name} -> {verdict}  (observable secret-region lines: {seen:?})");
+    }
+    println!(
+        "\nThe on-access prefetcher reintroduces the leak GhostMinion closed —\n\
+         exactly why the paper trains and triggers prefetchers at commit."
+    );
+}

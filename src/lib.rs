@@ -1,0 +1,42 @@
+//! Umbrella crate re-exporting the whole secure-prefetch workspace.
+//!
+//! A reproduction of *"Secure Prefetching for Secure Cache Systems"*
+//! (MICRO 2024): the GhostMinion secure cache system, five state-of-the-art
+//! data prefetchers in on-access and on-commit flavours, and the paper's two
+//! contributions — the **Secure Update Filter (SUF)** and **Timely Secure
+//! Berti (TSB)** plus timely-secure variants of the other prefetchers — all
+//! on top of a from-scratch trace-driven out-of-order CPU and cache
+//! hierarchy simulator.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use secure_prefetch::prelude::*;
+//!
+//! let trace = secure_prefetch::trace::suite::cached_trace("mcf_like_a", 20_000);
+//! let config = SystemConfig::baseline(1)
+//!     .with_secure(SecureMode::GhostMinion)
+//!     .with_prefetcher(PrefetcherKind::Berti)
+//!     .with_mode(PrefetchMode::OnCommit)
+//!     .with_suf(true)
+//!     .with_timely_secure(true);
+//! let report = secure_prefetch::sim::run_single_with_window(&config, &trace, 2_000, 10_000);
+//! assert!(report.ipc() > 0.0);
+//! ```
+
+pub use secpref_core as core;
+pub use secpref_cpu as cpu;
+pub use secpref_ghostminion as ghostminion;
+pub use secpref_mem as mem;
+pub use secpref_prefetch as prefetch;
+pub use secpref_sim as sim;
+pub use secpref_trace as trace;
+pub use secpref_types as types;
+
+/// Convenient glob import of the most common names.
+pub mod prelude {
+    pub use secpref_types::{
+        Addr, CacheLevel, Cycle, HitLevel, Ip, LineAddr, PrefetchMode, PrefetcherKind, SecureMode,
+        SystemConfig,
+    };
+}

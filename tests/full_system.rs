@@ -1,0 +1,212 @@
+//! Cross-crate full-system tests: the paper's qualitative results must
+//! hold end to end on representative workloads, and the simulator must be
+//! deterministic and conservation-correct.
+
+use secure_prefetch::prelude::*;
+use secure_prefetch::sim::{self, System};
+use secure_prefetch::trace::suite;
+
+const WARMUP: u64 = 10_000;
+const MEASURE: u64 = 50_000;
+const TRACE_LEN: usize = 80_000;
+
+fn run(cfg: &SystemConfig, trace: &str) -> sim::SimReport {
+    let t = suite::cached_trace(trace, TRACE_LEN);
+    sim::run_single_with_window(cfg, &t, WARMUP, MEASURE)
+}
+
+fn base() -> SystemConfig {
+    SystemConfig::baseline(1)
+}
+
+fn gm() -> SystemConfig {
+    base().with_secure(SecureMode::GhostMinion)
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let a = run(&gm().with_prefetcher(PrefetcherKind::Berti), "gcc_like");
+    let b = run(&gm().with_prefetcher(PrefetcherKind::Berti), "gcc_like");
+    assert_eq!(a.ipc(), b.ipc());
+    assert_eq!(
+        a.cores[0].l1d.demand_accesses,
+        b.cores[0].l1d.demand_accesses
+    );
+    assert_eq!(a.cores[0].prefetch.issued, b.cores[0].prefetch.issued);
+}
+
+#[test]
+fn measurement_window_is_exact() {
+    // Retirement is 4-wide, so the window may overshoot by a few
+    // instructions but never undershoot.
+    let r = run(&base(), "leela_like");
+    assert!(r.cores[0].instructions >= MEASURE);
+    assert!(r.cores[0].instructions < MEASURE + 16);
+    assert!(r.cores[0].cycles > 0);
+}
+
+#[test]
+fn ghostminion_costs_performance_without_prefetching() {
+    // Fig. 1's red line: the secure system is slower (by a modest factor).
+    for trace in ["bwaves_like", "mcf_like_a", "pr_large"] {
+        let ns = run(&base(), trace).ipc();
+        let s = run(&gm(), trace).ipc();
+        assert!(
+            s < ns,
+            "{trace}: GhostMinion ({s:.3}) must be slower than non-secure ({ns:.3})"
+        );
+        assert!(
+            s > ns * 0.6,
+            "{trace}: GhostMinion overhead implausibly high ({:.1}%)",
+            (1.0 - s / ns) * 100.0
+        );
+    }
+}
+
+#[test]
+fn ghostminion_multiplies_l1d_traffic() {
+    // Fig. 3: commit requests roughly double L1D accesses.
+    let ns = run(&base(), "bwaves_like");
+    let s = run(&gm(), "bwaves_like");
+    let ratio = s.apki(CacheLevel::L1d) / ns.apki(CacheLevel::L1d);
+    assert!(
+        ratio > 1.5,
+        "secure L1D traffic should exceed 1.5x non-secure (got {ratio:.2}x)"
+    );
+    assert!(s.cores[0].l1d.commit_accesses > 0);
+    assert_eq!(
+        ns.cores[0].l1d.commit_accesses, 0,
+        "non-secure has no commit path"
+    );
+}
+
+#[test]
+fn prefetching_helps_streams() {
+    let nopf = run(&base(), "bwaves_like").ipc();
+    let berti = run(
+        &base().with_prefetcher(PrefetcherKind::Berti),
+        "bwaves_like",
+    )
+    .ipc();
+    assert!(
+        berti > nopf * 1.05,
+        "Berti must speed up a stream by >5% (got {:.3} vs {:.3})",
+        berti,
+        nopf
+    );
+}
+
+#[test]
+fn suf_reduces_commit_traffic_and_is_accurate() {
+    let cfg = gm()
+        .with_prefetcher(PrefetcherKind::Berti)
+        .with_mode(PrefetchMode::OnCommit);
+    let without = run(&cfg, "xalancbmk_like");
+    let with = run(&cfg.clone().with_suf(true), "xalancbmk_like");
+    let c = &with.cores[0].commit;
+    assert!(c.suf_dropped > 0, "SUF must filter some updates");
+    assert!(
+        with.suf_accuracy() > 0.9,
+        "paper reports ~99% SUF accuracy; got {:.3}",
+        with.suf_accuracy()
+    );
+    // Filtering must reduce L1D commit-path traffic.
+    assert!(
+        with.cores[0].l1d.commit_accesses < without.cores[0].l1d.commit_accesses,
+        "SUF must reduce commit accesses ({} vs {})",
+        with.cores[0].l1d.commit_accesses,
+        without.cores[0].l1d.commit_accesses
+    );
+}
+
+#[test]
+fn tsb_beats_naive_on_commit_berti_on_streams() {
+    let commit = gm()
+        .with_prefetcher(PrefetcherKind::Berti)
+        .with_mode(PrefetchMode::OnCommit);
+    let tsb = commit.clone().with_timely_secure(true);
+    let a = run(&commit, "cactu_like").ipc();
+    let b = run(&tsb, "cactu_like").ipc();
+    assert!(
+        b >= a * 0.98,
+        "TSB ({b:.3}) must not lose to naive on-commit Berti ({a:.3})"
+    );
+}
+
+#[test]
+fn on_commit_classification_produces_commit_late() {
+    // Fig. 6's new class must actually appear for on-commit prefetching
+    // on a prefetch-friendly workload.
+    let cfg = gm()
+        .with_prefetcher(PrefetcherKind::Berti)
+        .with_mode(PrefetchMode::OnCommit);
+    let r = run(&cfg, "bwaves_like");
+    let cls = &r.cores[0].class;
+    assert!(
+        cls.total() > 0,
+        "on-commit runs must classify demand misses"
+    );
+    assert!(
+        cls.commit_late + cls.missed_opportunity > 0,
+        "the commit-late/missed-opportunity classes must be populated: {cls:?}"
+    );
+}
+
+#[test]
+fn energy_tracks_traffic() {
+    // Fig. 14: the secure system burns more dynamic energy.
+    let ns = run(&base(), "bwaves_like").energy_nj;
+    let s = run(&gm(), "bwaves_like").energy_nj;
+    assert!(
+        s > ns,
+        "GhostMinion traffic must cost energy ({s:.0} vs {ns:.0} nJ)"
+    );
+}
+
+#[test]
+fn multicore_runs_and_reports_per_core() {
+    let traces: Vec<_> = ["gcc_like", "xz_like", "leela_like", "bfs_small"]
+        .iter()
+        .map(|n| suite::cached_trace(n, 30_000))
+        .collect();
+    let r = sim::run_multi_with_window(&gm(), traces, 3_000, 12_000);
+    assert_eq!(r.cores.len(), 4);
+    for (i, c) in r.cores.iter().enumerate() {
+        assert!(
+            c.instructions >= 12_000 && c.instructions < 12_016,
+            "core {i}"
+        );
+        assert!(c.ipc() > 0.0, "core {i}");
+    }
+}
+
+#[test]
+fn all_prefetchers_run_all_modes_without_panicking() {
+    for kind in PrefetcherKind::EVALUATED {
+        for cfg in [
+            base().with_prefetcher(kind),
+            gm().with_prefetcher(kind),
+            gm().with_prefetcher(kind).with_mode(PrefetchMode::OnCommit),
+            gm().with_prefetcher(kind)
+                .with_mode(PrefetchMode::OnCommit)
+                .with_timely_secure(true)
+                .with_suf(true),
+        ] {
+            let t = suite::cached_trace("gcc_like", 20_000);
+            let r = sim::run_single_with_window(&cfg, &t, 2_000, 10_000);
+            assert!(r.ipc() > 0.0, "{} / {:?}", kind.name(), cfg.prefetch_mode);
+        }
+    }
+}
+
+#[test]
+fn system_exposes_probe_api() {
+    let t = suite::cached_trace("leela_like", 10_000);
+    let mut sys = System::new(base(), vec![t]).with_window(1_000, 5_000);
+    sys.run();
+    // The hot set of leela_like lives near the component base; at least
+    // one of its lines must be resident somewhere.
+    let stats = sys.core_stats(0);
+    assert!(stats.retired >= 6_000);
+    assert!(stats.branches > 0);
+}
