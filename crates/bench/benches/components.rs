@@ -3,7 +3,7 @@
 //! prefetcher's training path. These track simulator performance, which
 //! bounds how large an experiment the harness can afford.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use secpref_bench::microbench::MicroBench;
 use secpref_cpu::PerceptronPredictor;
 use secpref_ghostminion::GmCache;
 use secpref_mem::{DramModel, DramRequest, FillAttrs, MshrFile, SetAssocCache};
@@ -11,40 +11,37 @@ use secpref_prefetch::{build, simple_access};
 use secpref_types::config::DramConfig;
 use secpref_types::{Ip, LineAddr, PrefetcherKind};
 
-fn cache_ops(c: &mut Criterion) {
-    c.bench_function("components/cache_fill_probe_touch", |b| {
+fn main() {
+    let mut mb = MicroBench::new("components");
+
+    {
         let mut cache = SetAssocCache::new(64, 12);
         let mut i = 0u64;
-        b.iter(|| {
+        mb.bench("cache_fill_probe_touch", move || {
             i = i.wrapping_add(97);
             cache.fill(LineAddr::new(i % 4096), FillAttrs::default());
-            std::hint::black_box(cache.probe(LineAddr::new((i / 2) % 4096)).is_some());
+            let hit = cache.probe(LineAddr::new((i / 2) % 4096)).is_some();
             cache.touch(LineAddr::new(i % 4096));
-        })
-    });
-}
-
-fn mshr_ops(c: &mut Criterion) {
-    c.bench_function("components/mshr_alloc_complete", |b| {
+            hit
+        });
+    }
+    {
         let mut mshr = MshrFile::new(16);
         let mut i = 0u64;
-        b.iter(|| {
+        mb.bench("mshr_alloc_complete", move || {
             i += 1;
             if let Ok(t) = mshr.alloc(LineAddr::new(i), false, i, i) {
                 std::hint::black_box(mshr.find(LineAddr::new(i)));
                 mshr.complete(t);
             }
-        })
-    });
-}
-
-fn dram_ops(c: &mut Criterion) {
-    c.bench_function("components/dram_enqueue_tick", |b| {
+        });
+    }
+    {
         let mut dram = DramModel::new(DramConfig::default());
         let mut done = Vec::new();
         let mut now = 0u64;
         let mut i = 0u64;
-        b.iter(|| {
+        mb.bench("dram_enqueue_tick", move || {
             i += 1;
             now += 3;
             let _ = dram.enqueue(DramRequest {
@@ -55,99 +52,74 @@ fn dram_ops(c: &mut Criterion) {
             });
             dram.tick(now, &mut done);
             done.clear();
-        })
-    });
-}
-
-fn gm_ops(c: &mut Criterion) {
-    c.bench_function("components/gm_insert_lookup_remove", |b| {
+        });
+    }
+    {
         let mut gm = GmCache::new(32);
         let mut i = 0u64;
-        b.iter(|| {
+        mb.bench("gm_insert_lookup_remove", move || {
             i += 1;
             gm.insert(LineAddr::new(i % 64), i, 30);
             std::hint::black_box(gm.lookup(LineAddr::new(i % 64), i));
             if i.is_multiple_of(4) {
                 gm.remove(LineAddr::new(i % 64));
             }
-        })
-    });
-}
-
-fn predictor_ops(c: &mut Criterion) {
-    c.bench_function("components/perceptron_predict_update", |b| {
+        });
+    }
+    {
         let mut p = PerceptronPredictor::new();
         let mut i = 0u64;
-        b.iter(|| {
+        mb.bench("perceptron_predict_update", move || {
             i += 1;
             let ip = Ip::new(0x400 + (i % 13) * 4);
             let pred = p.predict(ip);
             p.update(ip, !i.is_multiple_of(3), pred);
-        })
-    });
-}
-
-fn prefetcher_training(c: &mut Criterion) {
-    for kind in PrefetcherKind::EVALUATED {
-        c.bench_function(&format!("components/train_{}", kind.name()), |b| {
-            let mut p = build(kind);
-            let mut out = Vec::new();
-            let mut i = 0u64;
-            b.iter(|| {
-                i += 1;
-                // A mix of streaming and region-local traffic.
-                let line = if i.is_multiple_of(3) {
-                    i / 3
-                } else {
-                    50_000 + (i % 512)
-                };
-                out.clear();
-                p.observe_access(
-                    &simple_access(0x400 + (i % 7) * 8, line, i, i.is_multiple_of(5)),
-                    &mut out,
-                );
-                std::hint::black_box(out.len());
-            })
         });
     }
-}
-
-fn trace_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("components/trace_gen");
-    group.sample_size(10);
-    group.bench_function("spec_kernel_10k", |b| {
+    for kind in PrefetcherKind::EVALUATED {
+        let mut p = build(kind);
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        mb.bench(&format!("train_{}", kind.name()), move || {
+            i += 1;
+            // A mix of streaming and region-local traffic.
+            let line = if i.is_multiple_of(3) {
+                i / 3
+            } else {
+                50_000 + (i % 512)
+            };
+            out.clear();
+            p.observe_access(
+                &simple_access(0x400 + (i % 7) * 8, line, i, i.is_multiple_of(5)),
+                &mut out,
+            );
+            out.len()
+        });
+    }
+    {
         let gen = secpref_trace::suite::trace_by_name("gcc_like").unwrap();
-        b.iter(|| std::hint::black_box(gen.generate(10_000).instrs.len()))
-    });
-    group.bench_function("gap_bfs_10k", |b| {
+        mb.bench("trace_gen/spec_kernel_10k", move || {
+            gen.generate(10_000).instrs.len()
+        });
+    }
+    {
         let gen = secpref_trace::suite::trace_by_name("bfs_small").unwrap();
-        b.iter(|| std::hint::black_box(gen.generate(10_000).instrs.len()))
-    });
-    group.finish();
-}
-
-fn trace_io(c: &mut Criterion) {
-    let t = secpref_trace::suite::trace_by_name("gcc_like")
-        .unwrap()
-        .generate(10_000);
-    c.bench_function("components/trace_io_round_trip_10k", |b| {
-        b.iter(|| {
+        mb.bench("trace_gen/gap_bfs_10k", move || {
+            gen.generate(10_000).instrs.len()
+        });
+    }
+    {
+        let t = secpref_trace::suite::trace_by_name("gcc_like")
+            .unwrap()
+            .generate(10_000);
+        mb.bench("trace_io_round_trip_10k", move || {
             let mut buf = Vec::with_capacity(200_000);
             secpref_trace::io::write_trace(&mut buf, &t).unwrap();
-            std::hint::black_box(
-                secpref_trace::io::read_trace(buf.as_slice())
-                    .unwrap()
-                    .instrs
-                    .len(),
-            )
-        })
-    });
+            secpref_trace::io::read_trace(buf.as_slice())
+                .unwrap()
+                .instrs
+                .len()
+        });
+    }
+    mb.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = cache_ops, mshr_ops, dram_ops, gm_ops, predictor_ops,
-        prefetcher_training, trace_generation, trace_io
-}
-criterion_main!(benches);

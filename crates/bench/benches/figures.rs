@@ -1,160 +1,100 @@
-//! Criterion benches: one group per paper table/figure, each running a
-//! scaled-down version of the experiment so `cargo bench` exercises every
-//! regeneration path end to end. The timings double as simulator
-//! throughput tracking.
+//! Figure-path micro-benches: one timing per paper table/figure, each
+//! running a scaled-down version of the experiment so `cargo bench`
+//! exercises every regeneration path end to end. Results are
+//! process-cached by the experiment engine, so after the first run each
+//! timing measures the cached-lookup path; the first run measures the
+//! simulation itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use secpref_bench::configs::*;
 use secpref_bench::figures;
-use secpref_bench::runner::{run_cached, ExpScale};
+use secpref_bench::microbench::MicroBench;
+use secpref_bench::runner::{run_cached, run_mix, ExpScale};
 use secpref_types::PrefetcherKind;
 
-/// Single representative trace per class keeps each bench iteration fast;
-/// results are process-cached, so criterion timing measures the (cached)
-/// regeneration overhead after the first run and the simulation itself on
-/// the first.
 const TRACE: &str = "bwaves_like";
 const IRREGULAR_TRACE: &str = "mcf_like_a";
 
-fn bench_config(c: &mut Criterion, name: &str, cfg: &secpref_types::SystemConfig, trace: &str) {
-    c.bench_function(name, |b| {
-        b.iter(|| std::hint::black_box(run_cached(cfg, trace, ExpScale::Quick).ipc()))
-    });
-}
+fn main() {
+    // Keep bench results out of the default experiment store.
+    std::env::set_var(
+        "SECPREF_EXP_DIR",
+        std::env::temp_dir().join(format!("secpref-bench-figures-{}", std::process::id())),
+    );
+    std::env::set_var("SECPREF_EXP_QUIET", "1");
 
-/// Fig. 1 — the three prefetch-point configurations for Berti.
-fn fig01_speedup_modes(c: &mut Criterion) {
+    let mut mb = MicroBench::new("figures");
     let kind = PrefetcherKind::Berti;
-    bench_config(
-        c,
-        "fig01/on_access_non_secure",
-        &on_access_nonsecure(kind),
-        TRACE,
-    );
-    bench_config(c, "fig01/on_access_secure", &on_access_secure(kind), TRACE);
-    bench_config(c, "fig01/on_commit_secure", &on_commit_secure(kind), TRACE);
-}
 
-/// Fig. 3 — APKI accounting path (secure vs non-secure traffic split).
-fn fig03_l1d_apki(c: &mut Criterion) {
-    bench_config(c, "fig03/non_secure_nopref", &nonsecure_nopref(), TRACE);
-    bench_config(c, "fig03/secure_nopref", &secure_nopref(), TRACE);
-}
-
-/// Fig. 4 — miss-latency measurement path.
-fn fig04_miss_latency(c: &mut Criterion) {
-    let cfg = on_access_secure(PrefetcherKind::Berti);
-    c.bench_function("fig04/miss_latency_secure_berti", |b| {
-        b.iter(|| std::hint::black_box(run_cached(&cfg, TRACE, ExpScale::Quick).l1d_miss_latency()))
+    mb.bench("fig01/on_access_non_secure", || {
+        run_cached(&on_access_nonsecure(kind), TRACE, ExpScale::Quick).ipc()
     });
-}
-
-/// Fig. 5 — the mcf-like deep dive.
-fn fig05_mcf_deepdive(c: &mut Criterion) {
-    bench_config(
-        c,
-        "fig05/mcf_secure_berti",
-        &on_access_secure(PrefetcherKind::Berti),
-        IRREGULAR_TRACE,
-    );
-}
-
-/// Fig. 6 — shadow-classifier path (commit-late accounting).
-fn fig06_mpki_classes(c: &mut Criterion) {
-    let cfg = on_commit_secure(PrefetcherKind::Berti);
-    c.bench_function("fig06/classified_on_commit", |b| {
-        b.iter(|| {
-            let r = run_cached(&cfg, TRACE, ExpScale::Quick);
-            std::hint::black_box(r.cores[0].class.total())
-        })
+    mb.bench("fig01/on_access_secure", || {
+        run_cached(&on_access_secure(kind), TRACE, ExpScale::Quick).ipc()
     });
-}
-
-/// Fig. 10 — timely-secure variants.
-fn fig10_ts_speedup(c: &mut Criterion) {
-    bench_config(
-        c,
-        "fig10/ts_stride",
-        &timely_secure(PrefetcherKind::IpStride),
-        TRACE,
-    );
-    bench_config(c, "fig10/tsb", &timely_secure(PrefetcherKind::Berti), TRACE);
-}
-
-/// Fig. 11 — SUF on/off.
-fn fig11_suf_speedup(c: &mut Criterion) {
-    bench_config(
-        c,
-        "fig11/on_commit_no_suf",
-        &on_commit_secure(PrefetcherKind::Berti),
-        TRACE,
-    );
-    bench_config(
-        c,
-        "fig11/on_commit_suf",
-        &on_commit_suf(PrefetcherKind::Berti),
-        TRACE,
-    );
-}
-
-/// Fig. 12 — per-trace TSB+SUF runs (one SPEC-like, one GAP-like).
-fn fig12_per_trace(c: &mut Criterion) {
-    let cfg = timely_secure_suf(PrefetcherKind::Berti);
-    bench_config(c, "fig12/tsb_suf_spec", &cfg, TRACE);
-    bench_config(c, "fig12/tsb_suf_gap", &cfg, "bfs_small");
-}
-
-/// Fig. 13 — accuracy accounting.
-fn fig13_accuracy(c: &mut Criterion) {
-    let cfg = on_commit_secure(PrefetcherKind::SppPpf);
-    c.bench_function("fig13/accuracy_spp_on_commit", |b| {
-        b.iter(|| {
-            std::hint::black_box(run_cached(&cfg, TRACE, ExpScale::Quick).prefetch_accuracy())
-        })
+    mb.bench("fig01/on_commit_secure", || {
+        run_cached(&on_commit_secure(kind), TRACE, ExpScale::Quick).ipc()
     });
-}
-
-/// Fig. 14 — energy model.
-fn fig14_energy(c: &mut Criterion) {
-    let cfg = on_commit_suf(PrefetcherKind::Berti);
-    c.bench_function("fig14/energy_on_commit_suf", |b| {
-        b.iter(|| std::hint::black_box(run_cached(&cfg, TRACE, ExpScale::Quick).energy_nj))
+    mb.bench("fig03/non_secure_nopref", || {
+        run_cached(&nonsecure_nopref(), TRACE, ExpScale::Quick).ipc()
     });
-}
-
-/// Fig. 15 — one 4-core mix end to end.
-fn fig15_multicore(c: &mut Criterion) {
+    mb.bench("fig03/secure_nopref", || {
+        run_cached(&secure_nopref(), TRACE, ExpScale::Quick).ipc()
+    });
+    mb.bench("fig04/miss_latency_secure_berti", || {
+        run_cached(&on_access_secure(kind), TRACE, ExpScale::Quick).l1d_miss_latency()
+    });
+    mb.bench("fig05/mcf_secure_berti", || {
+        run_cached(&on_access_secure(kind), IRREGULAR_TRACE, ExpScale::Quick).ipc()
+    });
+    mb.bench("fig06/classified_on_commit", || {
+        run_cached(&on_commit_secure(kind), TRACE, ExpScale::Quick).cores[0]
+            .class
+            .total()
+    });
+    mb.bench("fig10/ts_stride", || {
+        run_cached(
+            &timely_secure(PrefetcherKind::IpStride),
+            TRACE,
+            ExpScale::Quick,
+        )
+        .ipc()
+    });
+    mb.bench("fig10/tsb", || {
+        run_cached(&timely_secure(kind), TRACE, ExpScale::Quick).ipc()
+    });
+    mb.bench("fig11/on_commit_no_suf", || {
+        run_cached(&on_commit_secure(kind), TRACE, ExpScale::Quick).ipc()
+    });
+    mb.bench("fig11/on_commit_suf", || {
+        run_cached(&on_commit_suf(kind), TRACE, ExpScale::Quick).ipc()
+    });
+    mb.bench("fig12/tsb_suf_spec", || {
+        run_cached(&timely_secure_suf(kind), TRACE, ExpScale::Quick).ipc()
+    });
+    mb.bench("fig12/tsb_suf_gap", || {
+        run_cached(&timely_secure_suf(kind), "bfs_small", ExpScale::Quick).ipc()
+    });
+    mb.bench("fig13/accuracy_spp_on_commit", || {
+        run_cached(
+            &on_commit_secure(PrefetcherKind::SppPpf),
+            TRACE,
+            ExpScale::Quick,
+        )
+        .prefetch_accuracy()
+    });
+    mb.bench("fig14/energy_on_commit_suf", || {
+        run_cached(&on_commit_suf(kind), TRACE, ExpScale::Quick).energy_nj
+    });
     let mix = &multicore_mixes(1)[0];
-    let cfg = timely_secure_suf(PrefetcherKind::Berti);
-    let mut group = c.benchmark_group("fig15");
-    group.sample_size(10);
-    group.bench_function("tsb_suf_4core_mix", |b| {
-        b.iter(|| {
-            std::hint::black_box(secpref_bench::runner::run_mix(&cfg, mix, ExpScale::Quick).ipcs())
-        })
+    mb.bench("fig15/tsb_suf_4core_mix", || {
+        run_mix(&timely_secure_suf(kind), mix, ExpScale::Quick).ipcs()
     });
-    group.finish();
-}
+    mb.bench("table1/render", || figures::table1().render());
+    mb.bench("table2/render", || figures::table2().render());
+    mb.bench("table3/render", || figures::table3().render());
+    mb.finish();
 
-/// Tables I–III — static/regenerated tables.
-fn tables(c: &mut Criterion) {
-    c.bench_function("table1/render", |b| {
-        b.iter(|| std::hint::black_box(figures::table1().render()))
-    });
-    c.bench_function("table2/render", |b| {
-        b.iter(|| std::hint::black_box(figures::table2().render()))
-    });
-    c.bench_function("table3/render", |b| {
-        b.iter(|| std::hint::black_box(figures::table3().render()))
-    });
+    if let Ok(dir) = std::env::var("SECPREF_EXP_DIR") {
+        let _ = std::fs::remove_dir_all(dir);
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = fig01_speedup_modes, fig03_l1d_apki, fig04_miss_latency,
-        fig05_mcf_deepdive, fig06_mpki_classes, fig10_ts_speedup,
-        fig11_suf_speedup, fig12_per_trace, fig13_accuracy, fig14_energy,
-        fig15_multicore, tables
-}
-criterion_main!(benches);

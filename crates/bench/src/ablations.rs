@@ -56,6 +56,14 @@ fn speedups(
     geomean(&ratios)
 }
 
+/// Speedup through the engine-backed cached runner — for ablation points
+/// that need no custom update filter and whose config survives the
+/// single-core runner untouched (it resets `llc` to the 1-core baseline,
+/// so LLC ablations must stay on the direct path above).
+fn cached_speedups(cfg: &SystemConfig, scale: ExpScale) -> f64 {
+    crate::runner::geomean_speedup(cfg, &traces(), scale)
+}
+
 /// GM capacity sweep: 16/32/64/128 entries (the paper's GM is 2 KB = 32).
 pub fn gm_size(scale: ExpScale) -> Table {
     let mut t = Table::new(
@@ -67,7 +75,7 @@ pub fn gm_size(scale: ExpScale) -> Table {
         // The GM is fully associative: ways = entries, one set.
         cfg.gm.size_bytes = entries * 64;
         cfg.gm.ways = entries;
-        let s = speedups(&cfg, scale, || None);
+        let s = cached_speedups(&cfg, scale);
         t.row(vec![
             entries.to_string(),
             (entries * 64).to_string(),
@@ -153,7 +161,7 @@ pub fn tsb_non_secure(scale: ExpScale) -> Table {
         .with_mode(secpref_types::PrefetchMode::OnCommit)
         .with_timely_secure(true);
     for (name, cfg) in [("on-access Berti", acc), ("TSB (commit-trained)", tsb_ns)] {
-        let s = speedups(&cfg, scale, || None);
+        let s = cached_speedups(&cfg, scale);
         t.row(vec![name.into(), format!("{s:.3}")]);
     }
     t

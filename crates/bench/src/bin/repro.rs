@@ -1,16 +1,24 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [all | table1 | table2 | table3 | fig1 | fig3 | fig4 |
-//!                  fig5 | fig6 | fig10 | fig11 | fig12 | fig13 | fig14 |
-//!                  fig15 | stats | ablations]
+//! repro [--quick] [--workers N] [--serial]
+//!       [all | table1 | table2 | table3 | fig1 | fig3 | fig4 | fig5 |
+//!        fig6 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | stats |
+//!        ablations]
 //! ```
 //!
 //! `--quick` shrinks the simulation windows and the Fig. 15 mix count so
-//! the whole sweep finishes in a couple of minutes on a laptop core.
+//! the whole sweep finishes in a couple of minutes. `--workers N` sets
+//! the experiment engine's thread count (default: all cores; `--serial`
+//! is shorthand for `--workers 1`).
+//!
+//! The run proceeds in two phases: the requested figures' job sweeps are
+//! pushed through the parallel, resumable experiment engine (progress and
+//! ETA on stderr; results persisted under `target/exp/` so a killed run
+//! resumes), then each figure renders from the warm cache.
 
-use secpref_bench::figures;
 use secpref_bench::runner::ExpScale;
+use secpref_bench::{figures, runner, sweep};
 use std::time::Instant;
 
 fn main() {
@@ -22,15 +30,83 @@ fn main() {
         ExpScale::Full
     };
     let mix_count = if quick { 6 } else { 16 };
-    let targets: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
+    let mut workers: Option<usize> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {}
+            "--serial" => workers = Some(1),
+            "--workers" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--workers needs a positive integer"));
+                workers = Some(n);
+            }
+            flag if flag.starts_with("--") => die(&format!("unknown flag `{flag}`")),
+            target => targets.push(target.to_string()),
+        }
+    }
+    if let Some(n) = workers {
+        if n == 0 {
+            die("--workers needs a positive integer");
+        }
+        // Must happen before the first `runner::engine()` touch.
+        std::env::set_var("SECPREF_EXP_WORKERS", n.to_string());
+    }
+    const KNOWN: &[&str] = &[
+        "all",
+        "table1",
+        "table2",
+        "table3",
+        "fig1",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "stats",
+        "ablations",
+    ];
+    if let Some(bad) = targets.iter().find(|t| !KNOWN.contains(&t.as_str())) {
+        die(&format!(
+            "unknown target `{bad}` (expected one of: {})",
+            KNOWN.join(", ")
+        ));
+    }
+
     let all = targets.is_empty() || targets.iter().any(|t| t == "all");
     let want = |name: &str| all || targets.iter().any(|t| t == name);
 
     let t0 = Instant::now();
+
+    // Phase 1: run the whole requested sweep through the engine.
+    let wanted: Vec<&str> = sweep::SIM_TARGETS
+        .iter()
+        .copied()
+        .filter(|t| want(t))
+        .collect();
+    let jobs = sweep::jobs_for_targets(wanted.iter().copied(), scale, mix_count);
+    if !jobs.is_empty() {
+        let summary = runner::prewarm(&jobs);
+        eprintln!(
+            "[repro] sweep: {} jobs, {} unique, {} simulated, {} resumed from store, {} already in memory ({} workers)",
+            summary.jobs_requested,
+            summary.jobs_unique,
+            summary.executed,
+            summary.from_store,
+            summary.from_memory,
+            runner::engine().workers(),
+        );
+    }
+
+    // Phase 2: render from the warm cache.
     if want("table1") {
         println!("{}", figures::table1());
     }
@@ -80,4 +156,9 @@ fn main() {
         eprintln!("[ablations took {:.1?}]", t.elapsed());
     }
     eprintln!("[total {:.1?}]", t0.elapsed());
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
 }

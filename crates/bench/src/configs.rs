@@ -67,7 +67,7 @@ pub fn full_suite() -> Vec<String> {
     v
 }
 
-/// A reduced suite for quick runs and Criterion benches: one
+/// A reduced suite for quick runs and micro-benches: one
 /// representative per pattern class.
 pub fn quick_suite() -> Vec<String> {
     [
@@ -90,12 +90,11 @@ pub fn mcf_trace() -> String {
 /// Deterministic 4-core mixes drawn from the full suite (the paper uses
 /// 150 random SPEC+GAP mixes; we scale the count down).
 pub fn multicore_mixes(count: usize) -> Vec<[String; 4]> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use secpref_types::rng::Xoshiro256ss;
     let names = full_suite();
-    let mut rng = StdRng::seed_from_u64(0x4D49_5845);
+    let mut rng = Xoshiro256ss::seed_from_u64(0x4D49_5845);
     (0..count)
-        .map(|_| std::array::from_fn(|_| names[rng.gen_range(0..names.len())].clone()))
+        .map(|_| std::array::from_fn(|_| names[rng.gen_index(names.len())].clone()))
         .collect()
 }
 

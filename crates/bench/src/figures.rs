@@ -550,7 +550,11 @@ pub fn table2() -> Table {
             cfg.tlb.stlb_ways,
             cfg.tlb.stlb_latency,
             cfg.tlb.walk_latency,
-            if cfg.tlb.enabled { "modelled" } else { "latency off in headline runs" },
+            if cfg.tlb.enabled {
+                "modelled"
+            } else {
+                "latency off in headline runs"
+            },
         ),
     ]);
     for (name, c) in [

@@ -1,14 +1,19 @@
-//! Benchmark harness: configuration matrix, cached experiment runner, and
-//! one regeneration function per paper table/figure.
+//! Benchmark harness: configuration matrix, engine-backed experiment
+//! runner, and one regeneration function per paper table/figure.
 //!
-//! The `repro` binary drives [`figures`]; the Criterion benches under
-//! `benches/` run scaled-down versions of each experiment so that
-//! `cargo bench` exercises every figure end to end.
+//! The `repro` binary enumerates each requested figure's job sweep
+//! ([`sweep`]), pushes it through the parallel experiment engine
+//! ([`runner::prewarm`] → `secpref_exp::Engine`), then renders the
+//! tables from the warm cache. The std-only micro-benches under
+//! `benches/` ([`microbench`]) run scaled-down versions of each
+//! experiment so `cargo bench` exercises every figure end to end.
 
 pub mod ablations;
 pub mod configs;
 pub mod figures;
+pub mod microbench;
 pub mod runner;
+pub mod sweep;
 pub mod table;
 
 pub use runner::{run_cached, ExpScale};

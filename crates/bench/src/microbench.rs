@@ -1,0 +1,89 @@
+//! A tiny std-only micro-benchmark harness (the workspace builds with no
+//! external crates, so there is no criterion).
+//!
+//! Each benchmark runs a short calibration pass, then a timed pass, and
+//! the suite prints a `name  ns/op  iters` table on `finish()`. Set
+//! `SECPREF_BENCH_MS` to change the per-benchmark time budget
+//! (milliseconds; default 50).
+
+use std::time::{Duration, Instant};
+
+/// One suite of micro-benchmarks, printed as a table when finished.
+pub struct MicroBench {
+    suite: String,
+    rows: Vec<(String, f64, u64)>,
+    budget: Duration,
+}
+
+impl MicroBench {
+    /// Creates a suite with the default (or `SECPREF_BENCH_MS`) budget.
+    pub fn new(suite: &str) -> Self {
+        let ms = std::env::var("SECPREF_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50u64);
+        MicroBench {
+            suite: suite.to_string(),
+            rows: Vec::new(),
+            budget: Duration::from_millis(ms.max(1)),
+        }
+    }
+
+    /// Times `f`, spending roughly the suite's per-benchmark budget.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Calibration: find an iteration count that fills ~1/4 budget.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let dt = t.elapsed();
+            if dt >= self.budget / 4 || iters >= 1 << 30 {
+                // Timed pass: scale to the full budget and re-measure.
+                let scale = (self.budget.as_secs_f64() / dt.as_secs_f64().max(1e-9)).min(64.0);
+                let timed_iters = ((iters as f64 * scale) as u64).max(1);
+                let t = Instant::now();
+                for _ in 0..timed_iters {
+                    std::hint::black_box(f());
+                }
+                let ns = t.elapsed().as_secs_f64() * 1e9 / timed_iters as f64;
+                self.rows.push((name.to_string(), ns, timed_iters));
+                return;
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+
+    /// Prints the result table.
+    pub fn finish(self) {
+        let width = self
+            .rows
+            .iter()
+            .map(|(n, _, _)| n.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        println!("== {} ==", self.suite);
+        println!("{:width$}  {:>14}  {:>10}", "name", "ns/op", "iters");
+        for (name, ns, iters) in &self.rows {
+            println!("{name:width$}  {ns:>14.1}  {iters:>10}");
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_positive_timings() {
+        let mut mb = MicroBench::new("test");
+        mb.budget = Duration::from_millis(2);
+        mb.bench("add", || std::hint::black_box(1u64) + 1);
+        assert_eq!(mb.rows.len(), 1);
+        assert!(mb.rows[0].1 > 0.0);
+        assert!(mb.rows[0].2 >= 1);
+    }
+}

@@ -1,78 +1,49 @@
-//! Cached experiment runner: each (config, trace, scale) simulation runs
-//! once per process no matter how many figures consume it.
+//! Figure-facing front end of the experiment engine.
+//!
+//! Every figure/table helper funnels through one process-wide
+//! [`secpref_exp::Engine`], so each (config, workload, scale) simulation
+//! runs at most once per process *and* is persisted to the engine's
+//! JSON-lines store — a re-run of `repro` (or a run killed half-way)
+//! picks completed jobs up from disk instead of simulating them again.
+//!
+//! The engine is configured from the environment: `SECPREF_EXP_DIR`
+//! (default `target/exp`) and `SECPREF_EXP_WORKERS` (default: available
+//! parallelism). Use [`prewarm`] to batch a whole sweep through the
+//! parallel pool before rendering figures; the per-figure helpers then
+//! hit the in-memory cache.
 
-use secpref_sim::{run_multi_with_window, run_single_with_window, SimReport};
-use secpref_trace::suite;
+pub use secpref_exp::ExpScale;
+
+use secpref_exp::{Engine, JobSpec};
+use secpref_sim::SimReport;
 use secpref_types::SystemConfig;
-use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
-/// Experiment scale: trades fidelity for wall-clock on the host.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum ExpScale {
-    /// Criterion benches and smoke tests.
-    Quick,
-    /// The `repro` default.
-    Full,
+/// The process-wide engine every figure helper shares.
+pub fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        Engine::from_env()
+            .expect("experiment store directory must be creatable")
+            .with_verbose(std::env::var_os("SECPREF_EXP_QUIET").is_none())
+    })
 }
 
-impl ExpScale {
-    /// (warm-up, measurement) windows in instructions, scaled from the
-    /// paper's 50 M / 200 M.
-    pub fn window(self) -> (u64, u64) {
-        match self {
-            ExpScale::Quick => (10_000, 40_000),
-            ExpScale::Full => (40_000, 160_000),
-        }
-    }
-
-    /// Trace length generated to feed the window (replays fill the rest).
-    pub fn trace_len(self) -> usize {
-        let (w, m) = self.window();
-        (w + m) as usize + 10_000
-    }
-
-    /// Multi-core per-core measurement window.
-    pub fn multicore_window(self) -> (u64, u64) {
-        match self {
-            ExpScale::Quick => (5_000, 20_000),
-            ExpScale::Full => (20_000, 60_000),
-        }
-    }
-}
-
-/// Cache key: (config key, trace name, scale).
-type ReportCache = Mutex<HashMap<(String, String, ExpScale), SimReport>>;
-
-fn cache() -> &'static ReportCache {
-    static CACHE: OnceLock<ReportCache> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// Runs `jobs` through the parallel pool (deduplicated, resumable) so
+/// subsequent [`run_cached`]/[`run_mix`] calls are in-memory hits.
+/// Returns the engine's run summary.
+pub fn prewarm(jobs: &[JobSpec]) -> secpref_exp::RunSummary {
+    engine().run_all_with_summary(jobs).1
 }
 
 /// Runs (or fetches) a single-core simulation of `trace_name` under `cfg`.
 pub fn run_cached(cfg: &SystemConfig, trace_name: &str, scale: ExpScale) -> SimReport {
-    let key = (cfg_key(cfg), trace_name.to_string(), scale);
-    if let Some(r) = cache().lock().expect("runner cache").get(&key) {
-        return r.clone();
-    }
-    let (warmup, measure) = scale.window();
-    let trace = suite::cached_trace(trace_name, scale.trace_len());
-    let report = run_single_with_window(cfg, &trace, warmup, measure);
-    cache()
-        .lock()
-        .expect("runner cache")
-        .insert(key, report.clone());
-    report
+    engine().run_one(&JobSpec::single(cfg.clone(), trace_name, scale))
 }
 
-/// Runs a 4-core mix (uncached: mixes rarely repeat).
+/// Runs (or fetches) a 4-core mix.
 pub fn run_mix(cfg: &SystemConfig, mix: &[String; 4], scale: ExpScale) -> SimReport {
-    let (warmup, measure) = scale.multicore_window();
-    let traces = mix
-        .iter()
-        .map(|n| suite::cached_trace(n, scale.trace_len()))
-        .collect();
-    run_multi_with_window(cfg, traces, warmup, measure)
+    engine().run_one(&JobSpec::mix(cfg.clone(), mix, scale))
 }
 
 /// Baseline (non-secure, no-prefetch) IPC of a trace — the denominator of
@@ -91,13 +62,6 @@ pub fn geomean_speedup(cfg: &SystemConfig, traces: &[String], scale: ExpScale) -
     secpref_sim::geomean(&ratios)
 }
 
-fn cfg_key(cfg: &SystemConfig) -> String {
-    format!(
-        "{:?}|{:?}|{:?}|suf={}|ts={}|cores={}",
-        cfg.prefetcher, cfg.prefetch_mode, cfg.secure, cfg.suf, cfg.timely_secure, cfg.cores
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,13 +72,27 @@ mod tests {
         let a = run_cached(&cfg, "leela_like", ExpScale::Quick);
         let b = run_cached(&cfg, "leela_like", ExpScale::Quick);
         assert_eq!(a.ipc(), b.ipc());
+        assert_eq!(a.cores[0].cycles, b.cores[0].cycles);
     }
 
     #[test]
     fn distinct_configs_distinct_keys() {
         use secpref_types::PrefetcherKind;
-        let a = cfg_key(&crate::configs::on_commit_secure(PrefetcherKind::Berti));
-        let b = cfg_key(&crate::configs::on_commit_suf(PrefetcherKind::Berti));
+        let mk = |cfg: SystemConfig| JobSpec::single(cfg, "mcf_like_a", ExpScale::Quick).key();
+        let a = mk(crate::configs::on_commit_secure(PrefetcherKind::Berti));
+        let b = mk(crate::configs::on_commit_suf(PrefetcherKind::Berti));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn geometry_only_changes_get_distinct_keys() {
+        // Regression: the old cfg_key hashed just six mode fields, so
+        // configs differing only in cache geometry shared one cache slot
+        // and the second one silently returned the first one's report.
+        let base = crate::configs::nonsecure_nopref();
+        let mut bigger_l1d = base.clone();
+        bigger_l1d.l1d.size_bytes *= 2;
+        let mk = |cfg: &SystemConfig| JobSpec::single(cfg.clone(), "x", ExpScale::Quick).key();
+        assert_ne!(mk(&base), mk(&bigger_l1d));
     }
 }

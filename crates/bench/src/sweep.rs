@@ -1,0 +1,232 @@
+//! Sweep enumeration: the exact set of engine jobs each figure/table
+//! consumes, so `repro` can push an entire run through the parallel
+//! experiment engine *before* rendering anything.
+//!
+//! Keeping the enumeration separate from the figure code means the
+//! figures stay straight-line "ask for a report, format it" code, while
+//! the engine sees the whole job graph up front — deduplicated across
+//! figures, executed on all workers, resumable from the store.
+
+use crate::configs::*;
+use crate::runner::ExpScale;
+use secpref_exp::JobSpec;
+use secpref_types::{PrefetcherKind, SystemConfig};
+
+/// Figure/table targets that involve simulation (static tables are
+/// rendered directly and need no jobs).
+pub const SIM_TARGETS: &[&str] = &[
+    "fig1", "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "stats",
+];
+
+/// Jobs for one target. Unknown and static targets yield no jobs.
+/// Duplicates across targets are fine — the engine deduplicates.
+pub fn jobs_for(target: &str, scale: ExpScale, mix_count: usize) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    let mut singles = |cfgs: &[SystemConfig], traces: &[String]| {
+        for cfg in cfgs {
+            for tr in traces {
+                jobs.push(JobSpec::single(cfg.clone(), tr, scale));
+            }
+        }
+    };
+    let per_kind = |f: fn(PrefetcherKind) -> SystemConfig| -> Vec<SystemConfig> {
+        PrefetcherKind::EVALUATED.iter().map(|&k| f(k)).collect()
+    };
+    let suite = full_suite();
+    match target {
+        "fig1" => {
+            let mut cfgs = per_kind(on_access_nonsecure);
+            cfgs.extend(per_kind(on_access_secure));
+            cfgs.extend(per_kind(on_commit_secure));
+            cfgs.push(secure_nopref());
+            cfgs.push(nonsecure_nopref());
+            singles(&cfgs, &suite);
+        }
+        "fig3" | "fig4" | "fig5" => {
+            let mut cfgs = vec![nonsecure_nopref(), secure_nopref()];
+            cfgs.extend(per_kind(on_access_nonsecure));
+            cfgs.extend(per_kind(on_access_secure));
+            if target == "fig5" {
+                singles(&cfgs, &[mcf_trace()]);
+                singles(&[nonsecure_nopref()], &[mcf_trace()]);
+            } else {
+                singles(&cfgs, &suite);
+            }
+        }
+        "fig6" => {
+            let mut cfgs = per_kind(on_access_secure);
+            cfgs.extend(per_kind(on_commit_secure));
+            singles(&cfgs, &suite);
+        }
+        "fig10" => {
+            let mut cfgs = per_kind(on_commit_secure);
+            cfgs.extend(per_kind(timely_secure));
+            cfgs.push(secure_nopref());
+            cfgs.push(nonsecure_nopref());
+            singles(&cfgs, &suite);
+        }
+        "fig11" => {
+            let mut cfgs = per_kind(on_access_nonsecure);
+            cfgs.extend(per_kind(on_commit_secure));
+            cfgs.extend(per_kind(on_commit_suf));
+            cfgs.push(timely_secure(PrefetcherKind::Berti));
+            cfgs.push(timely_secure_suf(PrefetcherKind::Berti));
+            cfgs.push(secure_nopref());
+            cfgs.push(secure_nopref().with_suf(true));
+            cfgs.push(nonsecure_nopref());
+            singles(&cfgs, &suite);
+        }
+        "fig12" => {
+            let cfgs = [
+                on_commit_secure(PrefetcherKind::Berti),
+                timely_secure(PrefetcherKind::Berti),
+                timely_secure_suf(PrefetcherKind::Berti),
+                nonsecure_nopref(),
+            ];
+            let mut all = spec_suite();
+            all.extend(gap_suite());
+            singles(&cfgs, &all);
+        }
+        "fig13" => {
+            let mut cfgs = per_kind(on_access_nonsecure);
+            cfgs.extend(per_kind(on_commit_secure));
+            cfgs.extend(per_kind(on_commit_suf));
+            cfgs.extend(per_kind(timely_secure));
+            singles(&cfgs, &suite);
+        }
+        "fig14" => {
+            let mut cfgs = per_kind(on_access_nonsecure);
+            cfgs.extend(per_kind(on_commit_secure));
+            cfgs.extend(per_kind(on_commit_suf));
+            cfgs.push(secure_nopref());
+            cfgs.push(nonsecure_nopref());
+            singles(&cfgs, &suite);
+        }
+        "fig15" => {
+            let mixes = multicore_mixes(mix_count);
+            let cfgs = [
+                nonsecure_nopref(),
+                secure_nopref(),
+                on_access_nonsecure(PrefetcherKind::Berti),
+                on_commit_secure(PrefetcherKind::Berti),
+                on_commit_suf(PrefetcherKind::Berti),
+                timely_secure(PrefetcherKind::Berti),
+                timely_secure_suf(PrefetcherKind::Berti),
+            ];
+            for mix in &mixes {
+                for cfg in &cfgs {
+                    jobs.push(JobSpec::mix(cfg.clone(), mix, scale));
+                }
+                // Alone-runs for the weighted-speedup denominators.
+                for name in mix {
+                    jobs.push(JobSpec::single(nonsecure_nopref(), name, scale));
+                }
+            }
+        }
+        "stats" => {
+            let berti = PrefetcherKind::Berti;
+            let cfgs = [
+                nonsecure_nopref(),
+                secure_nopref(),
+                on_access_nonsecure(berti),
+                on_access_secure(berti),
+                on_commit_secure(berti),
+                on_commit_suf(berti),
+            ];
+            singles(&cfgs, &suite);
+        }
+        _ => {}
+    }
+    jobs
+}
+
+/// Jobs for a set of requested targets (deduplication happens in the
+/// engine, not here).
+pub fn jobs_for_targets<'a>(
+    targets: impl IntoIterator<Item = &'a str>,
+    scale: ExpScale,
+    mix_count: usize,
+) -> Vec<JobSpec> {
+    targets
+        .into_iter()
+        .flat_map(|t| jobs_for(t, scale, mix_count))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn every_sim_target_has_jobs() {
+        for t in SIM_TARGETS {
+            assert!(
+                !jobs_for(t, ExpScale::Quick, 2).is_empty(),
+                "target {t} enumerated no jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn static_targets_have_none() {
+        for t in ["table1", "table2", "table3", "nonsense"] {
+            assert!(jobs_for(t, ExpScale::Quick, 2).is_empty());
+        }
+    }
+
+    #[test]
+    fn normalizing_targets_include_their_baseline() {
+        // Figures that normalize against non-secure no-pref must cover
+        // those jobs or the render phase would simulate serially after
+        // the parallel prewarm. (fig6/fig13 report raw MPKI/accuracy and
+        // need no baseline.)
+        let base_label = {
+            let j = JobSpec::single(nonsecure_nopref(), "x", ExpScale::Quick);
+            (j.cfg.prefetcher, j.cfg.secure)
+        };
+        for t in [
+            "fig1", "fig3", "fig4", "fig5", "fig10", "fig11", "fig12", "fig14", "fig15", "stats",
+        ] {
+            let jobs = jobs_for(t, ExpScale::Quick, 2);
+            assert!(
+                jobs.iter()
+                    .any(|j| (j.cfg.prefetcher, j.cfg.secure) == base_label),
+                "target {t} is missing baseline jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn fig15_covers_mixes_and_alone_runs() {
+        let jobs = jobs_for("fig15", ExpScale::Quick, 3);
+        let mixes = jobs
+            .iter()
+            .filter(|j| matches!(j.workload, secpref_exp::Workload::Mix(_)))
+            .count();
+        let singles = jobs.len() - mixes;
+        assert_eq!(mixes, 3 * 7);
+        assert_eq!(singles, 3 * 4);
+    }
+
+    #[test]
+    fn sweeps_are_heavily_shared() {
+        // The whole point of content-keyed jobs: figure sweeps overlap, so
+        // the union is much smaller than the sum.
+        let sum: usize = SIM_TARGETS
+            .iter()
+            .map(|t| jobs_for(t, ExpScale::Quick, 2).len())
+            .sum();
+        let union: HashSet<String> = SIM_TARGETS
+            .iter()
+            .flat_map(|t| jobs_for(t, ExpScale::Quick, 2))
+            .map(|j| j.key())
+            .collect();
+        assert!(
+            union.len() * 2 < sum,
+            "expected ≥2× sharing, got {} unique of {sum} requested",
+            union.len()
+        );
+    }
+}

@@ -135,13 +135,12 @@ mod tests {
 
     #[test]
     fn random_is_hard() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = secpref_types::rng::Xoshiro256ss::seed_from_u64(3);
         let mut p = PerceptronPredictor::new();
         let ip = Ip::new(0x30);
         let mut correct = 0;
         for _ in 0..2000 {
-            let t: bool = rng.gen();
+            let t: bool = rng.gen_flip();
             let pred = p.predict(ip);
             if pred == t {
                 correct += 1;

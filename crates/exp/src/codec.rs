@@ -1,0 +1,378 @@
+//! JSON encoding/decoding of [`SimReport`] for the result store.
+//!
+//! Encoders destructure every struct exhaustively and decoders build the
+//! structs with full literals, so adding a metrics field is a compile
+//! error here rather than a silent data loss. Counters stay `u64` end to
+//! end; the single `f64` (`energy_nj`) round-trips bit-exactly through
+//! the shortest-representation formatter in [`crate::json`].
+
+use crate::json::{obj, parse, Json};
+use secpref_sim::{
+    CommitMetrics, CoreMetrics, DramStats, LevelMetrics, MissClassCounts, PrefetchMetrics,
+    SimReport,
+};
+
+/// Encodes a report as a compact JSON object.
+pub fn encode_report(report: &SimReport) -> Json {
+    let SimReport {
+        label,
+        cores,
+        dram,
+        energy_nj,
+    } = report;
+    obj(vec![
+        ("label", Json::Str(label.clone())),
+        ("energy_nj", Json::Float(*energy_nj)),
+        ("dram", encode_dram(dram)),
+        ("cores", Json::Arr(cores.iter().map(encode_core).collect())),
+    ])
+}
+
+/// Decodes a report produced by [`encode_report`].
+///
+/// # Errors
+///
+/// Returns a description of the first missing or mistyped field.
+pub fn decode_report(json: &Json) -> Result<SimReport, String> {
+    Ok(SimReport {
+        label: str_field(json, "label")?,
+        energy_nj: f64_field(json, "energy_nj")?,
+        dram: decode_dram(field(json, "dram")?)?,
+        cores: field(json, "cores")?
+            .as_arr()
+            .ok_or("cores: not an array")?
+            .iter()
+            .map(decode_core)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+/// Serializes a report to a JSON string.
+pub fn report_to_string(report: &SimReport) -> String {
+    encode_report(report).to_string()
+}
+
+/// Parses a report from a JSON string.
+///
+/// # Errors
+///
+/// Propagates JSON syntax errors and [`decode_report`] field errors.
+pub fn report_from_str(s: &str) -> Result<SimReport, String> {
+    decode_report(&parse(s)?)
+}
+
+fn encode_dram(d: &DramStats) -> Json {
+    let DramStats {
+        reads,
+        writes,
+        row_hits,
+        row_misses,
+        wq_forwards,
+    } = d;
+    obj(vec![
+        ("reads", Json::UInt(*reads)),
+        ("writes", Json::UInt(*writes)),
+        ("row_hits", Json::UInt(*row_hits)),
+        ("row_misses", Json::UInt(*row_misses)),
+        ("wq_forwards", Json::UInt(*wq_forwards)),
+    ])
+}
+
+fn decode_dram(json: &Json) -> Result<DramStats, String> {
+    Ok(DramStats {
+        reads: u64_field(json, "reads")?,
+        writes: u64_field(json, "writes")?,
+        row_hits: u64_field(json, "row_hits")?,
+        row_misses: u64_field(json, "row_misses")?,
+        wq_forwards: u64_field(json, "wq_forwards")?,
+    })
+}
+
+fn encode_core(c: &CoreMetrics) -> Json {
+    let CoreMetrics {
+        instructions,
+        cycles,
+        l1d,
+        l2,
+        llc,
+        dram_accesses,
+        gm_accesses,
+        prefetch,
+        commit,
+        class,
+        wrong_path_loads,
+    } = c;
+    obj(vec![
+        ("instructions", Json::UInt(*instructions)),
+        ("cycles", Json::UInt(*cycles)),
+        ("l1d", encode_level(l1d)),
+        ("l2", encode_level(l2)),
+        ("llc", encode_level(llc)),
+        ("dram_accesses", Json::UInt(*dram_accesses)),
+        ("gm_accesses", Json::UInt(*gm_accesses)),
+        ("prefetch", encode_prefetch(prefetch)),
+        ("commit", encode_commit(commit)),
+        ("class", encode_class(class)),
+        ("wrong_path_loads", Json::UInt(*wrong_path_loads)),
+    ])
+}
+
+fn decode_core(json: &Json) -> Result<CoreMetrics, String> {
+    Ok(CoreMetrics {
+        instructions: u64_field(json, "instructions")?,
+        cycles: u64_field(json, "cycles")?,
+        l1d: decode_level(field(json, "l1d")?)?,
+        l2: decode_level(field(json, "l2")?)?,
+        llc: decode_level(field(json, "llc")?)?,
+        dram_accesses: u64_field(json, "dram_accesses")?,
+        gm_accesses: u64_field(json, "gm_accesses")?,
+        prefetch: decode_prefetch(field(json, "prefetch")?)?,
+        commit: decode_commit(field(json, "commit")?)?,
+        class: decode_class(field(json, "class")?)?,
+        wrong_path_loads: u64_field(json, "wrong_path_loads")?,
+    })
+}
+
+fn encode_level(l: &LevelMetrics) -> Json {
+    let LevelMetrics {
+        demand_accesses,
+        demand_misses,
+        prefetch_accesses,
+        commit_accesses,
+        writeback_accesses,
+        mshr_occupancy_integral,
+        mshr_full_cycles,
+        mshr_full_stalls,
+        port_stalls,
+        miss_latency_sum,
+        miss_latency_count,
+    } = l;
+    obj(vec![
+        ("demand_accesses", Json::UInt(*demand_accesses)),
+        ("demand_misses", Json::UInt(*demand_misses)),
+        ("prefetch_accesses", Json::UInt(*prefetch_accesses)),
+        ("commit_accesses", Json::UInt(*commit_accesses)),
+        ("writeback_accesses", Json::UInt(*writeback_accesses)),
+        (
+            "mshr_occupancy_integral",
+            Json::UInt(*mshr_occupancy_integral),
+        ),
+        ("mshr_full_cycles", Json::UInt(*mshr_full_cycles)),
+        ("mshr_full_stalls", Json::UInt(*mshr_full_stalls)),
+        ("port_stalls", Json::UInt(*port_stalls)),
+        ("miss_latency_sum", Json::UInt(*miss_latency_sum)),
+        ("miss_latency_count", Json::UInt(*miss_latency_count)),
+    ])
+}
+
+fn decode_level(json: &Json) -> Result<LevelMetrics, String> {
+    Ok(LevelMetrics {
+        demand_accesses: u64_field(json, "demand_accesses")?,
+        demand_misses: u64_field(json, "demand_misses")?,
+        prefetch_accesses: u64_field(json, "prefetch_accesses")?,
+        commit_accesses: u64_field(json, "commit_accesses")?,
+        writeback_accesses: u64_field(json, "writeback_accesses")?,
+        mshr_occupancy_integral: u64_field(json, "mshr_occupancy_integral")?,
+        mshr_full_cycles: u64_field(json, "mshr_full_cycles")?,
+        mshr_full_stalls: u64_field(json, "mshr_full_stalls")?,
+        port_stalls: u64_field(json, "port_stalls")?,
+        miss_latency_sum: u64_field(json, "miss_latency_sum")?,
+        miss_latency_count: u64_field(json, "miss_latency_count")?,
+    })
+}
+
+fn encode_prefetch(p: &PrefetchMetrics) -> Json {
+    let PrefetchMetrics {
+        proposed,
+        issued,
+        dropped_duplicate,
+        dropped_resources,
+        useful,
+        late,
+        useless,
+    } = p;
+    obj(vec![
+        ("proposed", Json::UInt(*proposed)),
+        ("issued", Json::UInt(*issued)),
+        ("dropped_duplicate", Json::UInt(*dropped_duplicate)),
+        ("dropped_resources", Json::UInt(*dropped_resources)),
+        ("useful", Json::UInt(*useful)),
+        ("late", Json::UInt(*late)),
+        ("useless", Json::UInt(*useless)),
+    ])
+}
+
+fn decode_prefetch(json: &Json) -> Result<PrefetchMetrics, String> {
+    Ok(PrefetchMetrics {
+        proposed: u64_field(json, "proposed")?,
+        issued: u64_field(json, "issued")?,
+        dropped_duplicate: u64_field(json, "dropped_duplicate")?,
+        dropped_resources: u64_field(json, "dropped_resources")?,
+        useful: u64_field(json, "useful")?,
+        late: u64_field(json, "late")?,
+        useless: u64_field(json, "useless")?,
+    })
+}
+
+fn encode_commit(c: &CommitMetrics) -> Json {
+    let CommitMetrics {
+        commit_writes,
+        refetches,
+        suf_dropped,
+        suf_drop_correct,
+        suf_drop_wrong,
+        propagation_skipped,
+        propagation_skip_correct,
+        propagation_skip_wrong,
+        propagations,
+    } = c;
+    obj(vec![
+        ("commit_writes", Json::UInt(*commit_writes)),
+        ("refetches", Json::UInt(*refetches)),
+        ("suf_dropped", Json::UInt(*suf_dropped)),
+        ("suf_drop_correct", Json::UInt(*suf_drop_correct)),
+        ("suf_drop_wrong", Json::UInt(*suf_drop_wrong)),
+        ("propagation_skipped", Json::UInt(*propagation_skipped)),
+        (
+            "propagation_skip_correct",
+            Json::UInt(*propagation_skip_correct),
+        ),
+        (
+            "propagation_skip_wrong",
+            Json::UInt(*propagation_skip_wrong),
+        ),
+        ("propagations", Json::UInt(*propagations)),
+    ])
+}
+
+fn decode_commit(json: &Json) -> Result<CommitMetrics, String> {
+    Ok(CommitMetrics {
+        commit_writes: u64_field(json, "commit_writes")?,
+        refetches: u64_field(json, "refetches")?,
+        suf_dropped: u64_field(json, "suf_dropped")?,
+        suf_drop_correct: u64_field(json, "suf_drop_correct")?,
+        suf_drop_wrong: u64_field(json, "suf_drop_wrong")?,
+        propagation_skipped: u64_field(json, "propagation_skipped")?,
+        propagation_skip_correct: u64_field(json, "propagation_skip_correct")?,
+        propagation_skip_wrong: u64_field(json, "propagation_skip_wrong")?,
+        propagations: u64_field(json, "propagations")?,
+    })
+}
+
+fn encode_class(c: &MissClassCounts) -> Json {
+    let MissClassCounts {
+        late,
+        commit_late,
+        missed_opportunity,
+        uncovered,
+    } = c;
+    obj(vec![
+        ("late", Json::UInt(*late)),
+        ("commit_late", Json::UInt(*commit_late)),
+        ("missed_opportunity", Json::UInt(*missed_opportunity)),
+        ("uncovered", Json::UInt(*uncovered)),
+    ])
+}
+
+fn decode_class(json: &Json) -> Result<MissClassCounts, String> {
+    Ok(MissClassCounts {
+        late: u64_field(json, "late")?,
+        commit_late: u64_field(json, "commit_late")?,
+        missed_opportunity: u64_field(json, "missed_opportunity")?,
+        uncovered: u64_field(json, "uncovered")?,
+    })
+}
+
+fn field<'a>(json: &'a Json, key: &str) -> Result<&'a Json, String> {
+    json.get(key)
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn u64_field(json: &Json, key: &str) -> Result<u64, String> {
+    field(json, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` is not a u64"))
+}
+
+fn f64_field(json: &Json, key: &str) -> Result<f64, String> {
+    field(json, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` is not a number"))
+}
+
+fn str_field(json: &Json, key: &str) -> Result<String, String> {
+    Ok(field(json, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))?
+        .to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SimReport {
+        let mut core = CoreMetrics {
+            instructions: 40_000,
+            cycles: 55_321,
+            dram_accesses: 1_234,
+            gm_accesses: 9_876,
+            wrong_path_loads: 321,
+            ..Default::default()
+        };
+        core.l1d.demand_accesses = 17_001;
+        core.l1d.demand_misses = 801;
+        core.l1d.miss_latency_sum = 64_123;
+        core.l1d.miss_latency_count = 801;
+        core.l2.prefetch_accesses = 555;
+        core.llc.writeback_accesses = 77;
+        core.prefetch.proposed = 900;
+        core.prefetch.issued = 850;
+        core.prefetch.useful = 600;
+        core.prefetch.late = 42;
+        core.commit.commit_writes = 3_000;
+        core.commit.suf_drop_correct = 120;
+        core.class.uncovered = 33;
+        SimReport {
+            label: "Berti/on-commit/GhostMinion+SUF".to_string(),
+            cores: vec![core.clone(), core],
+            dram: DramStats {
+                reads: 1_000,
+                writes: 200,
+                row_hits: 700,
+                row_misses: 500,
+                wq_forwards: 12,
+            },
+            energy_nj: 12_345.678_9,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_exactly() {
+        let r = sample_report();
+        let s = report_to_string(&r);
+        let back = report_from_str(&s).unwrap();
+        // Serialized forms must match byte for byte (resume determinism).
+        assert_eq!(report_to_string(&back), s);
+        assert_eq!(back.label, r.label);
+        assert_eq!(back.cores.len(), 2);
+        assert_eq!(back.cores[0].l1d.demand_misses, 801);
+        assert_eq!(back.cores[0].prefetch.late, 42);
+        assert_eq!(back.dram.wq_forwards, 12);
+        assert_eq!(back.energy_nj.to_bits(), r.energy_nj.to_bits());
+    }
+
+    #[test]
+    fn decode_reports_missing_fields() {
+        let err = report_from_str(r#"{"label":"x"}"#).unwrap_err();
+        assert!(err.contains("energy_nj"), "{err}");
+    }
+
+    #[test]
+    fn decode_reports_type_errors() {
+        let mut s = report_to_string(&sample_report());
+        s = s.replace("\"reads\":1000", "\"reads\":\"1000\"");
+        let err = report_from_str(&s).unwrap_err();
+        assert!(err.contains("reads"), "{err}");
+    }
+}

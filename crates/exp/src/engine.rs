@@ -1,0 +1,609 @@
+//! The experiment engine: dedupe → resume → parallel execute → persist.
+//!
+//! [`Engine::run_all`] takes an arbitrary job list (duplicates welcome —
+//! figures freely re-request the same configurations) and:
+//!
+//! 1. deduplicates by content key ([`JobSpec::key`]),
+//! 2. resolves what it can from the in-memory cache and the on-disk
+//!    [`ResultStore`] (canonical strings are compared, so a hash
+//!    collision falls through to a re-run instead of returning the wrong
+//!    report),
+//! 3. pre-generates the traces the remaining jobs need (in parallel, one
+//!    generation per distinct trace),
+//! 4. runs the remaining jobs on the worker pool, appending each result
+//!    to the store the moment it completes — a killed run resumes from
+//!    exactly the jobs it finished,
+//! 5. writes a run manifest (JSON) and a per-job timing table (CSV), and
+//! 6. returns reports in the order of the *request*, independent of
+//!    worker count.
+
+use crate::job::JobSpec;
+use crate::json::{obj, Json};
+use crate::pool;
+use crate::store::{ResultStore, StoredResult};
+use secpref_sim::SimReport;
+use secpref_trace::suite;
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Where a job's report came from in this run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResultSource {
+    /// Already computed earlier in this process.
+    Memory,
+    /// Loaded from the on-disk result store (a resumed job).
+    Store,
+    /// Simulated during this run.
+    Ran,
+}
+
+impl ResultSource {
+    fn name(self) -> &'static str {
+        match self {
+            ResultSource::Memory => "memory",
+            ResultSource::Store => "store",
+            ResultSource::Ran => "ran",
+        }
+    }
+}
+
+/// Per-job record in a run's manifest and timing export.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Content key.
+    pub key: String,
+    /// Human-readable label.
+    pub label: String,
+    /// Where the report came from.
+    pub source: ResultSource,
+    /// Wall-clock of the simulation (zero for cached results).
+    pub wall: Duration,
+}
+
+/// Summary of one [`Engine::run_all`] invocation.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Unique id of this run (also names the manifest/timing files).
+    pub run_id: String,
+    /// Jobs requested (before dedupe).
+    pub jobs_requested: usize,
+    /// Distinct jobs after dedupe.
+    pub jobs_unique: usize,
+    /// Served from the in-process cache.
+    pub from_memory: usize,
+    /// Resumed from the on-disk store.
+    pub from_store: usize,
+    /// Actually simulated.
+    pub executed: usize,
+    /// Total wall-clock of the run.
+    pub wall: Duration,
+    /// Path of the manifest written for this run.
+    pub manifest_path: PathBuf,
+    /// Path of the per-job timing CSV.
+    pub timings_path: PathBuf,
+    /// One record per unique job.
+    pub jobs: Vec<JobRecord>,
+}
+
+/// Parallel, resumable experiment runner.
+///
+/// An engine owns a result store directory and a worker count. It is
+/// safe to share one engine across threads (`run_one` from concurrent
+/// tests, say); `run_all` itself is what parallelizes a sweep.
+#[derive(Debug)]
+pub struct Engine {
+    store: ResultStore,
+    workers: usize,
+    verbose: bool,
+    mem: Mutex<HashMap<String, SimReport>>,
+    disk: Mutex<Option<HashMap<String, StoredResult>>>,
+    run_seq: AtomicU64,
+}
+
+impl Engine {
+    /// Creates an engine over the store at `dir` with a fixed worker
+    /// count (clamped to ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store-directory creation failures.
+    pub fn new(dir: impl Into<PathBuf>, workers: usize) -> io::Result<Self> {
+        Ok(Engine {
+            store: ResultStore::open(dir.into())?,
+            workers: workers.max(1),
+            verbose: false,
+            mem: Mutex::new(HashMap::new()),
+            disk: Mutex::new(None),
+            run_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Builds an engine from the environment:
+    /// `SECPREF_EXP_DIR` (default `target/exp`) and
+    /// `SECPREF_EXP_WORKERS` (default: available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store-directory creation failures.
+    pub fn from_env() -> io::Result<Self> {
+        let dir = std::env::var("SECPREF_EXP_DIR").unwrap_or_else(|_| "target/exp".to_string());
+        let workers = std::env::var("SECPREF_EXP_WORKERS")
+            .ok()
+            .and_then(|w| w.parse().ok())
+            .unwrap_or_else(default_workers);
+        Engine::new(dir, workers)
+    }
+
+    /// Enables/disables progress lines on stderr.
+    pub fn with_verbose(mut self, verbose: bool) -> Self {
+        self.verbose = verbose;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The store directory.
+    pub fn store_dir(&self) -> &std::path::Path {
+        self.store.dir()
+    }
+
+    /// Runs a sweep and returns reports in request order. See the module
+    /// docs for the phases. Convenience wrapper over
+    /// [`Engine::run_all_with_summary`].
+    pub fn run_all(&self, jobs: &[JobSpec]) -> Vec<SimReport> {
+        self.run_all_with_summary(jobs).0
+    }
+
+    /// Runs a sweep, returning the reports plus the run's summary
+    /// (job provenance counts, manifest path, timings).
+    pub fn run_all_with_summary(&self, jobs: &[JobSpec]) -> (Vec<SimReport>, RunSummary) {
+        let t0 = Instant::now();
+        let run_id = self.next_run_id();
+
+        // Phase 1: dedupe, preserving first-occurrence order.
+        let keyed: Vec<(String, String)> = jobs.iter().map(|j| (j.key(), j.canonical())).collect();
+        let mut seen = HashSet::new();
+        let mut unique: Vec<usize> = Vec::new();
+        for (i, (key, _)) in keyed.iter().enumerate() {
+            if seen.insert(key.clone()) {
+                unique.push(i);
+            }
+        }
+
+        // Phase 2: resolve from memory, then from the on-disk store.
+        let mut records: HashMap<String, JobRecord> = HashMap::new();
+        let mut to_run: Vec<usize> = Vec::new();
+        {
+            let mem = self.mem.lock().expect("engine mem cache");
+            let mut disk = self.disk.lock().expect("engine disk cache");
+            let disk = disk.get_or_insert_with(|| self.store.load());
+            let mut mem_inserts: Vec<(String, SimReport)> = Vec::new();
+            for &i in &unique {
+                let (key, canonical) = &keyed[i];
+                let source = if mem.contains_key(key) {
+                    Some(ResultSource::Memory)
+                } else if let Some(stored) = disk.get(key) {
+                    if &stored.canonical == canonical {
+                        mem_inserts.push((key.clone(), stored.report.clone()));
+                        Some(ResultSource::Store)
+                    } else {
+                        // Hash collision or stale canonical: re-run.
+                        None
+                    }
+                } else {
+                    None
+                };
+                match source {
+                    Some(src) => {
+                        records.insert(
+                            key.clone(),
+                            JobRecord {
+                                key: key.clone(),
+                                label: jobs[i].label(),
+                                source: src,
+                                wall: Duration::ZERO,
+                            },
+                        );
+                    }
+                    None => to_run.push(i),
+                }
+            }
+            drop(mem);
+            let mut mem = self.mem.lock().expect("engine mem cache");
+            for (k, r) in mem_inserts {
+                mem.insert(k, r);
+            }
+        }
+
+        let from_memory = records
+            .values()
+            .filter(|r| r.source == ResultSource::Memory)
+            .count();
+        let from_store = records
+            .values()
+            .filter(|r| r.source == ResultSource::Store)
+            .count();
+        self.say(&format!(
+            "[exp] run {run_id}: {} jobs requested, {} unique, {} from memory, {} from store, {} to run on {} workers",
+            jobs.len(),
+            unique.len(),
+            from_memory,
+            from_store,
+            to_run.len(),
+            self.workers,
+        ));
+
+        // Phase 3: pre-generate traces so workers hit a warm trace cache
+        // instead of serializing on generation.
+        let run_specs: Vec<JobSpec> = to_run.iter().map(|&i| jobs[i].clone()).collect();
+        self.pregenerate_traces(&run_specs);
+
+        // Phase 4: execute, persisting and reporting each completion.
+        let total = run_specs.len();
+        let done = AtomicUsize::new(0);
+        let outcomes = pool::run_jobs(&run_specs, self.workers, |idx, job, report, wall| {
+            let (key, canonical) = &keyed[to_run[idx]];
+            if let Err(e) = self.store.append(key, canonical, report) {
+                self.say(&format!("[exp] warning: store append failed: {e}"));
+            }
+            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+            let elapsed = t0.elapsed();
+            let eta = if n > 0 {
+                elapsed.mul_f64((total - n) as f64 / n as f64)
+            } else {
+                Duration::ZERO
+            };
+            self.say(&format!(
+                "[exp] {n}/{total} ({:.0}%) elapsed {} eta {} — {} in {}",
+                n as f64 * 100.0 / total.max(1) as f64,
+                fmt_secs(elapsed),
+                fmt_secs(eta),
+                job.label(),
+                fmt_secs(wall),
+            ));
+        });
+        {
+            let mut mem = self.mem.lock().expect("engine mem cache");
+            for (idx, outcome) in outcomes.iter().enumerate() {
+                let (key, _) = &keyed[to_run[idx]];
+                mem.insert(key.clone(), outcome.report.clone());
+                records.insert(
+                    key.clone(),
+                    JobRecord {
+                        key: key.clone(),
+                        label: run_specs[idx].label(),
+                        source: ResultSource::Ran,
+                        wall: outcome.wall,
+                    },
+                );
+            }
+        }
+
+        // Phase 5: manifest + timings, then assemble request-order output.
+        let job_records: Vec<JobRecord> = unique
+            .iter()
+            .map(|&i| records[&keyed[i].0].clone())
+            .collect();
+        let wall = t0.elapsed();
+        let summary = self.write_observability(RunSummary {
+            run_id: run_id.clone(),
+            jobs_requested: jobs.len(),
+            jobs_unique: unique.len(),
+            from_memory,
+            from_store,
+            executed: total,
+            wall,
+            manifest_path: PathBuf::new(),
+            timings_path: PathBuf::new(),
+            jobs: job_records,
+        });
+
+        let mem = self.mem.lock().expect("engine mem cache");
+        let reports = keyed.iter().map(|(key, _)| mem[key].clone()).collect();
+        self.say(&format!(
+            "[exp] run {run_id} done in {} ({} simulated, {} reused); manifest {}",
+            fmt_secs(wall),
+            summary.executed,
+            summary.from_memory + summary.from_store,
+            summary.manifest_path.display(),
+        ));
+        (reports, summary)
+    }
+
+    /// Runs (or fetches) a single job: memory → store → simulate inline.
+    pub fn run_one(&self, job: &JobSpec) -> SimReport {
+        let key = job.key();
+        if let Some(r) = self.mem.lock().expect("engine mem cache").get(&key) {
+            return r.clone();
+        }
+        let canonical = job.canonical();
+        {
+            let mut disk = self.disk.lock().expect("engine disk cache");
+            let disk = disk.get_or_insert_with(|| self.store.load());
+            if let Some(stored) = disk.get(&key) {
+                if stored.canonical == canonical {
+                    let report = stored.report.clone();
+                    self.mem
+                        .lock()
+                        .expect("engine mem cache")
+                        .insert(key, report.clone());
+                    return report;
+                }
+            }
+        }
+        let report = job.run();
+        if let Err(e) = self.store.append(&key, &canonical, &report) {
+            self.say(&format!("[exp] warning: store append failed: {e}"));
+        }
+        self.mem
+            .lock()
+            .expect("engine mem cache")
+            .insert(key, report.clone());
+        report
+    }
+
+    /// Generates every distinct trace the given jobs need, in parallel,
+    /// so the job phase finds them in the suite's cache.
+    fn pregenerate_traces(&self, jobs: &[JobSpec]) {
+        let mut needed: Vec<(String, usize)> = Vec::new();
+        let mut seen = HashSet::new();
+        for job in jobs {
+            let len = job.scale.trace_len();
+            for name in job.workload.trace_names() {
+                if seen.insert((name.to_string(), len)) {
+                    needed.push((name.to_string(), len));
+                }
+            }
+        }
+        if needed.is_empty() {
+            return;
+        }
+        self.say(&format!(
+            "[exp] generating {} trace(s) on {} workers",
+            needed.len(),
+            self.workers,
+        ));
+        let cursor = AtomicUsize::new(0);
+        let threads = self.workers.clamp(1, needed.len());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let cursor = &cursor;
+                let needed = &needed;
+                scope.spawn(move || loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some((name, len)) = needed.get(idx) else {
+                        break;
+                    };
+                    let _ = suite::cached_trace(name, *len);
+                });
+            }
+        });
+    }
+
+    /// Writes the run manifest (JSON) and timing table (CSV); fills in
+    /// their paths on the summary. I/O failures degrade to a warning —
+    /// observability must never kill a finished run.
+    fn write_observability(&self, mut summary: RunSummary) -> RunSummary {
+        let manifest_path = self
+            .store
+            .dir()
+            .join(format!("manifest-{}.json", summary.run_id));
+        let timings_path = self
+            .store
+            .dir()
+            .join(format!("timings-{}.csv", summary.run_id));
+
+        let jobs_json: Vec<Json> = summary
+            .jobs
+            .iter()
+            .map(|r| {
+                obj(vec![
+                    ("key", Json::Str(r.key.clone())),
+                    ("label", Json::Str(r.label.clone())),
+                    ("source", Json::Str(r.source.name().to_string())),
+                    ("wall_ms", Json::Float(r.wall.as_secs_f64() * 1e3)),
+                ])
+            })
+            .collect();
+        let manifest = obj(vec![
+            ("run_id", Json::Str(summary.run_id.clone())),
+            ("git", Json::Str(git_describe())),
+            ("started_unix", Json::UInt(unix_now())),
+            ("workers", Json::UInt(self.workers as u64)),
+            ("wall_s", Json::Float(summary.wall.as_secs_f64())),
+            ("jobs_requested", Json::UInt(summary.jobs_requested as u64)),
+            ("jobs_unique", Json::UInt(summary.jobs_unique as u64)),
+            ("jobs_from_memory", Json::UInt(summary.from_memory as u64)),
+            ("jobs_from_store", Json::UInt(summary.from_store as u64)),
+            ("jobs_executed", Json::UInt(summary.executed as u64)),
+            (
+                "results_file",
+                Json::Str(self.store.results_path().display().to_string()),
+            ),
+            ("jobs", Json::Arr(jobs_json)),
+        ]);
+        if let Err(e) = std::fs::write(&manifest_path, manifest.to_string() + "\n") {
+            self.say(&format!("[exp] warning: manifest write failed: {e}"));
+        }
+
+        let mut csv = String::from("key,label,source,wall_ms\n");
+        for r in &summary.jobs {
+            csv.push_str(&format!(
+                "{},\"{}\",{},{:.3}\n",
+                r.key,
+                r.label.replace('"', "\"\""),
+                r.source.name(),
+                r.wall.as_secs_f64() * 1e3,
+            ));
+        }
+        if let Err(e) = std::fs::write(&timings_path, csv) {
+            self.say(&format!("[exp] warning: timings write failed: {e}"));
+        }
+
+        summary.manifest_path = manifest_path;
+        summary.timings_path = timings_path;
+        summary
+    }
+
+    fn next_run_id(&self) -> String {
+        format!(
+            "{}-{}-{}",
+            unix_now(),
+            std::process::id(),
+            self.run_seq.fetch_add(1, Ordering::Relaxed),
+        )
+    }
+
+    fn say(&self, line: &str) {
+        if self.verbose {
+            let _ = writeln!(io::stderr(), "{line}");
+        }
+    }
+}
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn fmt_secs(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 10.0 {
+        format!("{s:.2}s")
+    } else if s < 600.0 {
+        format!("{s:.1}s")
+    } else {
+        format!("{:.1}m", s / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExpScale;
+    use secpref_types::SystemConfig;
+    use std::path::Path;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("secpref-engine-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn jobs() -> Vec<JobSpec> {
+        let base = SystemConfig::baseline(1);
+        vec![
+            JobSpec::single(base.clone(), "leela_like", ExpScale::Quick),
+            JobSpec::single(base.clone(), "gcc_like", ExpScale::Quick),
+            // Duplicate of job 0 — must be deduplicated, not re-run.
+            JobSpec::single(base, "leela_like", ExpScale::Quick),
+        ]
+    }
+
+    fn cleanup(p: &Path) {
+        let _ = std::fs::remove_dir_all(p);
+    }
+
+    #[test]
+    fn dedupes_and_returns_request_order() {
+        let dir = tmp_dir("dedupe");
+        let engine = Engine::new(&dir, 2).unwrap();
+        let (reports, summary) = engine.run_all_with_summary(&jobs());
+        assert_eq!(reports.len(), 3);
+        assert_eq!(summary.jobs_requested, 3);
+        assert_eq!(summary.jobs_unique, 2);
+        assert_eq!(summary.executed, 2);
+        // Duplicate job returns the identical report.
+        assert_eq!(reports[0].cores[0].cycles, reports[2].cores[0].cycles);
+        assert_eq!(reports[0].label, reports[2].label);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn second_run_comes_from_memory() {
+        let dir = tmp_dir("mem");
+        let engine = Engine::new(&dir, 2).unwrap();
+        engine.run_all(&jobs());
+        let (_, summary) = engine.run_all_with_summary(&jobs());
+        assert_eq!(summary.executed, 0);
+        assert_eq!(summary.from_memory, 2);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn fresh_engine_resumes_from_store() {
+        let dir = tmp_dir("resume");
+        let cold = Engine::new(&dir, 2).unwrap();
+        let (cold_reports, cold_summary) = cold.run_all_with_summary(&jobs());
+        assert_eq!(cold_summary.executed, 2);
+        drop(cold);
+        let warm = Engine::new(&dir, 2).unwrap();
+        let (warm_reports, warm_summary) = warm.run_all_with_summary(&jobs());
+        assert_eq!(warm_summary.executed, 0);
+        assert_eq!(warm_summary.from_store, 2);
+        for (a, b) in cold_reports.iter().zip(&warm_reports) {
+            assert_eq!(
+                crate::codec::report_to_string(a),
+                crate::codec::report_to_string(b),
+            );
+        }
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn manifest_and_timings_are_written() {
+        let dir = tmp_dir("manifest");
+        let engine = Engine::new(&dir, 1).unwrap();
+        let (_, summary) = engine.run_all_with_summary(&jobs());
+        let manifest = std::fs::read_to_string(&summary.manifest_path).unwrap();
+        let json = crate::json::parse(manifest.trim()).unwrap();
+        assert_eq!(json.get("jobs_unique").unwrap().as_u64(), Some(2));
+        assert_eq!(json.get("jobs_executed").unwrap().as_u64(), Some(2));
+        assert_eq!(json.get("jobs").unwrap().as_arr().unwrap().len(), 2);
+        let csv = std::fs::read_to_string(&summary.timings_path).unwrap();
+        assert!(csv.starts_with("key,label,source,wall_ms\n"));
+        assert_eq!(csv.lines().count(), 3);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn run_one_hits_store_across_engines() {
+        let dir = tmp_dir("runone");
+        let job = JobSpec::single(SystemConfig::baseline(1), "leela_like", ExpScale::Quick);
+        let a = Engine::new(&dir, 1).unwrap().run_one(&job);
+        let b = Engine::new(&dir, 1).unwrap().run_one(&job);
+        assert_eq!(
+            crate::codec::report_to_string(&a),
+            crate::codec::report_to_string(&b),
+        );
+        cleanup(&dir);
+    }
+}

@@ -1,0 +1,250 @@
+//! Job specifications and content-addressed job keys.
+//!
+//! A [`JobSpec`] is one simulation the engine may have to run: a full
+//! [`SystemConfig`], a workload (one trace or a 4-trace mix), and the
+//! [`ExpScale`] that fixes the warm-up/measurement windows. Jobs are keyed
+//! by a hash of a **canonical string** that covers every knob that can
+//! change the result — including the complete cache geometry, which the
+//! old `bench::runner::cfg_key` silently dropped. The canonical string is
+//! persisted next to each stored result so a (vanishingly unlikely) hash
+//! collision is detected instead of silently returning the wrong report.
+
+use crate::scale::ExpScale;
+use secpref_sim::{run_multi_with_window, run_single_with_window, SimReport};
+use secpref_trace::suite;
+use secpref_types::SystemConfig;
+
+/// What a job simulates: one trace on one core, or a 4-core mix.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Single-core run of one named suite trace.
+    Single(String),
+    /// 4-core multiprogrammed mix of named suite traces.
+    Mix([String; 4]),
+}
+
+impl Workload {
+    /// Trace names this workload needs, in order.
+    pub fn trace_names(&self) -> Vec<&str> {
+        match self {
+            Workload::Single(n) => vec![n.as_str()],
+            Workload::Mix(ns) => ns.iter().map(String::as_str).collect(),
+        }
+    }
+
+    /// Short human-readable form for progress lines.
+    pub fn describe(&self) -> String {
+        match self {
+            Workload::Single(n) => n.clone(),
+            Workload::Mix(ns) => format!("mix[{}]", ns.join("+")),
+        }
+    }
+}
+
+/// One deduplicatable unit of simulation work.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Full system configuration (every field participates in the key).
+    pub cfg: SystemConfig,
+    /// Workload to run under `cfg`.
+    pub workload: Workload,
+    /// Windows/trace length.
+    pub scale: ExpScale,
+}
+
+impl JobSpec {
+    /// Single-core job.
+    pub fn single(cfg: SystemConfig, trace: &str, scale: ExpScale) -> Self {
+        JobSpec {
+            cfg,
+            workload: Workload::Single(trace.to_string()),
+            scale,
+        }
+    }
+
+    /// 4-core mix job.
+    pub fn mix(cfg: SystemConfig, mix: &[String; 4], scale: ExpScale) -> Self {
+        JobSpec {
+            cfg,
+            workload: Workload::Mix(mix.clone()),
+            scale,
+        }
+    }
+
+    /// The effective (warm-up, measurement) window for this job.
+    pub fn window(&self) -> (u64, u64) {
+        match self.workload {
+            Workload::Single(_) => self.scale.window(),
+            Workload::Mix(_) => self.scale.multicore_window(),
+        }
+    }
+
+    /// Canonical content string: covers the *entire* `SystemConfig` (the
+    /// derived `Debug` representation is exhaustive by construction — a
+    /// new config field changes the string, and therefore the key,
+    /// automatically), the workload trace names, the resolved windows,
+    /// and the generated trace length.
+    pub fn canonical(&self) -> String {
+        let (warmup, measure) = self.window();
+        let workload = match &self.workload {
+            Workload::Single(n) => format!("single:{n}"),
+            Workload::Mix(ns) => format!("mix:{}", ns.join(",")),
+        };
+        format!(
+            "v1|cfg={:?}|workload={workload}|scale={}|warmup={warmup}|measure={measure}|trace_len={}",
+            self.cfg,
+            self.scale.name(),
+            self.scale.trace_len(),
+        )
+    }
+
+    /// Content-addressed job key: FNV-1a 64 of [`JobSpec::canonical`],
+    /// as 16 hex digits.
+    pub fn key(&self) -> String {
+        format!("{:016x}", fnv1a64(self.canonical().as_bytes()))
+    }
+
+    /// Short label for progress lines and timing exports.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}{}{} @ {} ({})",
+            self.cfg.prefetcher,
+            self.cfg.prefetch_mode,
+            if self.cfg.secure.is_secure() {
+                "GhostMinion"
+            } else {
+                "non-secure"
+            },
+            if self.cfg.suf { "+SUF" } else { "" },
+            if self.cfg.timely_secure { "+TS" } else { "" },
+            self.workload.describe(),
+            self.scale.name(),
+        )
+    }
+
+    /// Executes the job (synchronously, on the calling thread).
+    ///
+    /// Traces come from `secpref_trace::suite::cached_trace`, so repeated
+    /// jobs over the same trace share one generated copy per process.
+    pub fn run(&self) -> SimReport {
+        let (warmup, measure) = self.window();
+        match &self.workload {
+            Workload::Single(name) => {
+                let trace = suite::cached_trace(name, self.scale.trace_len());
+                run_single_with_window(&self.cfg, &trace, warmup, measure)
+            }
+            Workload::Mix(names) => {
+                let traces = names
+                    .iter()
+                    .map(|n| suite::cached_trace(n, self.scale.trace_len()))
+                    .collect();
+                run_multi_with_window(&self.cfg, traces, warmup, measure)
+            }
+        }
+    }
+}
+
+/// FNV-1a, 64-bit.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secpref_types::{PrefetchMode, PrefetcherKind, SecureMode};
+
+    fn base_job() -> JobSpec {
+        JobSpec::single(SystemConfig::baseline(1), "mcf_like_a", ExpScale::Quick)
+    }
+
+    #[test]
+    fn key_is_stable_and_hex() {
+        let j = base_job();
+        assert_eq!(j.key(), j.key());
+        assert_eq!(j.key().len(), 16);
+        assert!(j.key().chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn key_covers_cache_geometry() {
+        // The historic cfg_key only looked at prefetcher/mode/secure/
+        // suf/ts/cores — two configs differing in L1D or LLC geometry
+        // collided. The content key must distinguish them.
+        let a = base_job();
+        let mut b = a.clone();
+        b.cfg.l1d.ways *= 2;
+        let mut c = a.clone();
+        c.cfg.llc.size_bytes *= 2;
+        let mut d = a.clone();
+        d.cfg.l1d.mshrs += 1;
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+        assert_ne!(a.key(), d.key());
+        assert_ne!(b.key(), c.key());
+    }
+
+    #[test]
+    fn key_covers_mode_knobs() {
+        let a = base_job();
+        let mut b = a.clone();
+        b.cfg = b
+            .cfg
+            .with_secure(SecureMode::GhostMinion)
+            .with_prefetcher(PrefetcherKind::Berti)
+            .with_mode(PrefetchMode::OnCommit);
+        let mut c = b.clone();
+        c.cfg = c.cfg.with_suf(true);
+        assert_ne!(a.key(), b.key());
+        assert_ne!(b.key(), c.key());
+    }
+
+    #[test]
+    fn key_covers_workload_and_scale() {
+        let a = base_job();
+        let mut b = a.clone();
+        b.workload = Workload::Single("gcc_like".into());
+        let mut c = a.clone();
+        c.scale = ExpScale::Full;
+        let names = [
+            "mcf_like_a".to_string(),
+            "gcc_like".to_string(),
+            "lbm_like".to_string(),
+            "leela_like".to_string(),
+        ];
+        let d = JobSpec::mix(a.cfg.clone(), &names, ExpScale::Quick);
+        let keys = [a.key(), b.key(), c.key(), d.key()];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn mix_order_matters() {
+        let mk = |names: [&str; 4]| {
+            JobSpec::mix(
+                SystemConfig::baseline(4),
+                &names.map(String::from),
+                ExpScale::Quick,
+            )
+        };
+        let a = mk(["a", "b", "c", "d"]);
+        let b = mk(["d", "c", "b", "a"]);
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn fnv_reference_values() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,129 @@
+//! A std-only worker pool for simulation jobs.
+//!
+//! Workers are scoped `std::thread`s pulling job indices from a shared
+//! atomic cursor and reporting `(index, report, wall)` over an mpsc
+//! channel. The pool's *result order is the job order* regardless of
+//! worker count or completion interleaving — callers receive a `Vec`
+//! indexed like the input slice, which is what makes N-worker sweeps
+//! bit-identical to single-threaded ones.
+
+use crate::job::JobSpec;
+use secpref_sim::SimReport;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// One completed job: the report plus how long the simulation took on
+/// its worker thread.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The simulation result.
+    pub report: SimReport,
+    /// Wall-clock the job spent executing.
+    pub wall: Duration,
+}
+
+/// Runs every job in `jobs` across `workers` threads.
+///
+/// `on_done` fires on the *calling* thread once per completed job, in
+/// completion order (use it for progress lines and store appends — no
+/// synchronization needed). The returned vector is in job order.
+///
+/// # Panics
+///
+/// Propagates a panic from any job once all workers have drained.
+pub fn run_jobs(
+    jobs: &[JobSpec],
+    workers: usize,
+    mut on_done: impl FnMut(usize, &JobSpec, &SimReport, Duration),
+) -> Vec<JobOutcome> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, jobs.len());
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, SimReport, Duration)>();
+
+    let mut slots: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(idx) else { break };
+                let start = Instant::now();
+                let report = job.run();
+                if tx.send((idx, report, start.elapsed())).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // `rx` closes when every worker exits; if one panicked mid-job we
+        // fall out of the loop early and `scope` re-raises the panic.
+        for (idx, report, wall) in rx {
+            on_done(idx, &jobs[idx], &report, wall);
+            slots[idx] = Some(JobOutcome { report, wall });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job completes exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExpScale;
+    use secpref_types::SystemConfig;
+
+    fn jobs(names: &[&str]) -> Vec<JobSpec> {
+        names
+            .iter()
+            .map(|n| JobSpec::single(SystemConfig::baseline(1), n, ExpScale::Quick))
+            .collect()
+    }
+
+    #[test]
+    fn results_are_in_job_order_for_any_worker_count() {
+        let js = jobs(&["leela_like", "gcc_like", "leela_like"]);
+        let one = run_jobs(&js, 1, |_, _, _, _| {});
+        let four = run_jobs(&js, 4, |_, _, _, _| {});
+        assert_eq!(one.len(), 3);
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.report.label, b.report.label);
+            assert_eq!(
+                a.report.cores[0].instructions,
+                b.report.cores[0].instructions
+            );
+            assert_eq!(a.report.cores[0].cycles, b.report.cores[0].cycles);
+        }
+    }
+
+    #[test]
+    fn callback_sees_every_job_once() {
+        let js = jobs(&["leela_like", "gcc_like"]);
+        let mut seen = Vec::new();
+        run_jobs(&js, 2, |idx, job, report, _| {
+            seen.push((idx, job.workload.describe(), report.ipc()));
+        });
+        seen.sort_by_key(|(idx, _, _)| *idx);
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].1, "leela_like");
+        assert_eq!(seen[1].1, "gcc_like");
+        assert!(seen.iter().all(|(_, _, ipc)| *ipc > 0.0));
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        assert!(run_jobs(&[], 8, |_, _, _, _| {}).is_empty());
+    }
+
+    #[test]
+    fn oversized_worker_count_is_clamped() {
+        let js = jobs(&["leela_like"]);
+        assert_eq!(run_jobs(&js, 64, |_, _, _, _| {}).len(), 1);
+    }
+}

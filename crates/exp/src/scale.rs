@@ -1,0 +1,63 @@
+//! Experiment scale: trades simulation fidelity for wall-clock time.
+
+/// Experiment scale, scaled down from the paper's 50 M warm-up / 200 M
+/// measurement windows so the full sweep fits on a laptop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExpScale {
+    /// Smoke tests and `repro --quick`.
+    Quick,
+    /// The `repro` default.
+    Full,
+}
+
+impl ExpScale {
+    /// (warm-up, measurement) windows in instructions.
+    pub fn window(self) -> (u64, u64) {
+        match self {
+            ExpScale::Quick => (10_000, 40_000),
+            ExpScale::Full => (40_000, 160_000),
+        }
+    }
+
+    /// Trace length generated to feed the window (replays fill the rest).
+    pub fn trace_len(self) -> usize {
+        let (w, m) = self.window();
+        (w + m) as usize + 10_000
+    }
+
+    /// Multi-core per-core measurement window.
+    pub fn multicore_window(self) -> (u64, u64) {
+        match self {
+            ExpScale::Quick => (5_000, 20_000),
+            ExpScale::Full => (20_000, 60_000),
+        }
+    }
+
+    /// Stable lowercase name used in job keys and manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExpScale::Quick => "quick",
+            ExpScale::Full => "full",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_covers_window() {
+        for scale in [ExpScale::Quick, ExpScale::Full] {
+            let (w, m) = scale.window();
+            assert!(scale.trace_len() as u64 >= w + m);
+            let (mw, mm) = scale.multicore_window();
+            assert!(mw < w && mm < m, "multicore windows are smaller");
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_ne!(ExpScale::Quick.name(), ExpScale::Full.name());
+    }
+}

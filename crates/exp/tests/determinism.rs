@@ -1,0 +1,124 @@
+//! The engine's determinism contract, end to end:
+//!
+//! 1. the same job produces a bit-identical report on every run,
+//! 2. a sweep's results are independent of the worker count,
+//! 3. a resumed run (fresh engine over an existing store) returns exactly
+//!    what the cold run produced, and its manifest proves nothing was
+//!    re-simulated.
+
+use secpref_exp::{codec, Engine, ExpScale, JobSpec};
+use secpref_types::{PrefetchMode, PrefetcherKind, SecureMode, SystemConfig};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("secpref-determinism-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// A small but representative sweep: plain baseline, a secure on-commit
+/// prefetcher, a duplicate, and a 4-core mix.
+fn sweep() -> Vec<JobSpec> {
+    let base = SystemConfig::baseline(1);
+    let secure = base
+        .clone()
+        .with_secure(SecureMode::GhostMinion)
+        .with_prefetcher(PrefetcherKind::IpStride)
+        .with_mode(PrefetchMode::OnCommit);
+    let mix = [
+        "leela_like".to_string(),
+        "gcc_like".to_string(),
+        "leela_like".to_string(),
+        "bfs_small".to_string(),
+    ];
+    vec![
+        JobSpec::single(base.clone(), "leela_like", ExpScale::Quick),
+        JobSpec::single(secure.clone(), "leela_like", ExpScale::Quick),
+        JobSpec::single(base.clone(), "gcc_like", ExpScale::Quick),
+        JobSpec::single(secure, "bfs_small", ExpScale::Quick),
+        JobSpec::single(base.clone(), "leela_like", ExpScale::Quick), // duplicate
+        JobSpec::mix(
+            base.with_secure(SecureMode::GhostMinion),
+            &mix,
+            ExpScale::Quick,
+        ),
+    ]
+}
+
+fn serialize_all(reports: &[secpref_sim::SimReport]) -> Vec<String> {
+    reports.iter().map(codec::report_to_string).collect()
+}
+
+#[test]
+fn same_job_is_bit_identical_across_runs() {
+    let job = sweep().remove(1);
+    let a = codec::report_to_string(&job.run());
+    let b = codec::report_to_string(&job.run());
+    assert_eq!(
+        a, b,
+        "two fresh simulations of one job must agree bit for bit"
+    );
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let jobs = sweep();
+    let dir1 = tmp_dir("w1");
+    let dir4 = tmp_dir("w4");
+    let serial = Engine::new(&dir1, 1).unwrap().run_all(&jobs);
+    let parallel = Engine::new(&dir4, 4).unwrap().run_all(&jobs);
+    assert_eq!(serialize_all(&serial), serialize_all(&parallel));
+    let _ = std::fs::remove_dir_all(dir1);
+    let _ = std::fs::remove_dir_all(dir4);
+}
+
+#[test]
+fn resumed_run_matches_cold_run_without_resimulating() {
+    let jobs = sweep();
+    let dir = tmp_dir("resume");
+
+    let (cold_reports, cold) = Engine::new(&dir, 4).unwrap().run_all_with_summary(&jobs);
+    assert_eq!(cold.jobs_requested, jobs.len());
+    assert_eq!(
+        cold.jobs_unique, 5,
+        "one duplicate job must be deduplicated"
+    );
+    assert_eq!(cold.executed, 5);
+    assert_eq!(cold.from_store, 0);
+
+    // A fresh engine on the same store — as after a kill + restart.
+    let (warm_reports, warm) = Engine::new(&dir, 4).unwrap().run_all_with_summary(&jobs);
+    assert_eq!(warm.executed, 0, "resume must not re-simulate anything");
+    assert_eq!(warm.from_store, 5);
+    assert_eq!(serialize_all(&cold_reports), serialize_all(&warm_reports));
+
+    // The manifests on disk tell the same story.
+    let cold_manifest = std::fs::read_to_string(&cold.manifest_path).unwrap();
+    let warm_manifest = std::fs::read_to_string(&warm.manifest_path).unwrap();
+    let get = |text: &str, field: &str| {
+        secpref_exp::json::parse(text.trim())
+            .unwrap()
+            .get(field)
+            .and_then(secpref_exp::json::Json::as_u64)
+            .unwrap()
+    };
+    assert_eq!(get(&cold_manifest, "jobs_executed"), 5);
+    assert_eq!(get(&warm_manifest, "jobs_executed"), 0);
+    assert_eq!(get(&warm_manifest, "jobs_from_store"), 5);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn partial_store_resumes_the_rest() {
+    // Simulate a killed run: only part of the sweep made it to disk.
+    let jobs = sweep();
+    let dir = tmp_dir("partial");
+    {
+        let engine = Engine::new(&dir, 2).unwrap();
+        engine.run_all(&jobs[..2]);
+    }
+    let (_, summary) = Engine::new(&dir, 2).unwrap().run_all_with_summary(&jobs);
+    assert_eq!(summary.from_store, 2);
+    assert_eq!(summary.executed, 3);
+    let _ = std::fs::remove_dir_all(dir);
+}

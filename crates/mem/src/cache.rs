@@ -502,13 +502,17 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use secpref_types::rng::Xoshiro256ss;
         use std::collections::HashSet;
 
-        proptest! {
-            /// No duplicate tags within the cache, and valid_lines is exact.
-            #[test]
-            fn no_duplicate_lines(ops in proptest::collection::vec((0u64..256, any::<bool>()), 1..200)) {
+        /// No duplicate tags within the cache, and valid_lines is exact.
+        #[test]
+        fn no_duplicate_lines() {
+            for seed in 0..48u64 {
+                let mut rng = Xoshiro256ss::seed_from_u64(seed);
+                let ops: Vec<(u64, bool)> = (0..1 + rng.gen_index(199))
+                    .map(|_| (rng.gen_u64(256), rng.gen_flip()))
+                    .collect();
                 let mut c = SetAssocCache::new(8, 4);
                 for (addr, inv) in ops {
                     if inv {
@@ -519,28 +523,34 @@ mod tests {
                     let mut seen = HashSet::new();
                     let mut n = 0;
                     for l in c.iter() {
-                        prop_assert!(seen.insert(l.line), "duplicate line {:?}", l.line);
+                        assert!(seen.insert(l.line), "duplicate line {:?}", l.line);
                         n += 1;
                     }
-                    prop_assert_eq!(n, c.valid_lines());
-                    prop_assert!(n <= 32);
+                    assert_eq!(n, c.valid_lines());
+                    assert!(n <= 32);
                 }
             }
+        }
 
-            /// A filled line is always resident until evicted by a fill
-            /// mapping to the same set or an invalidation.
-            #[test]
-            fn fills_land_in_correct_set(addrs in proptest::collection::vec(0u64..1024, 1..100)) {
+        /// A filled line is always resident until evicted by a fill
+        /// mapping to the same set or an invalidation.
+        #[test]
+        fn fills_land_in_correct_set() {
+            for seed in 0..48u64 {
+                let mut rng = Xoshiro256ss::seed_from_u64(seed);
+                let addrs: Vec<u64> = (0..1 + rng.gen_index(99))
+                    .map(|_| rng.gen_u64(1024))
+                    .collect();
                 let mut c = SetAssocCache::new(16, 2);
                 for a in addrs {
                     c.fill(la(a), FillAttrs::default());
                     let resident = c.probe(la(a)).expect("just-filled line resident");
-                    prop_assert_eq!(resident.line, la(a));
+                    assert_eq!(resident.line, la(a));
                 }
                 // Every resident line maps to the set it sits in.
                 for (i, l) in c.lines.iter().enumerate() {
                     if l.valid {
-                        prop_assert_eq!(i / c.ways, (l.line.raw() as usize) & (c.sets - 1));
+                        assert_eq!(i / c.ways, (l.line.raw() as usize) & (c.sets - 1));
                     }
                 }
             }

@@ -372,13 +372,17 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use secpref_types::rng::Xoshiro256ss;
 
-        proptest! {
-            /// Every read that enters the controller eventually completes,
-            /// exactly once, with completion >= arrival.
-            #[test]
-            fn all_reads_complete(lines in proptest::collection::vec(0u64..1_000_000, 1..40)) {
+        /// Every read that enters the controller eventually completes,
+        /// exactly once, with completion >= arrival.
+        #[test]
+        fn all_reads_complete() {
+            for seed in 0..48u64 {
+                let mut rng = Xoshiro256ss::seed_from_u64(seed);
+                let lines: Vec<u64> = (0..1 + rng.gen_index(39))
+                    .map(|_| rng.gen_u64(1_000_000))
+                    .collect();
                 let mut dram = DramModel::new(DramConfig::default());
                 let mut expected = Vec::new();
                 for (i, l) in lines.iter().enumerate() {
@@ -390,9 +394,9 @@ mod tests {
                 let mut tokens: Vec<u64> = done.iter().map(|&(t, _)| t).collect();
                 tokens.sort_unstable();
                 expected.sort_unstable();
-                prop_assert_eq!(tokens, expected);
+                assert_eq!(tokens, expected);
                 for &(_, c) in &done {
-                    prop_assert!(c > 0);
+                    assert!(c > 0);
                 }
             }
         }

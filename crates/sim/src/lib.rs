@@ -31,8 +31,9 @@ pub mod system;
 
 pub use classify::Classifier;
 pub use energy::EnergyModel;
-pub use metrics::CoreMetrics;
+pub use metrics::{CommitMetrics, CoreMetrics, LevelMetrics, MissClassCounts, PrefetchMetrics};
 pub use report::{geomean, mean, weighted_speedup, SimReport};
+pub use secpref_mem::dram::DramStats;
 pub use system::{build_prefetcher, System, DEFAULT_MEASURE, DEFAULT_WARMUP};
 
 use secpref_trace::Trace;

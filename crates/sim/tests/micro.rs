@@ -282,7 +282,6 @@ fn tlb_is_transparent_for_hot_pages() {
     let instrs: Vec<Instr> = (0..1200u64)
         .map(|i| Instr::load(0x100, 0x5000 + (i % 8) * 64))
         .collect();
-    let n = instrs.len() as u64;
     let trace = Arc::new(Trace::new("hot", instrs));
     let run = |tlb: bool| {
         let cfg = SystemConfig::baseline(1).with_tlb(tlb);

@@ -14,8 +14,7 @@
 
 use crate::gen::graph::CsrGraph;
 use crate::instr::{Instr, Trace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use secpref_types::rng::Xoshiro256ss;
 
 const OFFSETS_BASE: u64 = 0x10_0000_0000;
 const NEIGHBORS_BASE: u64 = 0x20_0000_0000;
@@ -148,7 +147,7 @@ impl Emitter {
 /// Generates a GAP kernel trace of exactly `n` instructions.
 pub fn generate(kernel: GapKernel, graph: &CsrGraph, seed: u64, n: usize) -> Trace {
     let mut e = Emitter::new(n, 0x70_0000 + (kernel as u64) * 0x10_000);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let mut rng = Xoshiro256ss::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
     while !e.full() {
         match kernel {
             GapKernel::Bfs => run_bfs(&mut e, graph, &mut rng),
@@ -166,10 +165,10 @@ pub fn generate(kernel: GapKernel, graph: &CsrGraph, seed: u64, n: usize) -> Tra
     )
 }
 
-fn run_bfs(e: &mut Emitter, g: &CsrGraph, rng: &mut StdRng) {
+fn run_bfs(e: &mut Emitter, g: &CsrGraph, rng: &mut Xoshiro256ss) {
     let v_count = g.vertex_count();
     let mut visited = vec![false; v_count];
-    let source = rng.gen_range(0..v_count as u32);
+    let source = rng.gen_u32(v_count as u32);
     visited[source as usize] = true;
     let mut frontier = vec![source];
     while !frontier.is_empty() && !e.full() {
@@ -249,12 +248,12 @@ fn run_cc(e: &mut Emitter, g: &CsrGraph) {
     }
 }
 
-fn run_sssp(e: &mut Emitter, g: &CsrGraph, rng: &mut StdRng) {
+fn run_sssp(e: &mut Emitter, g: &CsrGraph, rng: &mut Xoshiro256ss) {
     // Bellman-Ford over a frontier with re-relaxations: like BFS but
     // vertices can re-enter the frontier, matching sssp's larger traffic.
     let v_count = g.vertex_count();
     let mut dist = vec![u32::MAX; v_count];
-    let source = rng.gen_range(0..v_count as u32);
+    let source = rng.gen_u32(v_count as u32);
     dist[source as usize] = 0;
     let mut frontier = vec![source];
     let mut rounds = 0;
@@ -292,12 +291,12 @@ fn run_sssp(e: &mut Emitter, g: &CsrGraph, rng: &mut StdRng) {
     }
 }
 
-fn run_bc(e: &mut Emitter, g: &CsrGraph, rng: &mut StdRng) {
+fn run_bc(e: &mut Emitter, g: &CsrGraph, rng: &mut Xoshiro256ss) {
     // Forward BFS accumulating path counts, then a backward sweep over the
     // visit order accumulating dependencies.
     let v_count = g.vertex_count();
     let mut depth = vec![u32::MAX; v_count];
-    let source = rng.gen_range(0..v_count as u32);
+    let source = rng.gen_u32(v_count as u32);
     depth[source as usize] = 0;
     let mut order = vec![source];
     let mut frontier = vec![source];

@@ -1,7 +1,6 @@
 //! Synthetic power-law graphs in CSR form for the GAP kernels.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use secpref_types::rng::Xoshiro256ss;
 
 /// A directed graph in compressed-sparse-row form, like the GAP benchmark
 /// suite uses internally.
@@ -42,15 +41,15 @@ impl CsrGraph {
     pub fn power_law(vertices: usize, avg_degree: usize, seed: u64) -> Self {
         assert!(vertices >= 2, "need at least two vertices");
         assert!(avg_degree > 0, "need a positive degree");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256ss::seed_from_u64(seed);
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); vertices];
         // Endpoint pool: vertices appear once plus once per received edge,
         // giving preferential attachment.
         let mut pool: Vec<u32> = (0..vertices as u32).collect();
         for v in 0..vertices as u32 {
-            let deg = 1 + rng.gen_range(0..avg_degree * 2); // mean ≈ avg_degree
+            let deg = 1 + rng.gen_index(avg_degree * 2); // mean ≈ avg_degree
             for _ in 0..deg {
-                let u = pool[rng.gen_range(0..pool.len())];
+                let u = pool[rng.gen_index(pool.len())];
                 if u != v {
                     adj[v as usize].push(u);
                     pool.push(u);

@@ -16,8 +16,7 @@
 //! * [`Component::StoreStream`] — streaming stores (lbm).
 
 use crate::instr::{Instr, Trace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use secpref_types::rng::Xoshiro256ss;
 use secpref_types::LINE_SIZE;
 
 /// One access-pattern component of a kernel mixture.
@@ -97,14 +96,12 @@ struct ComponentState {
 }
 
 impl ComponentState {
-    fn new(comp: Component, slot: usize, rng: &mut StdRng) -> Self {
+    fn new(comp: Component, slot: usize, rng: &mut Xoshiro256ss) -> Self {
         let footprint_offsets = match &comp {
             Component::RegionReuse { footprint, .. } => {
                 // A fixed, sorted set of line offsets within the region.
                 let mut offs: Vec<u32> = (0..32).collect();
-                for i in (1..offs.len()).rev() {
-                    offs.swap(i, rng.gen_range(0..=i));
-                }
+                rng.shuffle(&mut offs);
                 offs.truncate(*footprint as usize);
                 offs.sort_unstable();
                 offs
@@ -124,7 +121,7 @@ impl ComponentState {
     }
 
     /// Emits the next memory instruction of this component.
-    fn emit(&mut self, trace_len: usize, rng: &mut StdRng) -> Instr {
+    fn emit(&mut self, trace_len: usize, rng: &mut Xoshiro256ss) -> Instr {
         match &self.comp {
             Component::Stream { stride, ws_lines } => {
                 // Element-granular (8 B) streaming: consecutive accesses
@@ -171,7 +168,7 @@ impl ComponentState {
                 Instr::load(self.ip_base + 16 + (off % 4) as u64 * 8, addr)
             }
             Component::Gather { ws_lines } => {
-                let line = rng.gen_range(0..*ws_lines);
+                let line = rng.gen_u64(*ws_lines);
                 let addr = self.base + line * LINE_SIZE;
                 Instr::load(self.ip_base + 24, addr)
             }
@@ -196,7 +193,7 @@ impl SpecKernel {
         let total_weight: u32 = self.components.iter().map(|(_, w)| *w).sum();
         assert!(total_weight > 0, "kernel needs nonzero weights");
 
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256ss::seed_from_u64(self.seed);
         let mut states: Vec<ComponentState> = self
             .components
             .iter()
@@ -229,7 +226,7 @@ impl SpecKernel {
                 continue;
             }
             // Weighted component pick.
-            let mut pick = rng.gen_range(0..total_weight);
+            let mut pick = rng.gen_u32(total_weight);
             let mut idx = 0;
             for (i, w) in weights.iter().enumerate() {
                 if pick < *w {

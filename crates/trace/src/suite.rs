@@ -70,14 +70,22 @@ impl TraceGenerator for GapGenerator {
 }
 
 /// Cache key for graphs: (vertices, avg_degree, seed).
-type GraphCache = Mutex<HashMap<(usize, usize, u64), Arc<CsrGraph>>>;
+type GraphCache = Mutex<HashMap<(usize, usize, u64), Arc<OnceLock<Arc<CsrGraph>>>>>;
 
 fn cached_graph(vertices: usize, avg_degree: usize, seed: u64) -> Arc<CsrGraph> {
     static GRAPHS: OnceLock<GraphCache> = OnceLock::new();
     let lock = GRAPHS.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut map = lock.lock().expect("graph cache poisoned");
-    map.entry((vertices, avg_degree, seed))
-        .or_insert_with(|| Arc::new(CsrGraph::power_law(vertices, avg_degree, seed)))
+    // Two-level scheme (map lock → per-key cell): the map lock is held
+    // only for the lookup, so parallel experiment workers can build
+    // *different* graphs concurrently, while requesters of the *same*
+    // graph block on its cell instead of duplicating the build.
+    let cell = {
+        let mut map = lock.lock().expect("graph cache poisoned");
+        map.entry((vertices, avg_degree, seed))
+            .or_insert_with(|| Arc::new(OnceLock::new()))
+            .clone()
+    };
+    cell.get_or_init(|| Arc::new(CsrGraph::power_law(vertices, avg_degree, seed)))
         .clone()
 }
 
@@ -129,10 +137,15 @@ pub fn trace_by_name(name: &str) -> Option<Box<dyn TraceGenerator>> {
 }
 
 /// Cache key for traces: (name, length).
-type TraceCache = Mutex<HashMap<(String, usize), Arc<Trace>>>;
+type TraceCache = Mutex<HashMap<(String, usize), Arc<OnceLock<Arc<Trace>>>>>;
 
 /// Generates (or fetches from the process-wide cache) the trace `name`
 /// truncated/extended to exactly `n` instructions.
+///
+/// Generation happens *outside* the cache lock (same two-level scheme as
+/// the graph cache), so the parallel experiment engine can generate
+/// distinct traces concurrently without serializing on this map, and
+/// concurrent requests for the same trace still build it exactly once.
 ///
 /// # Panics
 ///
@@ -140,17 +153,17 @@ type TraceCache = Mutex<HashMap<(String, usize), Arc<Trace>>>;
 pub fn cached_trace(name: &str, n: usize) -> Arc<Trace> {
     static TRACES: OnceLock<TraceCache> = OnceLock::new();
     let lock = TRACES.get_or_init(|| Mutex::new(HashMap::new()));
-    // Generate outside the lock would risk duplicate work but avoid
-    // holding during long generation; duplicate avoidance matters more on
-    // the single-threaded experiment driver, so hold the lock.
-    let mut map = lock.lock().expect("trace cache poisoned");
-    map.entry((name.to_string(), n))
-        .or_insert_with(|| {
-            let g =
-                trace_by_name(name).unwrap_or_else(|| panic!("trace `{name}` is not in the suite"));
-            Arc::new(g.generate(n))
-        })
-        .clone()
+    let cell = {
+        let mut map = lock.lock().expect("trace cache poisoned");
+        map.entry((name.to_string(), n))
+            .or_insert_with(|| Arc::new(OnceLock::new()))
+            .clone()
+    };
+    cell.get_or_init(|| {
+        let g = trace_by_name(name).unwrap_or_else(|| panic!("trace `{name}` is not in the suite"));
+        Arc::new(g.generate(n))
+    })
+    .clone()
 }
 
 #[cfg(test)]

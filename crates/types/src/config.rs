@@ -1,12 +1,10 @@
 //! System configuration — the Table II baseline parameters of the paper,
 //! expressed as plain data structures with builder-style setters.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Cycle;
 
 /// Out-of-order core parameters (Table II, "Core" row).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CoreConfig {
     /// Instructions fetched/dispatched per cycle (6 in the baseline).
     pub fetch_width: usize,
@@ -41,7 +39,7 @@ impl Default for CoreConfig {
 }
 
 /// Replacement policy choice for a cache level (Table II baseline: LRU).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ReplacementChoice {
     /// True least-recently-used.
     #[default]
@@ -53,7 +51,7 @@ pub enum ReplacementChoice {
 }
 
 /// Parameters for one cache level (Table II, L1D/L2/LLC rows).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -140,7 +138,7 @@ impl CacheConfig {
 /// Two-level data-TLB parameters (Table II, TLBs row). Disabled by
 /// default so headline results keep the flat-translation calibration;
 /// enable to model translation latency.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TlbConfig {
     /// Model translation latency at all.
     pub enabled: bool,
@@ -176,7 +174,7 @@ impl Default for TlbConfig {
 }
 
 /// DRAM timing parameters (Table II, DRAM row), in core cycles at 4 GHz.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct DramConfig {
     /// Number of banks the channel interleaves over.
     pub banks: usize,
@@ -214,7 +212,7 @@ impl Default for DramConfig {
 }
 
 /// Which hardware prefetcher is instantiated (Section VI / Table III).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PrefetcherKind {
     /// No prefetching.
     None,
@@ -269,7 +267,7 @@ impl std::fmt::Display for PrefetcherKind {
 }
 
 /// When the prefetcher trains and triggers (Section III-B).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PrefetchMode {
     /// Train and trigger on (speculative) cache access — fast but insecure.
     OnAccess,
@@ -294,7 +292,7 @@ impl std::fmt::Display for PrefetchMode {
 }
 
 /// Whether the cache system is the non-secure baseline or GhostMinion.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SecureMode {
     /// Conventional (insecure) cache hierarchy.
     NonSecure,
@@ -310,7 +308,7 @@ impl SecureMode {
 }
 
 /// Full single-core (or per-core) system configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SystemConfig {
     /// Core parameters.
     pub core: CoreConfig,
@@ -508,22 +506,26 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn debug_repr_names_every_knob() {
         let c = SystemConfig::baseline(2)
             .with_secure(SecureMode::GhostMinion)
             .with_prefetcher(PrefetcherKind::Berti)
             .with_mode(PrefetchMode::OnCommit)
             .with_suf(true)
             .with_timely_secure(true);
-        let s = serde_json_like(&c);
+        let s = format!("{c:?}");
         assert!(s.contains("GhostMinion"));
+        assert!(s.contains("Berti"));
+        assert!(s.contains("OnCommit"));
     }
 
-    // serde round-trip without pulling serde_json: use the Debug repr as a
-    // smoke check that derives exist; full serialization is exercised via
-    // bincode-free ron-free plain to-string of Serialize through serde's
-    // derive compiling at all.
-    fn serde_json_like(c: &SystemConfig) -> String {
-        format!("{c:?}")
+    #[test]
+    fn configs_are_hashable_map_keys() {
+        use std::collections::HashMap;
+        let mut m: HashMap<SystemConfig, u32> = HashMap::new();
+        m.insert(SystemConfig::baseline(1), 1);
+        m.insert(SystemConfig::baseline(2), 2);
+        assert_eq!(m.get(&SystemConfig::baseline(1)), Some(&1));
+        assert_eq!(m.len(), 2);
     }
 }

@@ -24,6 +24,7 @@ pub mod addr;
 pub mod config;
 pub mod level;
 pub mod req;
+pub mod rng;
 
 pub use addr::{Addr, Ip, LineAddr, LINE_SIZE, OFFSET_BITS};
 pub use config::{

@@ -26,6 +26,7 @@
 
 pub use secpref_core as core;
 pub use secpref_cpu as cpu;
+pub use secpref_exp as exp;
 pub use secpref_ghostminion as ghostminion;
 pub use secpref_mem as mem;
 pub use secpref_prefetch as prefetch;
