@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--workers N] [--serial]
+//! repro [--quick] [--workers N] [--serial] [--quiet] [--trace TARGET]
 //!       [all | table1 | table2 | table3 | fig1 | fig3 | fig4 | fig5 |
 //!        fig6 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | stats |
 //!        ablations]
@@ -10,7 +10,16 @@
 //! `--quick` shrinks the simulation windows and the Fig. 15 mix count so
 //! the whole sweep finishes in a couple of minutes. `--workers N` sets
 //! the experiment engine's thread count (default: all cores; `--serial`
-//! is shorthand for `--workers 1`).
+//! is shorthand for `--workers 1`). `--quiet` silences every stderr
+//! progress line (figures still print to stdout).
+//!
+//! `--trace TARGET` (repeatable) re-simulates the target's jobs with the
+//! observability recorder on and writes per-job trace artifacts —
+//! `<key>.events.jsonl` and `<key>.epochs.csv` — under
+//! `target/exp/obs/`. Traced runs bypass the result store, so the
+//! artifacts are byte-identical regardless of `--workers` or of what an
+//! earlier run already persisted. With `--trace` and no positional
+//! targets, repro skips figure rendering entirely.
 //!
 //! The run proceeds in two phases: the requested figures' job sweeps are
 //! pushed through the parallel, resumable experiment engine (progress and
@@ -19,6 +28,7 @@
 
 use secpref_bench::runner::ExpScale;
 use secpref_bench::{figures, runner, sweep};
+use secpref_exp::ObsConfig;
 use std::time::Instant;
 
 fn main() {
@@ -31,18 +41,33 @@ fn main() {
     };
     let mix_count = if quick { 6 } else { 16 };
     let mut workers: Option<usize> = None;
+    let mut quiet = false;
     let mut targets: Vec<String> = Vec::new();
+    let mut trace_targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => {}
             "--serial" => workers = Some(1),
+            "--quiet" => quiet = true,
             "--workers" => {
                 let n = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--workers needs a positive integer"));
                 workers = Some(n);
+            }
+            "--trace" => {
+                let target = it
+                    .next()
+                    .unwrap_or_else(|| die("--trace needs a target name"));
+                if !sweep::SIM_TARGETS.contains(&target.as_str()) {
+                    die(&format!(
+                        "--trace target `{target}` has no simulation jobs (expected one of: {})",
+                        sweep::SIM_TARGETS.join(", ")
+                    ));
+                }
+                trace_targets.push(target.clone());
             }
             flag if flag.starts_with("--") => die(&format!("unknown flag `{flag}`")),
             target => targets.push(target.to_string()),
@@ -54,6 +79,10 @@ fn main() {
         }
         // Must happen before the first `runner::engine()` touch.
         std::env::set_var("SECPREF_EXP_WORKERS", n.to_string());
+    }
+    if quiet {
+        // The engine reads this when it is first constructed.
+        std::env::set_var("SECPREF_EXP_QUIET", "1");
     }
     const KNOWN: &[&str] = &[
         "all",
@@ -81,10 +110,33 @@ fn main() {
         ));
     }
 
+    let t0 = Instant::now();
+
+    // Traced runs: re-simulate with the recorder on, export artifacts.
+    if !trace_targets.is_empty() {
+        let jobs =
+            sweep::jobs_for_targets(trace_targets.iter().map(String::as_str), scale, mix_count);
+        let (_, summary) = runner::engine().run_traced(&jobs, &ObsConfig::enabled());
+        if !quiet {
+            eprintln!(
+                "[repro] traced {} job(s) for {}; artifacts under {}/obs, manifest {}",
+                summary.jobs_unique,
+                trace_targets.join("+"),
+                runner::engine().store_dir().display(),
+                summary.manifest_path.display(),
+            );
+        }
+        // `--trace` alone is a diagnostic run: skip figure rendering.
+        if targets.is_empty() {
+            if !quiet {
+                eprintln!("[total {:.1?}]", t0.elapsed());
+            }
+            return;
+        }
+    }
+
     let all = targets.is_empty() || targets.iter().any(|t| t == "all");
     let want = |name: &str| all || targets.iter().any(|t| t == name);
-
-    let t0 = Instant::now();
 
     // Phase 1: run the whole requested sweep through the engine.
     let wanted: Vec<&str> = sweep::SIM_TARGETS
@@ -95,15 +147,17 @@ fn main() {
     let jobs = sweep::jobs_for_targets(wanted.iter().copied(), scale, mix_count);
     if !jobs.is_empty() {
         let summary = runner::prewarm(&jobs);
-        eprintln!(
-            "[repro] sweep: {} jobs, {} unique, {} simulated, {} resumed from store, {} already in memory ({} workers)",
-            summary.jobs_requested,
-            summary.jobs_unique,
-            summary.executed,
-            summary.from_store,
-            summary.from_memory,
-            runner::engine().workers(),
-        );
+        if !quiet {
+            eprintln!(
+                "[repro] sweep: {} jobs, {} unique, {} simulated, {} resumed from store, {} already in memory ({} workers)",
+                summary.jobs_requested,
+                summary.jobs_unique,
+                summary.executed,
+                summary.from_store,
+                summary.from_memory,
+                runner::engine().workers(),
+            );
+        }
     }
 
     // Phase 2: render from the warm cache.
@@ -134,13 +188,17 @@ fn main() {
         if want(name) {
             let t = Instant::now();
             println!("{}", f(scale));
-            eprintln!("[{name} took {:.1?}]", t.elapsed());
+            if !quiet {
+                eprintln!("[{name} took {:.1?}]", t.elapsed());
+            }
         }
     }
     if want("fig15") {
         let t = Instant::now();
         println!("{}", figures::fig15(scale, mix_count));
-        eprintln!("[fig15 took {:.1?}]", t.elapsed());
+        if !quiet {
+            eprintln!("[fig15 took {:.1?}]", t.elapsed());
+        }
     }
     if want("stats") {
         println!("{}", figures::stats(scale));
@@ -153,9 +211,13 @@ fn main() {
         println!("{}", ablations::lateness_threshold(scale));
         println!("{}", ablations::tsb_non_secure(scale));
         println!("{}", ablations::llc_replacement(scale));
-        eprintln!("[ablations took {:.1?}]", t.elapsed());
+        if !quiet {
+            eprintln!("[ablations took {:.1?}]", t.elapsed());
+        }
     }
-    eprintln!("[total {:.1?}]", t0.elapsed());
+    if !quiet {
+        eprintln!("[total {:.1?}]", t0.elapsed());
+    }
 }
 
 fn die(msg: &str) -> ! {

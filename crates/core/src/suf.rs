@@ -86,6 +86,10 @@ impl UpdateFilter for SecureUpdateFilter {
         // 2-bit hit level per LQ entry + 1 L2-writeback bit per L1D line.
         self.lq_entries * 2 + self.l1d_lines
     }
+
+    fn describe(&self) -> &'static str {
+        "suf"
+    }
 }
 
 /// Ablation variant: only the *drop* half of SUF (re-fetch filtering for
@@ -105,6 +109,10 @@ impl UpdateFilter for DropOnlySuf {
 
     fn storage_bits(&self) -> u64 {
         128 * 2 // hit-level bits only
+    }
+
+    fn describe(&self) -> &'static str {
+        "suf-drop-only"
     }
 }
 
@@ -128,6 +136,10 @@ impl UpdateFilter for PropagateOnlySuf {
 
     fn storage_bits(&self) -> u64 {
         128 * 2 + 768
+    }
+
+    fn describe(&self) -> &'static str {
+        "suf-propagate-only"
     }
 }
 

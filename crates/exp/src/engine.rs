@@ -21,7 +21,8 @@ use crate::job::JobSpec;
 use crate::json::{obj, Json};
 use crate::pool;
 use crate::store::{ResultStore, StoredResult};
-use secpref_sim::SimReport;
+use secpref_obs::ObsSummary;
+use secpref_sim::{ObsConfig, SimReport};
 use secpref_trace::suite;
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Write};
@@ -62,6 +63,8 @@ pub struct JobRecord {
     pub source: ResultSource,
     /// Wall-clock of the simulation (zero for cached results).
     pub wall: Duration,
+    /// Observability summary (traced runs only).
+    pub obs: Option<ObsSummary>,
 }
 
 /// Summary of one [`Engine::run_all`] invocation.
@@ -209,6 +212,7 @@ impl Engine {
                                 label: jobs[i].label(),
                                 source: src,
                                 wall: Duration::ZERO,
+                                obs: None,
                             },
                         );
                     }
@@ -281,6 +285,7 @@ impl Engine {
                         label: run_specs[idx].label(),
                         source: ResultSource::Ran,
                         wall: outcome.wall,
+                        obs: None,
                     },
                 );
             }
@@ -312,6 +317,113 @@ impl Engine {
             fmt_secs(wall),
             summary.executed,
             summary.from_memory + summary.from_store,
+            summary.manifest_path.display(),
+        ));
+        (reports, summary)
+    }
+
+    /// Runs every unique job with an observability recorder attached and
+    /// exports trace artifacts under `<store_dir>/obs/`.
+    ///
+    /// Traced runs are a *diagnostic* mode: they always re-simulate and
+    /// never read from or write to the result store or the in-process
+    /// cache. That keeps the artifacts a pure function of `(job, obs)` —
+    /// byte-identical across worker counts and across cold/resumed
+    /// engines — and keeps diagnostic runs from polluting the store with
+    /// results that sweeps would then trust.
+    ///
+    /// Artifacts (`<key>.events.jsonl`, `<key>.epochs.csv`) are written
+    /// from the `on_done` callback on the calling thread, so artifact
+    /// I/O is single-threaded without extra locks. The run manifest gains
+    /// an `obs` object per job. Reports come back in request order.
+    pub fn run_traced(&self, jobs: &[JobSpec], obs: &ObsConfig) -> (Vec<SimReport>, RunSummary) {
+        let t0 = Instant::now();
+        let run_id = self.next_run_id();
+        let obs_dir = self.store.dir().join("obs");
+
+        // Dedupe, preserving first-occurrence order (same as run_all).
+        let keyed: Vec<String> = jobs.iter().map(JobSpec::key).collect();
+        let mut seen = HashSet::new();
+        let mut unique: Vec<usize> = Vec::new();
+        for (i, key) in keyed.iter().enumerate() {
+            if seen.insert(key.clone()) {
+                unique.push(i);
+            }
+        }
+        let run_specs: Vec<JobSpec> = unique.iter().map(|&i| jobs[i].clone()).collect();
+        self.say(&format!(
+            "[exp] traced run {run_id}: {} jobs requested, {} unique, artifacts under {}",
+            jobs.len(),
+            unique.len(),
+            obs_dir.display(),
+        ));
+        self.pregenerate_traces(&run_specs);
+
+        let total = run_specs.len();
+        let done = AtomicUsize::new(0);
+        let mut job_records: Vec<JobRecord> = Vec::with_capacity(total);
+        let outcomes = pool::run_jobs_with(
+            &run_specs,
+            self.workers,
+            |job| job.run_traced(obs),
+            |idx, job, (_, capture), wall| {
+                let key = &keyed[unique[idx]];
+                let summary = capture.as_ref().map(|cap| {
+                    match crate::obs::write_trace_artifacts(&obs_dir, key, obs, cap) {
+                        Ok((events, _)) => self.say(&format!("[exp] wrote {}", events.display())),
+                        Err(e) => self.say(&format!("[exp] warning: artifact write failed: {e}")),
+                    }
+                    cap.summary()
+                });
+                job_records.push(JobRecord {
+                    key: key.clone(),
+                    label: job.label(),
+                    source: ResultSource::Ran,
+                    wall,
+                    obs: summary,
+                });
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                self.say(&format!(
+                    "[exp] {n}/{total} traced — {} in {}",
+                    job.label(),
+                    fmt_secs(wall),
+                ));
+            },
+        );
+        // on_done fires in completion order; the manifest lists jobs in
+        // request order, so sort the records back by key position.
+        job_records.sort_by_key(|r| {
+            unique
+                .iter()
+                .position(|&i| keyed[i] == r.key)
+                .unwrap_or(usize::MAX)
+        });
+
+        let wall = t0.elapsed();
+        let summary = self.write_observability(RunSummary {
+            run_id: run_id.clone(),
+            jobs_requested: jobs.len(),
+            jobs_unique: unique.len(),
+            from_memory: 0,
+            from_store: 0,
+            executed: total,
+            wall,
+            manifest_path: PathBuf::new(),
+            timings_path: PathBuf::new(),
+            jobs: job_records,
+        });
+
+        // Request-order reports (duplicates share the unique job's run).
+        let by_key: HashMap<&String, &SimReport> = unique
+            .iter()
+            .zip(&outcomes)
+            .map(|(&i, ((report, _), _))| (&keyed[i], report))
+            .collect();
+        let reports = keyed.iter().map(|key| by_key[key].clone()).collect();
+        self.say(&format!(
+            "[exp] traced run {run_id} done in {} ({} simulated); manifest {}",
+            fmt_secs(wall),
+            total,
             summary.manifest_path.display(),
         ));
         (reports, summary)
@@ -404,12 +516,24 @@ impl Engine {
             .jobs
             .iter()
             .map(|r| {
-                obj(vec![
+                let mut fields = vec![
                     ("key", Json::Str(r.key.clone())),
                     ("label", Json::Str(r.label.clone())),
                     ("source", Json::Str(r.source.name().to_string())),
                     ("wall_ms", Json::Float(r.wall.as_secs_f64() * 1e3)),
-                ])
+                ];
+                if let Some(obs) = &r.obs {
+                    fields.push((
+                        "obs",
+                        obj(vec![
+                            ("events_recorded", Json::UInt(obs.events_recorded)),
+                            ("events_stored", Json::UInt(obs.events_stored)),
+                            ("events_dropped", Json::UInt(obs.events_dropped)),
+                            ("epochs", Json::UInt(obs.epochs)),
+                        ]),
+                    ));
+                }
+                obj(fields)
             })
             .collect();
         let manifest = obj(vec![

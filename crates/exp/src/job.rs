@@ -10,7 +10,10 @@
 //! collision is detected instead of silently returning the wrong report.
 
 use crate::scale::ExpScale;
-use secpref_sim::{run_multi_with_window, run_single_with_window, SimReport};
+use secpref_sim::{
+    run_multi_with_window, run_multi_with_window_obs, run_single_with_window,
+    run_single_with_window_obs, ObsCapture, ObsConfig, SimReport,
+};
 use secpref_trace::suite;
 use secpref_types::SystemConfig;
 
@@ -139,6 +142,28 @@ impl JobSpec {
                     .map(|n| suite::cached_trace(n, self.scale.trace_len()))
                     .collect();
                 run_multi_with_window(&self.cfg, traces, warmup, measure)
+            }
+        }
+    }
+
+    /// Executes the job with an observability recorder attached.
+    ///
+    /// The observability configuration is deliberately *not* part of the
+    /// job key — it cannot change the simulation outcome, and traced runs
+    /// bypass the result store entirely (see `Engine::run_traced`).
+    pub fn run_traced(&self, obs: &ObsConfig) -> (SimReport, Option<ObsCapture>) {
+        let (warmup, measure) = self.window();
+        match &self.workload {
+            Workload::Single(name) => {
+                let trace = suite::cached_trace(name, self.scale.trace_len());
+                run_single_with_window_obs(&self.cfg, &trace, warmup, measure, obs)
+            }
+            Workload::Mix(names) => {
+                let traces = names
+                    .iter()
+                    .map(|n| suite::cached_trace(n, self.scale.trace_len()))
+                    .collect();
+                run_multi_with_window_obs(&self.cfg, traces, warmup, measure, obs)
             }
         }
     }

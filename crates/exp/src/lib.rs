@@ -23,6 +23,8 @@
 //!   integers; `f64` round-trips bit-identically).
 //! - [`engine`] — [`Engine`]: dedupe → resume → pre-generate traces →
 //!   execute → persist → manifest.
+//! - [`obs`] — deterministic trace-artifact exporters (events JSONL,
+//!   epochs CSV) for [`Engine::run_traced`] diagnostic runs.
 //!
 //! # Examples
 //!
@@ -48,12 +50,15 @@ pub mod codec;
 pub mod engine;
 pub mod job;
 pub mod json;
+pub mod obs;
 pub mod pool;
 pub mod scale;
 pub mod store;
 
 pub use engine::{default_workers, Engine, JobRecord, ResultSource, RunSummary};
 pub use job::{JobSpec, Workload};
+pub use obs::write_trace_artifacts;
 pub use pool::JobOutcome;
 pub use scale::ExpScale;
+pub use secpref_sim::{ObsCapture, ObsConfig};
 pub use store::{ResultStore, StoredResult};

@@ -1,0 +1,178 @@
+//! Trace-artifact exporters: events JSONL and epochs CSV.
+//!
+//! A traced run's [`ObsCapture`] is exported as two flat files under the
+//! store's `obs/` directory, named by the job's content key:
+//!
+//! - `<key>.events.jsonl` — one JSON object per stored event, in
+//!   simulation order, followed by a single `"summary"` line carrying the
+//!   per-kind recorded/dropped totals, the MSHR high-water marks, and the
+//!   capture configuration.
+//! - `<key>.epochs.csv` — the epoch time-series
+//!   ([`secpref_obs::EPOCH_CSV_HEADER`] schema).
+//!
+//! Both artifacts are **deterministic**: their bytes are a pure function
+//! of the job and the observability configuration. No timestamps, git
+//! state, worker counts, or host details appear in the content, which is
+//! what makes the trace-determinism test (byte-identical across
+//! `--workers` values and resume-vs-cold) hold trivially.
+
+use crate::json::{obj, Json};
+use secpref_obs::{Event, EventKind, ObsCapture, ObsConfig};
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Renders one event as a compact single-line JSON object.
+///
+/// Hand-formatted rather than going through [`Json`]: every field is a
+/// plain integer or a fixed identifier (no escaping needed), and a traced
+/// run can store a million events — building a `Json` tree per event
+/// would dominate export time.
+fn event_line(out: &mut String, ev: &Event) {
+    let _ = writeln!(
+        out,
+        "{{\"cycle\":{},\"core\":{},\"kind\":\"{}\",\"line\":{},\"arg\":{}}}",
+        ev.cycle,
+        ev.core,
+        ev.kind.name(),
+        ev.line.raw(),
+        ev.arg,
+    );
+}
+
+/// The trailing summary line of an events JSONL artifact.
+fn summary_line(cap: &ObsCapture, cfg: &ObsConfig) -> Json {
+    let per_kind: Vec<Json> = EventKind::ALL
+        .iter()
+        .map(|&kind| {
+            obj(vec![
+                ("kind", Json::Str(kind.name().to_string())),
+                ("recorded", Json::UInt(cap.recorded(kind))),
+                ("dropped", Json::UInt(cap.dropped(kind))),
+            ])
+        })
+        .collect();
+    let high_water: Vec<Json> = cap
+        .mshr_high_water
+        .iter()
+        .map(|(label, v)| {
+            obj(vec![
+                ("mshr", Json::Str(label.clone())),
+                ("high_water", Json::UInt(*v)),
+            ])
+        })
+        .collect();
+    let s = cap.summary();
+    obj(vec![
+        ("summary", Json::Bool(true)),
+        ("filter", Json::Str(cap.filter.clone())),
+        ("epoch_interval", Json::UInt(cap.epochs.interval)),
+        ("event_capacity", Json::UInt(cfg.event_capacity as u64)),
+        ("events_recorded", Json::UInt(s.events_recorded)),
+        ("events_stored", Json::UInt(s.events_stored)),
+        ("events_dropped", Json::UInt(s.events_dropped)),
+        ("epochs", Json::UInt(s.epochs)),
+        ("kinds", Json::Arr(per_kind)),
+        ("mshr_high_water", Json::Arr(high_water)),
+    ])
+}
+
+/// Renders the full events JSONL artifact (events + summary line).
+pub fn events_jsonl(cap: &ObsCapture, cfg: &ObsConfig) -> String {
+    // ~80 bytes per line is a good pre-size for compact integer events.
+    let mut out = String::with_capacity(cap.events.len() * 80 + 1024);
+    for ev in &cap.events {
+        event_line(&mut out, ev);
+    }
+    out.push_str(&summary_line(cap, cfg).to_string());
+    out.push('\n');
+    out
+}
+
+/// Writes `<key>.events.jsonl` and `<key>.epochs.csv` under `dir`,
+/// creating it if needed. Returns the two paths (events, epochs).
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures.
+pub fn write_trace_artifacts(
+    dir: &Path,
+    key: &str,
+    cfg: &ObsConfig,
+    cap: &ObsCapture,
+) -> io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let events_path = dir.join(format!("{key}.events.jsonl"));
+    let epochs_path = dir.join(format!("{key}.epochs.csv"));
+    std::fs::write(&events_path, events_jsonl(cap, cfg))?;
+    std::fs::write(&epochs_path, cap.epochs.to_csv())?;
+    Ok((events_path, epochs_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secpref_obs::{EpochSeries, KIND_COUNT};
+    use secpref_types::LineAddr;
+
+    fn capture() -> ObsCapture {
+        let mut recorded = [0u64; KIND_COUNT];
+        recorded[EventKind::Refetch.index()] = 2;
+        recorded[EventKind::SufDrop.index()] = 1;
+        ObsCapture {
+            events: vec![
+                Event {
+                    cycle: 10,
+                    line: LineAddr::new(0x40),
+                    arg: 0,
+                    core: 0,
+                    kind: EventKind::Refetch,
+                },
+                Event {
+                    cycle: 12,
+                    line: LineAddr::new(0x41),
+                    arg: 1,
+                    core: 0,
+                    kind: EventKind::SufDrop,
+                },
+            ],
+            recorded,
+            dropped: [0; KIND_COUNT],
+            epochs: EpochSeries::new(1000),
+            mshr_high_water: vec![("l1d[0]".to_string(), 7)],
+            filter: "suf".to_string(),
+        }
+    }
+
+    #[test]
+    fn events_jsonl_is_parseable_line_by_line() {
+        let text = events_jsonl(&capture(), &ObsConfig::enabled());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3); // two events + summary
+        let first = crate::json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("cycle").unwrap().as_u64(), Some(10));
+        assert_eq!(first.get("kind").unwrap().as_str(), Some("refetch"));
+        assert_eq!(first.get("line").unwrap().as_u64(), Some(0x40));
+        let last = crate::json::parse(lines[2]).unwrap();
+        assert_eq!(last.get("filter").unwrap().as_str(), Some("suf"));
+        assert_eq!(last.get("events_stored").unwrap().as_u64(), Some(2));
+        let kinds = last.get("kinds").unwrap().as_arr().unwrap();
+        assert_eq!(kinds.len(), KIND_COUNT);
+    }
+
+    #[test]
+    fn artifacts_land_under_the_requested_dir() {
+        let dir = std::env::temp_dir().join(format!("secpref-obs-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (events, epochs) =
+            write_trace_artifacts(&dir, "deadbeef", &ObsConfig::enabled(), &capture()).unwrap();
+        assert!(events.ends_with("deadbeef.events.jsonl"));
+        assert!(epochs.ends_with("deadbeef.epochs.csv"));
+        let csv = std::fs::read_to_string(&epochs).unwrap();
+        assert!(csv.starts_with("epoch,core,"));
+        // Byte-stable: re-exporting the same capture is identical.
+        let again = events_jsonl(&capture(), &ObsConfig::enabled());
+        assert_eq!(std::fs::read_to_string(&events).unwrap(), again);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -37,15 +37,42 @@ pub fn run_jobs(
     workers: usize,
     mut on_done: impl FnMut(usize, &JobSpec, &SimReport, Duration),
 ) -> Vec<JobOutcome> {
+    run_jobs_with(
+        jobs,
+        workers,
+        |job| job.run(),
+        |idx, job, report, wall| on_done(idx, job, report, wall),
+    )
+    .into_iter()
+    .map(|(report, wall)| JobOutcome { report, wall })
+    .collect()
+}
+
+/// Generic form of [`run_jobs`]: `run` produces any `Send` result per
+/// job (e.g. a report *plus* an observability capture). Result order is
+/// still the job order; `on_done` still fires on the calling thread —
+/// which keeps artifact writes single-threaded without extra locks.
+///
+/// # Panics
+///
+/// Propagates a panic from any job once all workers have drained.
+pub fn run_jobs_with<R: Send>(
+    jobs: &[JobSpec],
+    workers: usize,
+    run: impl Fn(&JobSpec) -> R + Sync,
+    mut on_done: impl FnMut(usize, &JobSpec, &R, Duration),
+) -> Vec<(R, Duration)> {
     if jobs.is_empty() {
         return Vec::new();
     }
     let workers = workers.clamp(1, jobs.len());
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, SimReport, Duration)>();
+    let (tx, rx) = mpsc::channel::<(usize, R, Duration)>();
 
-    let mut slots: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+    let mut slots: Vec<Option<(R, Duration)>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
     std::thread::scope(|scope| {
+        let run = &run;
         for _ in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
@@ -53,8 +80,8 @@ pub fn run_jobs(
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(idx) else { break };
                 let start = Instant::now();
-                let report = job.run();
-                if tx.send((idx, report, start.elapsed())).is_err() {
+                let result = run(job);
+                if tx.send((idx, result, start.elapsed())).is_err() {
                     break;
                 }
             });
@@ -62,9 +89,9 @@ pub fn run_jobs(
         drop(tx);
         // `rx` closes when every worker exits; if one panicked mid-job we
         // fall out of the loop early and `scope` re-raises the panic.
-        for (idx, report, wall) in rx {
-            on_done(idx, &jobs[idx], &report, wall);
-            slots[idx] = Some(JobOutcome { report, wall });
+        for (idx, result, wall) in rx {
+            on_done(idx, &jobs[idx], &result, wall);
+            slots[idx] = Some((result, wall));
         }
     });
     slots

@@ -109,6 +109,91 @@ fn resumed_run_matches_cold_run_without_resimulating() {
 }
 
 #[test]
+fn trace_artifacts_are_byte_identical_across_workers_and_resume() {
+    // Traced runs must satisfy the same contract as reports, but at the
+    // artifact-byte level: the events JSONL and epochs CSV are a pure
+    // function of (job, obs config) — worker count, completion
+    // interleaving, and whatever an earlier run left in the result store
+    // must all be invisible.
+    let jobs = sweep();
+    let obs = secpref_exp::ObsConfig::enabled().with_epoch_interval(500);
+    let dir1 = tmp_dir("obs-w1");
+    let dir4 = tmp_dir("obs-w4");
+
+    let serial = Engine::new(&dir1, 1).unwrap();
+    let (serial_reports, serial_summary) = serial.run_traced(&jobs, &obs);
+    let parallel = Engine::new(&dir4, 4).unwrap();
+    parallel.run_traced(&jobs, &obs);
+
+    let artifact = |dir: &PathBuf, key: &str, suffix: &str| {
+        std::fs::read(dir.join("obs").join(format!("{key}.{suffix}"))).unwrap()
+    };
+    let keys: Vec<String> = {
+        let mut seen = std::collections::HashSet::new();
+        jobs.iter()
+            .map(JobSpec::key)
+            .filter(|k| seen.insert(k.clone()))
+            .collect()
+    };
+    assert_eq!(keys.len(), serial_summary.jobs_unique);
+    for key in &keys {
+        let events = artifact(&dir1, key, "events.jsonl");
+        assert!(!events.is_empty());
+        assert_eq!(
+            events,
+            artifact(&dir4, key, "events.jsonl"),
+            "events JSONL for {key} must not depend on the worker count"
+        );
+        assert_eq!(events, artifact(&dir4, key, "events.jsonl"));
+        assert_eq!(
+            artifact(&dir1, key, "epochs.csv"),
+            artifact(&dir4, key, "epochs.csv"),
+            "epochs CSV for {key} must not depend on the worker count"
+        );
+    }
+
+    // Re-tracing over a store that already holds every result (a
+    // "resumed" diagnostic run) reproduces the artifacts bit for bit:
+    // traced runs bypass the store, so warm == cold.
+    let warm = Engine::new(&dir1, 4).unwrap();
+    let cold_bytes: Vec<Vec<u8>> = keys
+        .iter()
+        .map(|k| artifact(&dir1, k, "events.jsonl"))
+        .collect();
+    let (warm_reports, warm_summary) = warm.run_traced(&jobs, &obs);
+    assert_eq!(
+        warm_summary.executed, warm_summary.jobs_unique,
+        "traced runs always re-simulate"
+    );
+    for (key, cold) in keys.iter().zip(&cold_bytes) {
+        assert_eq!(
+            &artifact(&dir1, key, "events.jsonl"),
+            cold,
+            "resumed trace of {key} must be byte-identical to the cold one"
+        );
+    }
+    assert_eq!(serialize_all(&serial_reports), serialize_all(&warm_reports));
+
+    // Every traced job's manifest record carries an obs summary with a
+    // populated epoch series; the secure on-commit jobs also record
+    // commit/prefetch events.
+    for record in &serial_summary.jobs {
+        let obs = record.obs.expect("traced jobs must report an obs summary");
+        assert!(obs.epochs > 0, "{} produced no epochs", record.label);
+    }
+    assert!(
+        serial_summary
+            .jobs
+            .iter()
+            .any(|r| r.obs.is_some_and(|o| o.events_recorded > 0)),
+        "the sweep's secure jobs must record events"
+    );
+
+    let _ = std::fs::remove_dir_all(dir1);
+    let _ = std::fs::remove_dir_all(dir4);
+}
+
+#[test]
 fn partial_store_resumes_the_rest() {
     // Simulate a killed run: only part of the sweep made it to disk.
     let jobs = sweep();

@@ -47,6 +47,13 @@ pub trait UpdateFilter: std::fmt::Debug + Send {
 
     /// Per-core extra storage in bits (for the storage-overhead table).
     fn storage_bits(&self) -> u64;
+
+    /// Stable short identity of the policy, used to label run artifacts
+    /// (e.g. trace exports). Defaults to `"always-update"` because the
+    /// baseline is the only filter defined in this crate.
+    fn describe(&self) -> &'static str {
+        "always-update"
+    }
 }
 
 /// Baseline GhostMinion: every commit updates the hierarchy, and clean
@@ -85,5 +92,6 @@ mod tests {
             assert_eq!(f.wb_bits(hl), WbBits::ALL);
         }
         assert_eq!(f.storage_bits(), 0);
+        assert_eq!(f.describe(), "always-update");
     }
 }

@@ -41,6 +41,20 @@ pub struct DramStats {
     pub wq_forwards: u64,
 }
 
+impl DramStats {
+    /// Counter deltas since an `earlier` snapshot of the same channel
+    /// (saturating, so a stale snapshot cannot wrap).
+    pub fn delta(&self, earlier: &DramStats) -> DramStats {
+        DramStats {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            row_hits: self.row_hits.saturating_sub(earlier.row_hits),
+            row_misses: self.row_misses.saturating_sub(earlier.row_misses),
+            wq_forwards: self.wq_forwards.saturating_sub(earlier.wq_forwards),
+        }
+    }
+}
+
 /// The single-channel memory controller.
 ///
 /// Call [`DramModel::enqueue`] to submit requests and [`DramModel::tick`]

@@ -69,6 +69,7 @@ pub struct MshrFile {
     capacity: usize,
     entries: Vec<MshrEntry>,
     next_token: u64,
+    high_water: usize,
 }
 
 impl MshrFile {
@@ -83,6 +84,7 @@ impl MshrFile {
             capacity,
             entries: Vec::with_capacity(capacity),
             next_token: 0,
+            high_water: 0,
         }
     }
 
@@ -94,6 +96,11 @@ impl MshrFile {
     /// Number of in-flight entries.
     pub fn occupancy(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Highest occupancy ever reached (a lifetime gauge for run reports).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// True when no further allocation is possible.
@@ -141,6 +148,7 @@ impl MshrFile {
             oldest_ts: ts,
             token,
         });
+        self.high_water = self.high_water.max(self.entries.len());
         Ok(token)
     }
 
@@ -249,6 +257,20 @@ mod tests {
         let t = m.alloc(la(1), false, 0, 1).unwrap();
         m.complete(t);
         m.complete(t); // double complete must be detected
+    }
+
+    #[test]
+    fn high_water_survives_drain() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.high_water(), 0);
+        let t1 = m.alloc(la(1), false, 0, 1).unwrap();
+        let t2 = m.alloc(la(2), false, 0, 2).unwrap();
+        let t3 = m.alloc(la(3), false, 0, 3).unwrap();
+        m.complete(t1);
+        m.complete(t2);
+        m.complete(t3);
+        assert_eq!(m.occupancy(), 0);
+        assert_eq!(m.high_water(), 3, "high water is a lifetime maximum");
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! In-run observability for the secure-prefetch simulator: a structured
+//! event bus, a bounded event ring, and an epoch time-series — std-only,
+//! zero dependencies beyond `secpref-types`, and near-zero cost when off.
+//!
+//! Every phenomenon the paper explains — prefetch lateness under
+//! on-commit issue, commit-request traffic on the GhostMinion path, MSHR
+//! pressure from re-fetches — is a *within-run* timing story. This crate
+//! gives the simulator a lens on it:
+//!
+//! - [`EventKind`]/[`Event`] — the taxonomy of instrumented moments,
+//!   recorded into an [`EventRing`] whose memory is fixed (per-kind drop
+//!   counters account for overflow exactly).
+//! - [`EpochRow`]/[`EpochSeries`] — every N committed instructions, the
+//!   simulator snapshots metric *deltas* into a time-series.
+//! - [`Obs`] — the recorder handed to the simulator. Disabled it is a
+//!   `None` behind one predictable branch per hook; enabled it records
+//!   only for cores past their warm-up boundary, so event totals
+//!   reconcile with the measurement-window counters of the final report.
+//!
+//! Exporters (events JSONL, epochs CSV) live in `secpref-exp`, which owns
+//! the workspace's hand-rolled JSON; this crate stays dependency-free so
+//! every simulator layer (`mem`, `cpu`, `ghostminion`, `core`, `sim`) can
+//! link it.
+//!
+//! # Examples
+//!
+//! ```
+//! use secpref_obs::{Event, EventKind, Obs, ObsConfig};
+//! use secpref_types::LineAddr;
+//!
+//! let mut obs = Obs::new(&ObsConfig::enabled(), 1);
+//! obs.arm(0); // core 0 passed its warm-up boundary
+//! obs.record(Event {
+//!     cycle: 42,
+//!     line: LineAddr::new(7),
+//!     arg: 0,
+//!     core: 0,
+//!     kind: EventKind::CommitWrite,
+//! });
+//! let capture = obs.finish().unwrap();
+//! assert_eq!(capture.recorded(EventKind::CommitWrite), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod epoch;
+pub mod event;
+pub mod ring;
+
+pub use epoch::{EpochRow, EpochSeries, LevelEpoch, EPOCH_CSV_HEADER};
+pub use event::{Event, EventKind, KIND_COUNT};
+pub use ring::EventRing;
+
+/// Observability configuration. Off by default: `ObsConfig::default()`
+/// disables everything and the simulator's hooks reduce to one branch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Maximum events stored (beyond this, events are counted per kind
+    /// but not stored — memory stays fixed).
+    pub event_capacity: usize,
+    /// Epoch length in committed instructions (per core, post warm-up).
+    pub epoch_interval: u64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: false,
+            event_capacity: 1 << 20,
+            epoch_interval: 5_000,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// An enabled configuration with the default capacity and interval.
+    pub fn enabled() -> Self {
+        ObsConfig {
+            enabled: true,
+            ..ObsConfig::default()
+        }
+    }
+
+    /// Sets the event-ring capacity (builder style).
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity;
+        self
+    }
+
+    /// Sets the epoch interval in instructions (builder style; clamped
+    /// to ≥ 1).
+    pub fn with_epoch_interval(mut self, interval: u64) -> Self {
+        self.epoch_interval = interval.max(1);
+        self
+    }
+}
+
+/// Live recorder state (present only when observability is on).
+#[derive(Clone, Debug)]
+struct ObsInner {
+    ring: EventRing,
+    epochs: EpochSeries,
+    /// Per-core: record events only once the core passed warm-up, so
+    /// event totals match the measurement-window metrics.
+    armed: Vec<bool>,
+}
+
+/// The recorder the simulator holds. `Obs::disabled()` is the default and
+/// compiles every hook down to a `None` check.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    inner: Option<Box<ObsInner>>,
+}
+
+impl Obs {
+    /// A recorder that records nothing (the default).
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// A recorder for `cores` cores under `cfg` (disabled configs yield
+    /// a disabled recorder).
+    pub fn new(cfg: &ObsConfig, cores: usize) -> Self {
+        if !cfg.enabled {
+            return Obs::disabled();
+        }
+        Obs {
+            inner: Some(Box::new(ObsInner {
+                ring: EventRing::new(cfg.event_capacity),
+                epochs: EpochSeries::new(cfg.epoch_interval.max(1)),
+                armed: vec![false; cores],
+            })),
+        }
+    }
+
+    /// Whether recording is active at all.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Marks `core` as past its warm-up boundary; events from it are
+    /// recorded from now on.
+    pub fn arm(&mut self, core: usize) {
+        if let Some(inner) = &mut self.inner {
+            if let Some(a) = inner.armed.get_mut(core) {
+                *a = true;
+            }
+        }
+    }
+
+    /// Records an event if recording is on and the event's core is armed.
+    #[inline]
+    pub fn record(&mut self, ev: Event) {
+        if let Some(inner) = &mut self.inner {
+            if inner.armed.get(ev.core as usize).copied().unwrap_or(false) {
+                inner.ring.push(ev);
+            }
+        }
+    }
+
+    /// Appends an epoch sample (caller computes the deltas).
+    pub fn push_epoch(&mut self, row: EpochRow) {
+        if let Some(inner) = &mut self.inner {
+            inner.epochs.rows.push(row);
+        }
+    }
+
+    /// The configured epoch interval (None when disabled).
+    pub fn epoch_interval(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.epochs.interval)
+    }
+
+    /// Consumes the recorder into its capture (None when disabled).
+    pub fn finish(self) -> Option<ObsCapture> {
+        self.inner.map(|inner| ObsCapture {
+            events: inner.ring.events().to_vec(),
+            recorded: *inner.ring.recorded_counts(),
+            dropped: *inner.ring.dropped_counts(),
+            epochs: inner.epochs,
+            mshr_high_water: Vec::new(),
+            filter: String::new(),
+        })
+    }
+}
+
+/// Everything one traced run produced, ready for export.
+#[derive(Clone, Debug)]
+pub struct ObsCapture {
+    /// Stored events, in simulation order.
+    pub events: Vec<Event>,
+    /// Per-kind recorded totals (stored + dropped), by [`EventKind::index`].
+    pub recorded: [u64; KIND_COUNT],
+    /// Per-kind drop counters, by [`EventKind::index`].
+    pub dropped: [u64; KIND_COUNT],
+    /// The epoch time-series.
+    pub epochs: EpochSeries,
+    /// MSHR occupancy high-water marks: (label, entries), e.g.
+    /// `("l1d[0]", 14)` — filled in by the simulator at finalize.
+    pub mshr_high_water: Vec<(String, u64)>,
+    /// The commit-path update filter's identity (e.g. `"suf"`).
+    pub filter: String,
+}
+
+impl ObsCapture {
+    /// Total recorded events of `kind`.
+    pub fn recorded(&self, kind: EventKind) -> u64 {
+        self.recorded[kind.index()]
+    }
+
+    /// Total dropped events of `kind`.
+    pub fn dropped(&self, kind: EventKind) -> u64 {
+        self.dropped[kind.index()]
+    }
+
+    /// Aggregate summary for manifests.
+    pub fn summary(&self) -> ObsSummary {
+        ObsSummary {
+            events_recorded: self.recorded.iter().sum(),
+            events_stored: self.events.len() as u64,
+            events_dropped: self.dropped.iter().sum(),
+            epochs: self.epochs.rows.len() as u64,
+        }
+    }
+}
+
+/// Compact per-run observability summary (what lands in run manifests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObsSummary {
+    /// Events recorded (stored + dropped).
+    pub events_recorded: u64,
+    /// Events actually stored in the ring.
+    pub events_stored: u64,
+    /// Events dropped because the ring was full.
+    pub events_dropped: u64,
+    /// Epoch samples taken.
+    pub epochs: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secpref_types::LineAddr;
+
+    fn ev(core: u16, kind: EventKind) -> Event {
+        Event {
+            cycle: 1,
+            line: LineAddr::new(0),
+            arg: 0,
+            core,
+            kind,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let mut obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        obs.arm(0);
+        obs.record(ev(0, EventKind::Refetch));
+        obs.push_epoch(EpochRow::default());
+        assert!(obs.finish().is_none());
+    }
+
+    #[test]
+    fn default_config_is_off() {
+        assert!(!ObsConfig::default().enabled);
+        assert!(!Obs::new(&ObsConfig::default(), 2).is_enabled());
+        assert!(Obs::new(&ObsConfig::enabled(), 2).is_enabled());
+    }
+
+    #[test]
+    fn unarmed_cores_are_not_recorded() {
+        let mut obs = Obs::new(&ObsConfig::enabled(), 2);
+        obs.record(ev(0, EventKind::CommitWrite)); // warm-up: ignored
+        obs.arm(0);
+        obs.record(ev(0, EventKind::CommitWrite));
+        obs.record(ev(1, EventKind::CommitWrite)); // core 1 still warming
+        let cap = obs.finish().unwrap();
+        assert_eq!(cap.recorded(EventKind::CommitWrite), 1);
+        assert_eq!(cap.events.len(), 1);
+        assert_eq!(cap.events[0].core, 0);
+    }
+
+    #[test]
+    fn summary_counts_add_up() {
+        let mut obs = Obs::new(&ObsConfig::enabled().with_event_capacity(1), 1);
+        obs.arm(0);
+        obs.record(ev(0, EventKind::PortStall));
+        obs.record(ev(0, EventKind::PortStall));
+        obs.push_epoch(EpochRow::default());
+        let s = obs.finish().unwrap().summary();
+        assert_eq!(s.events_recorded, 2);
+        assert_eq!(s.events_stored, 1);
+        assert_eq!(s.events_dropped, 1);
+        assert_eq!(s.epochs, 1);
+    }
+}

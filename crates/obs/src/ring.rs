@@ -1,0 +1,131 @@
+//! A bounded event buffer with per-kind counters.
+//!
+//! Memory stays fixed no matter how long the run is: the buffer holds at
+//! most `capacity` events; once full, new events are *counted but not
+//! stored* (per-kind drop counters), preserving the earliest — and for
+//! lateness debugging, most interesting — window of the run. Per-kind
+//! *recorded* counters always increment, so event totals reconcile with
+//! the end-of-run metrics even when the buffer overflowed.
+
+use crate::event::{Event, EventKind, KIND_COUNT};
+
+/// Bounded event buffer with exact per-kind accounting.
+#[derive(Clone, Debug)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    capacity: usize,
+    recorded: [u64; KIND_COUNT],
+    dropped: [u64; KIND_COUNT],
+}
+
+impl EventRing {
+    /// Creates a ring storing at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            buf: Vec::new(),
+            capacity,
+            recorded: [0; KIND_COUNT],
+            dropped: [0; KIND_COUNT],
+        }
+    }
+
+    /// Records an event: always counted, stored while space remains.
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        self.recorded[ev.kind.index()] += 1;
+        if self.buf.len() < self.capacity {
+            // First push allocates; capacity is bounded by construction.
+            if self.buf.capacity() == 0 {
+                self.buf.reserve_exact(self.capacity.min(1 << 16));
+            }
+            self.buf.push(ev);
+        } else {
+            self.dropped[ev.kind.index()] += 1;
+        }
+    }
+
+    /// The stored events, in record order.
+    pub fn events(&self) -> &[Event] {
+        &self.buf
+    }
+
+    /// Total events recorded of `kind` (stored + dropped).
+    pub fn recorded(&self, kind: EventKind) -> u64 {
+        self.recorded[kind.index()]
+    }
+
+    /// Events of `kind` that could not be stored.
+    pub fn dropped(&self, kind: EventKind) -> u64 {
+        self.dropped[kind.index()]
+    }
+
+    /// Per-kind recorded counters, indexed by [`EventKind::index`].
+    pub fn recorded_counts(&self) -> &[u64; KIND_COUNT] {
+        &self.recorded
+    }
+
+    /// Per-kind drop counters, indexed by [`EventKind::index`].
+    pub fn dropped_counts(&self) -> &[u64; KIND_COUNT] {
+        &self.dropped
+    }
+
+    /// Total recorded events across all kinds.
+    pub fn total_recorded(&self) -> u64 {
+        self.recorded.iter().sum()
+    }
+
+    /// Total dropped events across all kinds.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secpref_types::LineAddr;
+
+    fn ev(kind: EventKind, cycle: u64) -> Event {
+        Event {
+            cycle,
+            line: LineAddr::new(cycle),
+            arg: 0,
+            core: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn stores_until_full_then_counts_drops() {
+        let mut r = EventRing::new(3);
+        for c in 0..5 {
+            r.push(ev(EventKind::CommitWrite, c));
+        }
+        assert_eq!(r.events().len(), 3);
+        assert_eq!(r.events()[0].cycle, 0); // earliest window kept
+        assert_eq!(r.recorded(EventKind::CommitWrite), 5);
+        assert_eq!(r.dropped(EventKind::CommitWrite), 2);
+        assert_eq!(r.total_recorded(), 5);
+        assert_eq!(r.total_dropped(), 2);
+    }
+
+    #[test]
+    fn per_kind_counters_are_independent() {
+        let mut r = EventRing::new(1);
+        r.push(ev(EventKind::Refetch, 1));
+        r.push(ev(EventKind::SufDrop, 2));
+        assert_eq!(r.recorded(EventKind::Refetch), 1);
+        assert_eq!(r.recorded(EventKind::SufDrop), 1);
+        assert_eq!(r.dropped(EventKind::Refetch), 0);
+        assert_eq!(r.dropped(EventKind::SufDrop), 1);
+    }
+
+    #[test]
+    fn zero_capacity_counts_everything_stores_nothing() {
+        let mut r = EventRing::new(0);
+        r.push(ev(EventKind::PortStall, 7));
+        assert!(r.events().is_empty());
+        assert_eq!(r.recorded(EventKind::PortStall), 1);
+        assert_eq!(r.dropped(EventKind::PortStall), 1);
+    }
+}

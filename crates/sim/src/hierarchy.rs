@@ -26,6 +26,7 @@ use secpref_ghostminion::{CommitAction, GmCache, UpdateFilter, WbBits};
 use secpref_mem::{
     DramModel, DramRequest, FillAttrs, MshrFile, MshrToken, PortScheduler, SetAssocCache, Tlb,
 };
+use secpref_obs::{Event, EventKind, Obs};
 use secpref_prefetch::{AccessEvent, Feedback, FillEvent, Prefetcher};
 use secpref_types::{
     AccessKind, CacheConfig, CacheLevel, CoreId, Cycle, FillInfo, HitLevel, Ip, LineAddr,
@@ -147,6 +148,9 @@ pub struct Hierarchy {
     pf_outstanding: Vec<usize>,
     pf_recent: Vec<[LineAddr; PF_RECENT]>,
     pf_recent_head: Vec<usize>,
+    /// Observability recorder; `Obs::disabled()` unless tracing was
+    /// requested, in which case every hook below feeds it.
+    obs: Obs,
     now: Cycle,
 }
 
@@ -210,9 +214,78 @@ impl Hierarchy {
             pf_outstanding: vec![0; cores],
             pf_recent: vec![[LineAddr::new(u64::MAX); PF_RECENT]; cores],
             pf_recent_head: vec![0; cores],
+            obs: Obs::disabled(),
             cfg,
             now: 0,
         }
+    }
+
+    /// Installs an observability recorder (replaces the disabled default).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Whether an observability recorder is active.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_enabled()
+    }
+
+    /// Arms event recording for `core` (its warm-up boundary passed).
+    pub fn arm_obs(&mut self, core: CoreId) {
+        self.obs.arm(core);
+    }
+
+    /// The configured epoch interval, when observability is on.
+    pub fn obs_epoch_interval(&self) -> Option<u64> {
+        self.obs.epoch_interval()
+    }
+
+    /// Records an externally-observed event (e.g. pipeline squashes seen
+    /// by the driving system, which owns the cores).
+    #[inline]
+    pub fn obs_record(&mut self, ev: Event) {
+        self.obs.record(ev);
+    }
+
+    /// Appends an epoch sample computed by the driving system.
+    pub fn obs_push_epoch(&mut self, row: secpref_obs::EpochRow) {
+        self.obs.push_epoch(row);
+    }
+
+    /// GM lines currently resident for `core` (epoch-sample gauge).
+    pub fn gm_occupancy(&self, core: CoreId) -> u64 {
+        self.gm[core].occupancy() as u64
+    }
+
+    /// Consumes the recorder into its capture, annotating the MSHR
+    /// high-water marks and the update filter's identity (`None` when
+    /// observability was off).
+    pub fn take_obs_capture(&mut self) -> Option<secpref_obs::ObsCapture> {
+        let obs = std::mem::take(&mut self.obs);
+        let mut cap = obs.finish()?;
+        for c in 0..self.cfg.cores {
+            cap.mshr_high_water
+                .push((format!("l1d[{c}]"), self.l1d[c].mshr.high_water() as u64));
+            cap.mshr_high_water
+                .push((format!("l2[{c}]"), self.l2[c].mshr.high_water() as u64));
+        }
+        cap.mshr_high_water
+            .push(("llc".to_string(), self.llc.mshr.high_water() as u64));
+        cap.filter = self.filter.describe().to_string();
+        Some(cap)
+    }
+
+    /// Records an event at exactly the site that bumped the matching
+    /// counter, keeping event totals reconcilable with the final report.
+    #[inline]
+    fn obs_ev(&mut self, at: Cycle, core: CoreId, kind: EventKind, line: LineAddr, arg: u32) {
+        self.obs.record(Event {
+            cycle: at,
+            line,
+            arg,
+            core: core as u16,
+            kind,
+        });
     }
 
     /// Whether this system has an L1 prefetcher (vs an L2 one).
@@ -428,6 +501,7 @@ impl Hierarchy {
         };
         if !granted {
             self.level_metrics(core, lvl).port_stalls += 1;
+            self.obs_ev(now, core, EventKind::PortStall, req.line, lvl as u32);
             self.retry(now, rid);
             return;
         }
@@ -545,6 +619,7 @@ impl Hierarchy {
         let pf_here = (lvl == 0) == self.pf_is_l1();
         if hit && is_demand && was_prefetched && pf_here {
             self.metrics[core].prefetch.useful += 1;
+            self.obs_ev(now, core, EventKind::PrefetchUseful, req.line, pf_latency);
             self.feedback(core, Feedback::Useful { line: req.line });
         }
         // Demand observation for on-access prefetchers and the shadow.
@@ -617,6 +692,7 @@ impl Hierarchy {
             }
             if in_flight_is_pf && is_demand && pf_here {
                 self.metrics[core].prefetch.late += 1;
+                self.obs_ev(now, core, EventKind::PrefetchLate, req.line, 0);
                 self.reqs[rid as usize].merged_prefetch = true;
                 self.feedback(core, Feedback::Late { line: req.line });
             }
@@ -629,6 +705,7 @@ impl Hierarchy {
         };
         if full {
             self.level_metrics(core, lvl).mshr_full_stalls += 1;
+            self.obs_ev(now, core, EventKind::MshrFull, req.line, lvl as u32);
             if matches!(req.kind, ReqKind::Prefetch) && !committed {
                 self.metrics[core].prefetch.dropped_resources += 1;
                 self.free_req(rid);
@@ -656,6 +733,7 @@ impl Hierarchy {
         }
         if is_pf {
             self.metrics[core].prefetch.issued += 1;
+            self.obs_ev(now, core, EventKind::PrefetchIssue, req.line, lvl as u32);
         }
         let lat = match lvl {
             0 => self.l1d[core].latency,
@@ -862,6 +940,7 @@ impl Hierarchy {
         let pf_here = (lvl == 0) == self.pf_is_l1();
         if ev.prefetched && pf_here && lvl <= 1 {
             self.metrics[core].prefetch.useless += 1;
+            self.obs_ev(now, core, EventKind::PrefetchUseless, ev.line, 0);
             self.feedback(core, Feedback::Useless { line: ev.line });
         }
         match lvl {
@@ -875,6 +954,7 @@ impl Hierarchy {
                 } else if self.secure && ev.wb_bit {
                     // GhostMinion clean-line commit propagation.
                     self.metrics[core].commit.propagations += 1;
+                    self.obs_ev(now, core, EventKind::CleanProp, ev.line, lvl as u32);
                     let mut req =
                         Self::blank_req(core, ev.line, Ip::new(0), ReqKind::CleanProp, now);
                     req.cur_level = target;
@@ -895,6 +975,13 @@ impl Hierarchy {
                     } else {
                         self.metrics[core].commit.propagation_skip_wrong += 1;
                     }
+                    self.obs_ev(
+                        now,
+                        core,
+                        EventKind::PropagationSkip,
+                        ev.line,
+                        present as u32,
+                    );
                 }
             }
             _ => {
@@ -1005,6 +1092,7 @@ impl Hierarchy {
                     // Speculative fill into the GM, timestamped with the
                     // oldest waiting instruction.
                     self.gm[core].insert(req.line, req.ts, latency);
+                    self.obs_ev(now, core, EventKind::GmSpecFill, req.line, latency);
                 }
                 if req.hit_level != HitLevel::L1d {
                     let m = &mut self.metrics[core].l1d;
@@ -1046,6 +1134,9 @@ impl Hierarchy {
                 if req.hit_level != HitLevel::L1d => {
                     self.pf_fill_event(core, true, req.line, req.ip, now, latency, false);
                 }
+            ReqKind::Prefetch => {
+                self.obs_ev(now, core, EventKind::PrefetchFill, req.line, latency);
+            }
             _ => {}
         }
         self.free_req(rid);
@@ -1074,11 +1165,13 @@ impl Hierarchy {
                     } else {
                         self.metrics[core].commit.suf_drop_wrong += 1;
                     }
+                    self.obs_ev(now, core, EventKind::SufDrop, line, present as u32);
                     self.gm[core].remove(line);
                 }
                 CommitAction::CommitWrite => {
                     self.gm[core].remove(line);
                     self.metrics[core].commit.commit_writes += 1;
+                    self.obs_ev(now, core, EventKind::CommitWrite, line, 0);
                     let mut req = Self::blank_req(core, line, ip, ReqKind::CommitWrite, now);
                     req.wb = self.filter.wb_bits(fill.hit_level);
                     let rid = self.alloc_req(req);
@@ -1086,6 +1179,7 @@ impl Hierarchy {
                 }
                 CommitAction::Refetch => {
                     self.metrics[core].commit.refetches += 1;
+                    self.obs_ev(now, core, EventKind::Refetch, line, 0);
                     let mut req = Self::blank_req(core, line, ip, ReqKind::Refetch, now);
                     req.ts = ts;
                     req.wb = self.filter.wb_bits(fill.hit_level);

@@ -34,6 +34,7 @@ pub use energy::EnergyModel;
 pub use metrics::{CommitMetrics, CoreMetrics, LevelMetrics, MissClassCounts, PrefetchMetrics};
 pub use report::{geomean, mean, weighted_speedup, SimReport};
 pub use secpref_mem::dram::DramStats;
+pub use secpref_obs::{ObsCapture, ObsConfig};
 pub use system::{build_prefetcher, System, DEFAULT_MEASURE, DEFAULT_WARMUP};
 
 use secpref_trace::Trace;
@@ -75,4 +76,45 @@ pub fn run_multi_with_window(
     let mut sys = System::new(cfg, traces).with_window(warmup, measure);
     sys.run();
     sys.report()
+}
+
+/// Like [`run_single_with_window`], with an observability recorder
+/// attached: returns the report together with the capture (`None` when
+/// `obs` is disabled).
+pub fn run_single_with_window_obs(
+    cfg: &SystemConfig,
+    trace: &Arc<Trace>,
+    warmup: u64,
+    measure: u64,
+    obs: &ObsConfig,
+) -> (SimReport, Option<ObsCapture>) {
+    let mut cfg = cfg.clone();
+    cfg.cores = 1;
+    cfg.llc = secpref_types::CacheConfig::baseline_llc(1);
+    let mut sys = System::new(cfg, vec![trace.clone()])
+        .with_window(warmup, measure)
+        .with_obs(obs);
+    sys.run();
+    let capture = sys.take_obs();
+    (sys.report(), capture)
+}
+
+/// Like [`run_multi_with_window`], with an observability recorder
+/// attached.
+pub fn run_multi_with_window_obs(
+    cfg: &SystemConfig,
+    traces: Vec<Arc<Trace>>,
+    warmup: u64,
+    measure: u64,
+    obs: &ObsConfig,
+) -> (SimReport, Option<ObsCapture>) {
+    let mut cfg = cfg.clone();
+    cfg.cores = traces.len();
+    cfg.llc = secpref_types::CacheConfig::baseline_llc(cfg.cores);
+    let mut sys = System::new(cfg, traces)
+        .with_window(warmup, measure)
+        .with_obs(obs);
+    sys.run();
+    let capture = sys.take_obs();
+    (sys.report(), capture)
 }

@@ -269,6 +269,71 @@ mod tests {
     }
 
     #[test]
+    fn zero_denominators_yield_zero_not_nan() {
+        // Every derived ratio must be well-defined on empty metrics:
+        // 0/0 would be NaN and poison downstream geomeans.
+        let m = LevelMetrics::default();
+        assert_eq!(m.avg_miss_latency(), 0.0);
+        let p = PrefetchMetrics::default();
+        assert_eq!(p.accuracy(), 0.0);
+        assert_eq!(p.lateness(), 0.0);
+        let c = CoreMetrics::default();
+        assert_eq!(c.ipc(), 0.0);
+        // APKI/MPKI clamp the instruction count to ≥ 1 instead.
+        assert_eq!(c.apki(CacheLevel::L1d), 0.0);
+        assert_eq!(c.mpki(CacheLevel::L1d), 0.0);
+        assert_eq!(c.apki(CacheLevel::Dram), 0.0);
+        assert_eq!(c.mpki(CacheLevel::Dram), 0.0);
+    }
+
+    #[test]
+    fn apki_clamps_zero_instructions() {
+        // Accesses with zero retired instructions: the max(1) clamp makes
+        // the rate finite (per-1000 of one instruction), not infinite.
+        let mut c = CoreMetrics::default();
+        c.l1d.demand_accesses = 7;
+        c.dram_accesses = 3;
+        assert!((c.apki(CacheLevel::L1d) - 7000.0).abs() < 1e-9);
+        assert!((c.apki(CacheLevel::Dram) - 3000.0).abs() < 1e-9);
+        assert!(c.apki(CacheLevel::L1d).is_finite());
+    }
+
+    #[test]
+    fn accuracy_counts_late_prefetches_as_used() {
+        let p = PrefetchMetrics {
+            issued: 4,
+            useful: 1,
+            late: 3,
+            ..Default::default()
+        };
+        assert!((p.accuracy() - 1.0).abs() < 1e-9);
+        assert!((p.lateness() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_miss_latency_is_exact_mean() {
+        let m = LevelMetrics {
+            miss_latency_sum: 10,
+            miss_latency_count: 4,
+            ..Default::default()
+        };
+        // 10/4 must not truncate to an integer mean.
+        assert!((m.avg_miss_latency() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suf_accuracy_mixes_both_decision_kinds() {
+        let c = CommitMetrics {
+            suf_drop_correct: 3,
+            suf_drop_wrong: 1,
+            propagation_skip_correct: 5,
+            propagation_skip_wrong: 1,
+            ..Default::default()
+        };
+        assert!((c.suf_accuracy() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
     fn suf_accuracy_defaults_to_one() {
         assert_eq!(CommitMetrics::default().suf_accuracy(), 1.0);
         let c = CommitMetrics {

@@ -48,9 +48,9 @@ impl SimReport {
         }
     }
 
-    /// IPC of core 0 (single-core runs).
+    /// IPC of core 0 (single-core runs); 0.0 for an empty report.
     pub fn ipc(&self) -> f64 {
-        self.cores[0].ipc()
+        self.cores.first().map_or(0.0, CoreMetrics::ipc)
     }
 
     /// Per-core IPCs.
@@ -58,29 +58,31 @@ impl SimReport {
         self.cores.iter().map(|c| c.ipc()).collect()
     }
 
-    /// APKI at a level, core 0.
+    /// APKI at a level, core 0; 0.0 for an empty report.
     pub fn apki(&self, level: CacheLevel) -> f64 {
-        self.cores[0].apki(level)
+        self.cores.first().map_or(0.0, |c| c.apki(level))
     }
 
-    /// Demand MPKI at a level, core 0.
+    /// Demand MPKI at a level, core 0; 0.0 for an empty report.
     pub fn mpki(&self, level: CacheLevel) -> f64 {
-        self.cores[0].mpki(level)
+        self.cores.first().map_or(0.0, |c| c.mpki(level))
     }
 
-    /// Average L1D demand-load miss latency, core 0.
+    /// Average L1D demand-load miss latency, core 0; 0.0 for an empty
+    /// report.
     pub fn l1d_miss_latency(&self) -> f64 {
-        self.cores[0].l1d.avg_miss_latency()
+        self.cores.first().map_or(0.0, |c| c.l1d.avg_miss_latency())
     }
 
-    /// Prefetch accuracy, core 0.
+    /// Prefetch accuracy, core 0; 0.0 for an empty report.
     pub fn prefetch_accuracy(&self) -> f64 {
-        self.cores[0].prefetch.accuracy()
+        self.cores.first().map_or(0.0, |c| c.prefetch.accuracy())
     }
 
-    /// SUF filtering accuracy, core 0.
+    /// SUF filtering accuracy, core 0; 1.0 (no wrong decisions) for an
+    /// empty report.
     pub fn suf_accuracy(&self) -> f64 {
-        self.cores[0].commit.suf_accuracy()
+        self.cores.first().map_or(1.0, |c| c.commit.suf_accuracy())
     }
 }
 
@@ -156,6 +158,22 @@ mod tests {
         let s = format!("{r}");
         assert!(s.contains("IPC"));
         assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn empty_report_does_not_panic() {
+        // Regression: the derived accessors used to index `cores[0]` and
+        // panicked when a report carried no per-core metrics at all.
+        let r = SimReport::new(&SystemConfig::baseline(1), Vec::new(), DramStats::default());
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.apki(CacheLevel::L1d), 0.0);
+        assert_eq!(r.mpki(CacheLevel::Llc), 0.0);
+        assert_eq!(r.l1d_miss_latency(), 0.0);
+        assert_eq!(r.prefetch_accuracy(), 0.0);
+        assert_eq!(r.suf_accuracy(), 1.0);
+        assert!(r.ipcs().is_empty());
+        // Display funnels through the same accessors.
+        assert!(format!("{r}").contains("IPC 0.000"));
     }
 
     #[test]

@@ -3,13 +3,16 @@
 
 use crate::classify::Classifier;
 use crate::hierarchy::Hierarchy;
+use crate::metrics::{CoreMetrics, LevelMetrics};
 use crate::report::SimReport;
 use secpref_core::SecureUpdateFilter;
 use secpref_cpu::{Core, CoreEvent, LoadIssue, LoadPort};
 use secpref_ghostminion::{AlwaysUpdate, UpdateFilter};
+use secpref_mem::dram::DramStats;
+use secpref_obs::{EpochRow, Event, EventKind, LevelEpoch, Obs, ObsCapture, ObsConfig};
 use secpref_prefetch::Prefetcher;
 use secpref_trace::Trace;
-use secpref_types::{Cycle, PrefetchMode, PrefetcherKind, SystemConfig};
+use secpref_types::{Cycle, LineAddr, PrefetchMode, PrefetcherKind, SystemConfig};
 use std::sync::Arc;
 
 /// Default warm-up window in instructions (scaled from the paper's 50 M).
@@ -51,6 +54,56 @@ fn build_classifier(cfg: &SystemConfig) -> Option<Classifier> {
     }
 }
 
+/// Per-core epoch-sampling and squash-polling state (present only while
+/// an observability recorder is installed).
+#[derive(Debug)]
+struct ObsTrack {
+    interval: u64,
+    /// Retired-instruction threshold that triggers the next sample.
+    next_at: u64,
+    epoch_idx: u64,
+    prev_cycle: Cycle,
+    prev_instr: u64,
+    prev: CoreMetrics,
+    prev_dram: DramStats,
+    prev_squashed: u64,
+}
+
+impl ObsTrack {
+    fn new(interval: u64) -> Self {
+        ObsTrack {
+            interval,
+            next_at: u64::MAX,
+            epoch_idx: 0,
+            prev_cycle: 0,
+            prev_instr: 0,
+            prev: CoreMetrics::default(),
+            prev_dram: DramStats::default(),
+            prev_squashed: 0,
+        }
+    }
+
+    /// Starts epoch sampling at the core's warm-up boundary.
+    fn begin(&mut self, now: Cycle, warmup: u64, dram: DramStats) {
+        self.next_at = warmup + self.interval;
+        self.epoch_idx = 0;
+        self.prev_cycle = now;
+        self.prev_instr = warmup;
+        self.prev = CoreMetrics::default(); // metrics were just reset
+        self.prev_dram = dram;
+    }
+}
+
+fn level_delta(cur: &LevelMetrics, prev: &LevelMetrics) -> LevelEpoch {
+    LevelEpoch {
+        demand: cur.demand_accesses - prev.demand_accesses,
+        demand_misses: cur.demand_misses - prev.demand_misses,
+        prefetch: cur.prefetch_accesses - prev.prefetch_accesses,
+        commit: cur.commit_accesses - prev.commit_accesses,
+        mshr_full_cycles: cur.mshr_full_cycles - prev.mshr_full_cycles,
+    }
+}
+
 struct CoreState {
     core: Core,
     trace: Arc<Trace>,
@@ -89,6 +142,9 @@ pub struct System {
     hierarchy: Hierarchy,
     warmup: u64,
     measure: u64,
+    /// One tracker per core while observability is on; empty otherwise,
+    /// which is also the run loop's fast-path guard.
+    obs_track: Vec<ObsTrack>,
     now: Cycle,
     finished: bool,
 }
@@ -141,9 +197,28 @@ impl System {
             hierarchy,
             warmup: DEFAULT_WARMUP,
             measure: DEFAULT_MEASURE,
+            obs_track: Vec::new(),
             now: 0,
             finished: false,
         }
+    }
+
+    /// Enables in-run observability (event tracing + epoch sampling).
+    /// A disabled config is a no-op, keeping the default fast path.
+    pub fn with_obs(mut self, obs: &ObsConfig) -> Self {
+        if obs.enabled {
+            self.hierarchy.set_obs(Obs::new(obs, self.cfg.cores));
+            self.obs_track = (0..self.cfg.cores)
+                .map(|_| ObsTrack::new(obs.epoch_interval.max(1)))
+                .collect();
+        }
+        self
+    }
+
+    /// Extracts the observability capture after [`System::run`] (`None`
+    /// when observability was off).
+    pub fn take_obs(&mut self) -> Option<ObsCapture> {
+        self.hierarchy.take_obs_capture()
     }
 
     /// Overrides the warm-up / measurement windows (instructions).
@@ -194,6 +269,8 @@ impl System {
                         let warm_start = st.warmup_cycle.unwrap_or(0);
                         self.hierarchy.metrics[c].cycles = now - warm_start;
                         self.hierarchy.metrics[c].instructions = st.total_retired() - self.warmup;
+                        // Flush any epoch completed in the final stretch.
+                        self.obs_sample_epochs(c, now);
                     }
                     continue;
                 }
@@ -202,11 +279,20 @@ impl System {
                 if st.warmup_cycle.is_none() && st.total_retired() >= self.warmup {
                     st.warmup_cycle = Some(now);
                     self.hierarchy.reset_core_metrics(c);
+                    // Event recording starts here, so per-kind event
+                    // totals reconcile with the measurement window.
+                    self.hierarchy.arm_obs(c);
+                    if let Some(t) = self.obs_track.get_mut(c) {
+                        t.begin(now, self.warmup, self.hierarchy.dram_stats());
+                    }
                 }
                 // Trace exhausted but target not reached: replay.
                 if st.core.is_done() {
                     st.retired_base += st.core.retired();
                     st.core = Core::new(c, self.cfg.core.clone(), st.trace.clone());
+                    if let Some(t) = self.obs_track.get_mut(c) {
+                        t.prev_squashed = 0; // fresh core, fresh counter
+                    }
                 }
                 events.clear();
                 let mut port = PortAdapter {
@@ -223,6 +309,23 @@ impl System {
                             self.hierarchy.commit_store(now, c, ip, addr.line(), ts);
                         }
                     }
+                }
+                // Observability: poll the squash counter and close any
+                // completed epoch. Empty `obs_track` keeps this free.
+                if !self.obs_track.is_empty() {
+                    let squashed = self.cores[c].core.squashed();
+                    let t = &mut self.obs_track[c];
+                    if squashed > t.prev_squashed {
+                        self.hierarchy.obs_record(Event {
+                            cycle: now,
+                            line: LineAddr::new(0),
+                            arg: (squashed - t.prev_squashed) as u32,
+                            core: c as u16,
+                            kind: EventKind::Squash,
+                        });
+                        t.prev_squashed = squashed;
+                    }
+                    self.obs_sample_epochs(c, now);
                 }
             }
             if all_done {
@@ -257,6 +360,54 @@ impl System {
         }
         self.hierarchy.finalize();
         self.finished = true;
+    }
+
+    /// Emits one epoch sample for `c` when its retired-instruction count
+    /// crossed the next threshold: deltas of the per-level, prefetch,
+    /// commit, and DRAM counters since the previous sample. A single row
+    /// is emitted per crossing even when several thresholds were passed
+    /// in one cycle (rows then cover more than one nominal interval).
+    fn obs_sample_epochs(&mut self, c: usize, now: Cycle) {
+        if self.obs_track.is_empty() || self.cores[c].warmup_cycle.is_none() {
+            return;
+        }
+        let retired = self.cores[c].total_retired();
+        if retired < self.obs_track[c].next_at {
+            return;
+        }
+        let cur = self.hierarchy.metrics[c].clone();
+        let dram = self.hierarchy.dram_stats();
+        let gm_occupancy = self.hierarchy.gm_occupancy(c);
+        let t = &mut self.obs_track[c];
+        let dd = dram.delta(&t.prev_dram);
+        let row = EpochRow {
+            epoch: t.epoch_idx,
+            core: c as u16,
+            end_cycle: now,
+            instructions: retired - t.prev_instr,
+            cycles: now - t.prev_cycle,
+            l1d: level_delta(&cur.l1d, &t.prev.l1d),
+            l2: level_delta(&cur.l2, &t.prev.l2),
+            llc: level_delta(&cur.llc, &t.prev.llc),
+            dram_reads: dd.reads,
+            dram_writes: dd.writes,
+            gm_occupancy,
+            pf_issued: cur.prefetch.issued - t.prev.prefetch.issued,
+            pf_useful: cur.prefetch.useful - t.prev.prefetch.useful,
+            pf_late: cur.prefetch.late - t.prev.prefetch.late,
+            commit_writes: cur.commit.commit_writes - t.prev.commit.commit_writes,
+            refetches: cur.commit.refetches - t.prev.commit.refetches,
+            suf_drops: cur.commit.suf_dropped - t.prev.commit.suf_dropped,
+        };
+        t.epoch_idx += 1;
+        t.prev_instr = retired;
+        t.prev_cycle = now;
+        t.prev = cur;
+        t.prev_dram = dram;
+        while t.next_at <= retired {
+            t.next_at += t.interval;
+        }
+        self.hierarchy.obs_push_epoch(row);
     }
 
     /// Builds the report (callable after [`System::run`]).

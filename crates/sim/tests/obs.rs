@@ -1,0 +1,130 @@
+//! Observability contract tests: event totals reconcile with the final
+//! report's counters, epochs cover the measurement window, and the
+//! recorder is inert (and absent) when disabled.
+
+use secpref_obs::EventKind;
+use secpref_sim::{run_single_with_window_obs, ObsCapture, ObsConfig, SimReport};
+use secpref_trace::suite;
+use secpref_types::{PrefetchMode, PrefetcherKind, SecureMode, SystemConfig};
+
+const WARMUP: u64 = 5_000;
+const MEASURE: u64 = 30_000;
+
+/// The paper's headline configuration: Berti, on-commit issue,
+/// GhostMinion with the Secure Update Filter.
+fn traced_cfg() -> SystemConfig {
+    SystemConfig::baseline(1)
+        .with_secure(SecureMode::GhostMinion)
+        .with_prefetcher(PrefetcherKind::Berti)
+        .with_mode(PrefetchMode::OnCommit)
+        .with_suf(true)
+}
+
+fn traced_run(obs: &ObsConfig) -> (SimReport, Option<ObsCapture>) {
+    let trace = suite::cached_trace("gcc_like", 40_000);
+    run_single_with_window_obs(&traced_cfg(), &trace, WARMUP, MEASURE, obs)
+}
+
+#[test]
+fn event_totals_reconcile_with_report_counters() {
+    let (report, capture) = traced_run(&ObsConfig::enabled());
+    let cap = capture.expect("tracing was enabled");
+    let m = &report.cores[0];
+
+    // Each event is recorded at exactly the program point that bumps its
+    // counter, and recording arms at the warm-up boundary where metrics
+    // reset — so per-kind totals must match the report exactly.
+    let pairs: [(EventKind, u64); 11] = [
+        (EventKind::PrefetchIssue, m.prefetch.issued),
+        (EventKind::PrefetchUseful, m.prefetch.useful),
+        (EventKind::PrefetchLate, m.prefetch.late),
+        (EventKind::PrefetchUseless, m.prefetch.useless),
+        (EventKind::CommitWrite, m.commit.commit_writes),
+        (EventKind::Refetch, m.commit.refetches),
+        (EventKind::SufDrop, m.commit.suf_dropped),
+        (EventKind::CleanProp, m.commit.propagations),
+        (EventKind::PropagationSkip, m.commit.propagation_skipped),
+        (
+            EventKind::MshrFull,
+            m.l1d.mshr_full_stalls + m.l2.mshr_full_stalls + m.llc.mshr_full_stalls,
+        ),
+        (
+            EventKind::PortStall,
+            m.l1d.port_stalls + m.l2.port_stalls + m.llc.port_stalls,
+        ),
+    ];
+    for (kind, counter) in pairs {
+        assert_eq!(
+            cap.recorded(kind),
+            counter,
+            "event kind {} must reconcile with its report counter",
+            kind.name()
+        );
+    }
+
+    // The workload must actually exercise the traced mechanisms, or the
+    // reconciliation above would be vacuous.
+    assert!(
+        m.prefetch.issued > 0,
+        "no prefetches issued: {:?}",
+        m.prefetch
+    );
+    assert!(
+        m.commit.commit_writes + m.commit.refetches > 0,
+        "no commit traffic: {:?}",
+        m.commit
+    );
+    assert!(m.commit.suf_dropped > 0, "SUF never fired: {:?}", m.commit);
+    assert!(
+        cap.recorded(EventKind::GmSpecFill) > 0,
+        "no GM fills traced"
+    );
+    assert_eq!(cap.filter, "suf");
+    assert!(
+        cap.mshr_high_water.iter().any(|(_, v)| *v > 0),
+        "MSHR high-water marks missing: {:?}",
+        cap.mshr_high_water
+    );
+}
+
+#[test]
+fn epochs_cover_the_measurement_window() {
+    let interval = 5_000;
+    let (report, capture) = traced_run(&ObsConfig::enabled().with_epoch_interval(interval));
+    let cap = capture.unwrap();
+    assert!(
+        !cap.epochs.rows.is_empty(),
+        "a {MEASURE}-instruction window must produce epochs at interval {interval}"
+    );
+    assert!(cap.epochs.rows.len() as u64 <= MEASURE / interval + 1);
+    // Per-core epoch indices are consecutive from zero and instruction
+    // deltas sum to no more than the measured total.
+    let mut sum = 0;
+    for (i, row) in cap.epochs.rows.iter().enumerate() {
+        assert_eq!(row.epoch, i as u64);
+        assert_eq!(row.core, 0);
+        assert!(row.instructions >= interval);
+        assert!(row.cycles > 0);
+        sum += row.instructions;
+    }
+    assert!(sum <= report.cores[0].instructions);
+    // The CSV export round-trips every row.
+    let csv = cap.epochs.to_csv();
+    assert_eq!(csv.lines().count(), cap.epochs.rows.len() + 1);
+}
+
+#[test]
+fn disabled_obs_yields_no_capture_and_same_results() {
+    let (traced, capture) = traced_run(&ObsConfig::enabled());
+    assert!(capture.is_some());
+    let (plain, none) = traced_run(&ObsConfig::default());
+    assert!(none.is_none(), "disabled obs must not produce a capture");
+    // Observation must not perturb the simulation itself.
+    assert_eq!(plain.cores[0].instructions, traced.cores[0].instructions);
+    assert_eq!(plain.cores[0].cycles, traced.cores[0].cycles);
+    assert_eq!(
+        plain.cores[0].prefetch.issued,
+        traced.cores[0].prefetch.issued
+    );
+    assert_eq!(plain.dram, traced.dram);
+}

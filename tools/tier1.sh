@@ -11,10 +11,29 @@ cargo fmt --check
 echo "== cargo clippy (deny warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy secpref-obs (deny warnings)"
+cargo clippy --offline -p secpref-obs --all-targets -- -D warnings
+
 echo "== cargo build --release"
 cargo build --release
 
+echo "== cargo build --release --examples"
+cargo build --release --examples
+
 echo "== cargo test -q"
 cargo test -q
+
+echo "== repro --quiet produces no stderr"
+# The root `cargo build --release` covers only the root package; the
+# repro binary lives in secpref-bench and must be built explicitly.
+cargo build --release -p secpref-bench --bin repro
+stderr_file="$(mktemp)"
+trap 'rm -f "$stderr_file"' EXIT
+./target/release/repro --quiet table1 >/dev/null 2>"$stderr_file"
+if [ -s "$stderr_file" ]; then
+    echo "tier1: repro --quiet wrote to stderr:" >&2
+    cat "$stderr_file" >&2
+    exit 1
+fi
 
 echo "tier1: all green"
