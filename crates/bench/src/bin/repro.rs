@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--workers N] [--serial] [--quiet] [--trace TARGET]
+//!       [--check] [--check-iters N] [--check-replay FILE]
 //!       [all | table1 | table2 | table3 | fig1 | fig3 | fig4 | fig5 |
 //!        fig6 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | stats |
 //!        ablations]
@@ -12,6 +13,16 @@
 //! the experiment engine's thread count (default: all cores; `--serial`
 //! is shorthand for `--workers 1`). `--quiet` silences every stderr
 //! progress line (figures still print to stdout).
+//!
+//! `--check` runs the `secpref-check` deterministic fuzzer — the pinned
+//! tier-1 seed, 2000 iterations (override with `--check-iters N`) spread
+//! over every (SecureMode × PrefetcherKind) cell — with the golden-model
+//! differential checker, the invariant auditor, and the secret-footprint
+//! containment probe armed. Failing traces are bisection-shrunk and
+//! dumped under `target/check/`; exit status is nonzero on any failure.
+//! `--check-replay FILE` re-runs one dumped `.trace` artifact through
+//! every cell and reports each cell's verdict. Both modes skip the
+//! figure pipeline entirely.
 //!
 //! `--trace TARGET` (repeatable) re-simulates the target's jobs with the
 //! observability recorder on and writes per-job trace artifacts —
@@ -42,6 +53,9 @@ fn main() {
     let mix_count = if quick { 6 } else { 16 };
     let mut workers: Option<usize> = None;
     let mut quiet = false;
+    let mut check = false;
+    let mut check_iters: u64 = 2_000;
+    let mut check_replay: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut trace_targets: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -50,6 +64,20 @@ fn main() {
             "--quick" => {}
             "--serial" => workers = Some(1),
             "--quiet" => quiet = true,
+            "--check" => check = true,
+            "--check-iters" => {
+                check_iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--check-iters needs a positive integer"));
+            }
+            "--check-replay" => {
+                let file = it
+                    .next()
+                    .unwrap_or_else(|| die("--check-replay needs a .trace file"));
+                check_replay = Some(file.clone());
+            }
             "--workers" => {
                 let n = it
                     .next()
@@ -83,6 +111,42 @@ fn main() {
     if quiet {
         // The engine reads this when it is first constructed.
         std::env::set_var("SECPREF_EXP_QUIET", "1");
+    }
+
+    // Correctness modes run instead of the figure pipeline.
+    if check || check_replay.is_some() {
+        let t0 = Instant::now();
+        let pool = workers.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+        });
+        let mut failed = false;
+        if let Some(file) = &check_replay {
+            let results = secpref_check::replay_artifact(std::path::Path::new(file))
+                .unwrap_or_else(|e| die(&format!("cannot replay `{file}`: {e}")));
+            println!("replay {file}:");
+            for (label, outcome) in &results {
+                match outcome {
+                    Ok(stats) => println!(
+                        "  {label:<28} ok (checks={} pf={} wp={})",
+                        stats.differential_checks, stats.prefetches_issued, stats.wrong_path_loads
+                    ),
+                    Err(msg) => {
+                        failed = true;
+                        println!("  {label:<28} FAIL: {msg}");
+                    }
+                }
+            }
+        }
+        if check {
+            let summary =
+                secpref_check::run_fuzz(&secpref_check::FuzzPlan::pinned(check_iters, pool));
+            print!("{}", summary.render());
+            failed |= !summary.is_clean();
+        }
+        if !quiet {
+            eprintln!("[check total {:.1?}]", t0.elapsed());
+        }
+        std::process::exit(i32::from(failed));
     }
     const KNOWN: &[&str] = &[
         "all",

@@ -60,17 +60,34 @@ pub fn run_jobs_with<R: Send>(
     jobs: &[JobSpec],
     workers: usize,
     run: impl Fn(&JobSpec) -> R + Sync,
-    mut on_done: impl FnMut(usize, &JobSpec, &R, Duration),
+    on_done: impl FnMut(usize, &JobSpec, &R, Duration),
 ) -> Vec<(R, Duration)> {
-    if jobs.is_empty() {
+    run_items_with(jobs, workers, run, on_done)
+}
+
+/// Fully generic pool: runs `run` over arbitrary `Sync` work items — not
+/// just [`JobSpec`]s — with the same ordering and callback guarantees as
+/// [`run_jobs`]. `secpref-check` uses this to fan fuzzing cells out
+/// across workers while keeping per-cell determinism.
+///
+/// # Panics
+///
+/// Propagates a panic from any item once all workers have drained.
+pub fn run_items_with<T: Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    run: impl Fn(&T) -> R + Sync,
+    mut on_done: impl FnMut(usize, &T, &R, Duration),
+) -> Vec<(R, Duration)> {
+    if items.is_empty() {
         return Vec::new();
     }
-    let workers = workers.clamp(1, jobs.len());
+    let workers = workers.clamp(1, items.len());
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R, Duration)>();
 
     let mut slots: Vec<Option<(R, Duration)>> = Vec::new();
-    slots.resize_with(jobs.len(), || None);
+    slots.resize_with(items.len(), || None);
     std::thread::scope(|scope| {
         let run = &run;
         for _ in 0..workers {
@@ -78,25 +95,25 @@ pub fn run_jobs_with<R: Send>(
             let cursor = &cursor;
             scope.spawn(move || loop {
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(idx) else { break };
+                let Some(item) = items.get(idx) else { break };
                 let start = Instant::now();
-                let result = run(job);
+                let result = run(item);
                 if tx.send((idx, result, start.elapsed())).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
-        // `rx` closes when every worker exits; if one panicked mid-job we
+        // `rx` closes when every worker exits; if one panicked mid-item we
         // fall out of the loop early and `scope` re-raises the panic.
         for (idx, result, wall) in rx {
-            on_done(idx, &jobs[idx], &result, wall);
+            on_done(idx, &items[idx], &result, wall);
             slots[idx] = Some((result, wall));
         }
     });
     slots
         .into_iter()
-        .map(|s| s.expect("every job completes exactly once"))
+        .map(|s| s.expect("every item completes exactly once"))
         .collect()
 }
 
@@ -141,6 +158,16 @@ mod tests {
         assert_eq!(seen[0].1, "leela_like");
         assert_eq!(seen[1].1, "gcc_like");
         assert!(seen.iter().all(|(_, _, ipc)| *ipc > 0.0));
+    }
+
+    #[test]
+    fn generic_items_pool_preserves_order() {
+        let items: Vec<u64> = (0..17).collect();
+        let out = run_items_with(&items, 4, |&x| x * x, |_, _, _, _| {});
+        assert_eq!(out.len(), 17);
+        for (i, (r, _)) in out.iter().enumerate() {
+            assert_eq!(*r, (i as u64) * (i as u64));
+        }
     }
 
     #[test]

@@ -384,6 +384,94 @@ mod tests {
         }
     }
 
+    /// Ticks `dram` over `[start, start + cycles)`, collecting completions.
+    fn run_from(dram: &mut DramModel, start: Cycle, cycles: Cycle) -> Vec<(u64, Cycle)> {
+        let mut out = Vec::new();
+        for now in start..start + cycles {
+            dram.tick(now, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn fr_fcfs_younger_row_hit_bypasses_older_miss() {
+        let cfg = DramConfig::default();
+        let rows_gap = (cfg.row_bytes as u64 / 64) * cfg.banks as u64;
+        let mut dram = DramModel::new(cfg);
+        // Open row 0 of bank 0.
+        dram.enqueue(read(0, 1, 0)).unwrap();
+        run(&mut dram, 400);
+        // Older request: same bank, different row (a conflict). Younger
+        // request: the open row. FR-FCFS must service the hit first.
+        dram.enqueue(read(rows_gap, 10, 400)).unwrap();
+        dram.enqueue(read(1, 11, 401)).unwrap();
+        let done = run_from(&mut dram, 400, 2000);
+        let pos = |tok| done.iter().position(|&(t, _)| t == tok).unwrap();
+        assert!(
+            pos(11) < pos(10),
+            "row hit must leapfrog the older row miss: {done:?}"
+        );
+        assert_eq!(dram.stats().row_hits, 1, "only the bypassing read hits");
+    }
+
+    #[test]
+    fn fcfs_breaks_ties_when_no_row_hits() {
+        let cfg = DramConfig::default();
+        let rows_gap = (cfg.row_bytes as u64 / 64) * cfg.banks as u64;
+        let mut dram = DramModel::new(cfg);
+        // Two conflicting rows in the same bank, no open-row match for
+        // either: the older one must go first (plain FCFS fallback).
+        dram.enqueue(read(rows_gap, 20, 0)).unwrap();
+        dram.enqueue(read(2 * rows_gap, 21, 1)).unwrap();
+        let done = run(&mut dram, 3000);
+        assert_eq!(done[0].0, 20);
+        assert_eq!(done[1].0, 21);
+    }
+
+    #[test]
+    fn row_buffer_transitions_hit_miss_conflict() {
+        // The three row-buffer states, with exact latencies:
+        //   closed bank  → activate:             t_rcd + t_cas
+        //   open, same   → hit:                  t_cas
+        //   open, other  → conflict (precharge): t_rp + t_rcd + t_cas
+        let cfg = DramConfig::default();
+        let rows_gap = (cfg.row_bytes as u64 / 64) * cfg.banks as u64;
+        let mut dram = DramModel::new(cfg.clone());
+
+        // Closed bank: first activate.
+        dram.enqueue(read(0, 1, 0)).unwrap();
+        let done = run_from(&mut dram, 0, 1000);
+        assert_eq!(
+            done,
+            vec![(1, cfg.t_rcd + cfg.t_cas + cfg.bus_cycles_per_line)]
+        );
+        assert_eq!((dram.stats().row_hits, dram.stats().row_misses), (0, 1));
+
+        // Open row, same row: hit.
+        dram.enqueue(read(1, 2, 1000)).unwrap();
+        let done = run_from(&mut dram, 1000, 1000);
+        assert_eq!(done, vec![(2, 1000 + cfg.t_cas + cfg.bus_cycles_per_line)]);
+        assert_eq!((dram.stats().row_hits, dram.stats().row_misses), (1, 1));
+
+        // Open row, different row: conflict pays the full precharge.
+        dram.enqueue(read(rows_gap, 3, 2000)).unwrap();
+        let done = run_from(&mut dram, 2000, 1000);
+        assert_eq!(
+            done,
+            vec![(
+                3,
+                2000 + cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.bus_cycles_per_line
+            )]
+        );
+        assert_eq!((dram.stats().row_hits, dram.stats().row_misses), (1, 2));
+
+        // And back to a hit on the newly opened row.
+        dram.enqueue(read(rows_gap + 1, 4, 3000)).unwrap();
+        let done = run_from(&mut dram, 3000, 1000);
+        assert_eq!(done, vec![(4, 3000 + cfg.t_cas + cfg.bus_cycles_per_line)]);
+        assert_eq!((dram.stats().row_hits, dram.stats().row_misses), (2, 2));
+    }
+
     mod props {
         use super::*;
         use secpref_types::rng::Xoshiro256ss;

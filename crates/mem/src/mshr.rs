@@ -274,6 +274,75 @@ mod tests {
     }
 
     #[test]
+    fn merge_succeeds_at_capacity() {
+        // Merging needs no free entry, so a full file must still accept
+        // merges — this is what keeps a full L1D MSHR from deadlocking
+        // the demands that alias lines already in flight.
+        let mut m = MshrFile::new(2);
+        let t1 = m.alloc(la(1), false, 0, 10).unwrap();
+        let t2 = m.alloc(la(2), true, 0, u64::MAX).unwrap();
+        assert!(m.is_full());
+        assert!(m.alloc(la(3), false, 0, 5).is_err());
+        let (mt1, _) = m.merge(la(1), true, 4).unwrap();
+        let (mt2, was_pf) = m.merge(la(2), true, 6).unwrap();
+        assert_eq!((mt1, mt2), (t1, t2));
+        assert!(was_pf, "demand merged onto the in-flight prefetch");
+        assert_eq!(m.occupancy(), 2, "merges must not consume entries");
+        assert_eq!(m.complete(t1).merged, 1);
+        assert_eq!(m.complete(t2).merged, 1);
+    }
+
+    #[test]
+    fn leapfrogging_order_is_merge_order_independent() {
+        // TimeGuarding serves a fill to the *oldest* waiting timestamp
+        // (leapfrogging): whatever order demands merge in, `oldest_ts`
+        // must come out as the minimum over the allocator and every
+        // demand merge.
+        let orders: [[u64; 3]; 3] = [[20, 50, 80], [80, 50, 20], [50, 80, 20]];
+        for order in orders {
+            let mut m = MshrFile::new(2);
+            let t = m.alloc(la(1), false, 0, 60).unwrap();
+            for ts in order {
+                m.merge(la(1), true, ts).unwrap();
+            }
+            assert_eq!(m.complete(t).oldest_ts, 20, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn prefetch_merge_does_not_age_the_entry() {
+        // A prefetch has no waiting instruction: merging one must leave
+        // `oldest_ts` (and thus leapfrogging priority) untouched.
+        let mut m = MshrFile::new(2);
+        let t = m.alloc(la(1), false, 0, 40).unwrap();
+        m.merge(la(1), false, u64::MAX).unwrap();
+        m.merge(la(1), false, 3).unwrap(); // non-demand: ts ignored
+        let e = m.complete(t);
+        assert_eq!(e.oldest_ts, 40);
+        assert_eq!(e.merged, 2);
+    }
+
+    #[test]
+    fn high_water_counts_allocations_not_merges() {
+        let mut m = MshrFile::new(3);
+        let t1 = m.alloc(la(1), false, 0, 1).unwrap();
+        let t2 = m.alloc(la(2), false, 0, 2).unwrap();
+        for _ in 0..10 {
+            m.merge(la(1), true, 1).unwrap();
+        }
+        assert_eq!(m.high_water(), 2, "merges must not move the gauge");
+        let t3 = m.alloc(la(3), false, 0, 3).unwrap();
+        assert_eq!(m.high_water(), 3, "gauge reaches exact capacity");
+        m.complete(t1);
+        m.complete(t2);
+        m.complete(t3);
+        // Refilling below the old peak leaves the lifetime maximum.
+        let t4 = m.alloc(la(4), false, 0, 4).unwrap();
+        assert_eq!(m.high_water(), 3);
+        m.complete(t4);
+    }
+
+    #[test]
     fn oldest_ts_tracks_minimum() {
         let mut m = MshrFile::new(2);
         let t = m.alloc(la(1), false, 0, 50).unwrap();

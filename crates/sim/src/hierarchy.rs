@@ -731,7 +731,10 @@ impl Hierarchy {
         if is_demand {
             self.count_demand_miss(now, rid, lvl, false);
         }
-        if is_pf {
+        // `issued` counts requests entering the hierarchy, so only the
+        // origin-level allocation increments it; the same prefetch
+        // allocating deeper MSHRs as it descends is still one request.
+        if is_pf && !committed {
             self.metrics[core].prefetch.issued += 1;
             self.obs_ev(now, core, EventKind::PrefetchIssue, req.line, lvl as u32);
         }

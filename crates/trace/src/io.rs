@@ -187,7 +187,7 @@ mod tests {
 
     #[test]
     fn round_trips_generated_trace() {
-        let t = suite::trace_by_name("gcc_like").unwrap().generate(5_000);
+        let t = suite::cached_trace("gcc_like", 5_000);
         let u = round_trip(&t);
         assert_eq!(t.name, u.name);
         assert_eq!(t.instrs, u.instrs);
@@ -220,7 +220,7 @@ mod tests {
 
     #[test]
     fn rejects_truncation() {
-        let t = suite::trace_by_name("leela_like").unwrap().generate(100);
+        let t = suite::cached_trace("leela_like", 100);
         let mut buf = Vec::new();
         write_trace(&mut buf, &t).unwrap();
         buf.truncate(buf.len() - 5);
@@ -229,9 +229,7 @@ mod tests {
 
     #[test]
     fn size_is_compact() {
-        let t = suite::trace_by_name("bwaves_like")
-            .unwrap()
-            .generate(10_000);
+        let t = suite::cached_trace("bwaves_like", 10_000);
         let mut buf = Vec::new();
         write_trace(&mut buf, &t).unwrap();
         // 16 B/record budget incl. header.

@@ -194,8 +194,13 @@ mod tests {
     fn cache_returns_same_arc() {
         let a = cached_trace("bfs_small", 2000);
         let b = cached_trace("bfs_small", 2000);
-        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b), "same (name, len) must share one Arc");
         assert_eq!(a.instrs.len(), 2000);
+        // The key is (name, len): a different length is a different entry,
+        // not a truncation of the cached one.
+        let c = cached_trace("bfs_small", 1000);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.instrs.len(), 1000);
     }
 
     #[test]

@@ -36,4 +36,11 @@ if [ -s "$stderr_file" ]; then
     exit 1
 fi
 
+echo "== secpref-check fuzz (pinned seed, 2k-iteration budget)"
+# Deterministic fast check: differential golden models + invariant audit
+# over every (mode, prefetcher) cell. The seed is pinned inside the
+# fuzzer, so a failure here is reproducible bit-for-bit and drops a
+# replayable .trace artifact under target/check/.
+./target/release/repro --quiet --check --check-iters 2000
+
 echo "tier1: all green"
