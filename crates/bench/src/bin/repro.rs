@@ -1,8 +1,8 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--workers N] [--serial] [--quiet] [--trace TARGET]
-//!       [--check] [--check-iters N] [--check-replay FILE]
+//! repro [--quick] [--workers N] [--serial] [--quiet] [--timings]
+//!       [--trace TARGET] [--check] [--check-iters N] [--check-replay FILE]
 //!       [all | table1 | table2 | table3 | fig1 | fig3 | fig4 | fig5 |
 //!        fig6 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | stats |
 //!        ablations]
@@ -12,7 +12,9 @@
 //! the whole sweep finishes in a couple of minutes. `--workers N` sets
 //! the experiment engine's thread count (default: all cores; `--serial`
 //! is shorthand for `--workers 1`). `--quiet` silences every stderr
-//! progress line (figures still print to stdout).
+//! progress line (figures still print to stdout). `--timings` prints a
+//! per-phase wall-time breakdown (sweep, render, check, trace) to stderr
+//! at exit — it works with `--quiet`, which silences everything else.
 //!
 //! `--check` runs the `secpref-check` deterministic fuzzer — the pinned
 //! tier-1 seed, 2000 iterations (override with `--check-iters N`) spread
@@ -53,6 +55,7 @@ fn main() {
     let mix_count = if quick { 6 } else { 16 };
     let mut workers: Option<usize> = None;
     let mut quiet = false;
+    let mut timings = false;
     let mut check = false;
     let mut check_iters: u64 = 2_000;
     let mut check_replay: Option<String> = None;
@@ -64,6 +67,7 @@ fn main() {
             "--quick" => {}
             "--serial" => workers = Some(1),
             "--quiet" => quiet = true,
+            "--timings" => timings = true,
             "--check" => check = true,
             "--check-iters" => {
                 check_iters = it
@@ -146,6 +150,9 @@ fn main() {
         if !quiet {
             eprintln!("[check total {:.1?}]", t0.elapsed());
         }
+        if timings {
+            print_timings(&[("check", t0.elapsed())], t0.elapsed());
+        }
         std::process::exit(i32::from(failed));
     }
     const KNOWN: &[&str] = &[
@@ -175,6 +182,7 @@ fn main() {
     }
 
     let t0 = Instant::now();
+    let mut phases: Vec<(&str, std::time::Duration)> = Vec::new();
 
     // Traced runs: re-simulate with the recorder on, export artifacts.
     if !trace_targets.is_empty() {
@@ -190,10 +198,14 @@ fn main() {
                 summary.manifest_path.display(),
             );
         }
+        phases.push(("trace", t0.elapsed()));
         // `--trace` alone is a diagnostic run: skip figure rendering.
         if targets.is_empty() {
             if !quiet {
                 eprintln!("[total {:.1?}]", t0.elapsed());
+            }
+            if timings {
+                print_timings(&phases, t0.elapsed());
             }
             return;
         }
@@ -210,7 +222,9 @@ fn main() {
         .collect();
     let jobs = sweep::jobs_for_targets(wanted.iter().copied(), scale, mix_count);
     if !jobs.is_empty() {
+        let t_sweep = Instant::now();
         let summary = runner::prewarm(&jobs);
+        phases.push(("sweep", t_sweep.elapsed()));
         if !quiet {
             eprintln!(
                 "[repro] sweep: {} jobs, {} unique, {} simulated, {} resumed from store, {} already in memory ({} workers)",
@@ -225,6 +239,7 @@ fn main() {
     }
 
     // Phase 2: render from the warm cache.
+    let t_render = Instant::now();
     if want("table1") {
         println!("{}", figures::table1());
     }
@@ -279,9 +294,23 @@ fn main() {
             eprintln!("[ablations took {:.1?}]", t.elapsed());
         }
     }
+    phases.push(("render", t_render.elapsed()));
     if !quiet {
         eprintln!("[total {:.1?}]", t0.elapsed());
     }
+    if timings {
+        print_timings(&phases, t0.elapsed());
+    }
+}
+
+/// Per-phase wall-time breakdown for `--timings` (stderr, so it composes
+/// with figure output on stdout and survives `--quiet`).
+fn print_timings(phases: &[(&str, std::time::Duration)], total: std::time::Duration) {
+    eprintln!("[timings]");
+    for (name, d) in phases {
+        eprintln!("  {name:<8} {d:.1?}");
+    }
+    eprintln!("  {:<8} {total:.1?}", "total");
 }
 
 fn die(msg: &str) -> ! {

@@ -1,0 +1,88 @@
+//! `simbench`: measure simulator throughput on the pinned config×trace
+//! matrix and write `BENCH_simcore.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! simbench [--smoke] [--out PATH] [--baseline GEOMEAN]
+//! ```
+//!
+//! - `--smoke`: tiny per-cell time budget, write to a scratch path, then
+//!   parse the artifact back and assert `geomean > 0` — the tier-1 CI
+//!   stage. Exits non-zero on any validation failure.
+//! - `--out PATH`: artifact path (default `BENCH_simcore.json`).
+//! - `--baseline GEOMEAN`: pre-change geomean sim-instr/sec to record in
+//!   the artifact (default: the committed [`simcore::BASELINE_GEOMEAN`]).
+
+use secpref_bench::simcore;
+
+fn main() {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut baseline = simcore::BASELINE_GEOMEAN;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = Some(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--baseline" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--baseline needs a number"));
+                baseline = v
+                    .parse()
+                    .unwrap_or_else(|_| die("--baseline needs a number"));
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    if smoke && std::env::var_os("SECPREF_BENCH_MS").is_none() {
+        // Smoke mode only checks plumbing, not timing quality.
+        std::env::set_var("SECPREF_BENCH_MS", "1");
+    }
+    let out = out.unwrap_or_else(|| {
+        if smoke {
+            let mut p = std::env::temp_dir();
+            p.push("BENCH_simcore.smoke.json");
+            p.to_string_lossy().into_owned()
+        } else {
+            "BENCH_simcore.json".to_string()
+        }
+    });
+
+    let (cells, geomean) = simcore::run_matrix();
+    let text = simcore::render_json(&cells, geomean, baseline);
+    if let Err(e) = std::fs::write(&out, &text) {
+        die(&format!("writing {out}: {e}"));
+    }
+    println!(
+        "simbench: geomean {:.0} sim-instr/sec over {} cells -> {out}",
+        geomean,
+        cells.len()
+    );
+    if baseline > 0.0 {
+        println!(
+            "simbench: {:.2}x vs baseline {:.0}",
+            geomean / baseline,
+            baseline
+        );
+    }
+
+    if smoke {
+        let read_back = std::fs::read_to_string(&out)
+            .unwrap_or_else(|e| die(&format!("reading back {out}: {e}")));
+        match simcore::parse_json(&read_back) {
+            Ok((geo, _, _)) if geo > 0.0 => println!("simbench: smoke OK (geomean {geo:.0})"),
+            Ok((geo, _, _)) => die(&format!("smoke failed: geomean {geo} not > 0")),
+            Err(e) => die(&format!("smoke failed: {e}")),
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("simbench: {msg}");
+    std::process::exit(2);
+}

@@ -13,6 +13,7 @@ pub mod configs;
 pub mod figures;
 pub mod microbench;
 pub mod runner;
+pub mod simcore;
 pub mod sweep;
 pub mod table;
 

@@ -30,7 +30,13 @@ impl MicroBench {
     }
 
     /// Times `f`, spending roughly the suite's per-benchmark budget.
-    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) {
+        self.bench_ns(name, f);
+    }
+
+    /// Like [`MicroBench::bench`], but also returns the measured ns/op
+    /// (used by `simbench` to convert run time into sim-instructions/sec).
+    pub fn bench_ns<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> f64 {
         // Calibration: find an iteration count that fills ~1/4 budget.
         let mut iters: u64 = 1;
         loop {
@@ -49,7 +55,7 @@ impl MicroBench {
                 }
                 let ns = t.elapsed().as_secs_f64() * 1e9 / timed_iters as f64;
                 self.rows.push((name.to_string(), ns, timed_iters));
-                return;
+                return ns;
             }
             iters = iters.saturating_mul(4);
         }

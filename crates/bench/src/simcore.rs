@@ -1,0 +1,226 @@
+//! `simbench`: the committed simulator-throughput baseline.
+//!
+//! Runs a pinned configuration × trace matrix through the [`MicroBench`]
+//! harness and reports **sim-instructions per second** for each cell plus
+//! the geometric mean over the matrix. The `simbench` binary writes the
+//! result as `BENCH_simcore.json` at the repo root, recording both the
+//! current measurement and the pre-optimization baseline so the perf
+//! trajectory stays visible in version control (DESIGN.md §10).
+//!
+//! The matrix is deliberately small and fixed: five configurations that
+//! exercise every distinct hot path (non-secure demand flow, on-access
+//! prefetch injection, the GhostMinion GM + commit engine, SUF filtering
+//! on the commit path, and the TSB timely-secure variant) crossed with
+//! three trace classes (pointer-chasing, streaming, graph-irregular).
+
+use crate::configs;
+use crate::microbench::MicroBench;
+use secpref_exp::json::{self, Json};
+use secpref_sim::System;
+use secpref_trace::suite;
+use secpref_types::{PrefetcherKind, SystemConfig};
+
+/// Warm-up window per cell, in instructions.
+pub const WARMUP: u64 = 10_000;
+/// Measurement window per cell, in instructions.
+pub const MEASURE: u64 = 40_000;
+
+/// Geomean sim-instructions/sec of this matrix measured at the last
+/// committed perf baseline (the tree state *before* the hot-path
+/// overhaul), on the reference runner. Regenerate per EXPERIMENTS.md
+/// ("Regenerating the simulator baseline") when the hardware or the
+/// matrix changes; the committed `BENCH_simcore.json` records both this
+/// number and the current measurement.
+pub const BASELINE_GEOMEAN: f64 = 354_681.0;
+
+/// One cell of the benchmark matrix.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Configuration label (stable, used in the JSON artifact).
+    pub config: String,
+    /// Trace name.
+    pub trace: String,
+    /// Measured simulated instructions per wall-clock second.
+    pub instr_per_sec: f64,
+}
+
+/// The pinned configuration axis: label × config.
+pub fn config_matrix() -> Vec<(&'static str, SystemConfig)> {
+    vec![
+        ("nonsecure/nopf", configs::nonsecure_nopref()),
+        (
+            "nonsecure/berti-on-access",
+            configs::on_access_nonsecure(PrefetcherKind::Berti),
+        ),
+        ("ghostminion/nopf", configs::secure_nopref()),
+        (
+            "ghostminion+suf/berti-on-commit",
+            configs::on_commit_suf(PrefetcherKind::Berti),
+        ),
+        (
+            "tsb+suf/berti",
+            configs::timely_secure_suf(PrefetcherKind::Berti),
+        ),
+    ]
+}
+
+/// The pinned trace axis: one representative per access-pattern class.
+pub fn trace_matrix() -> Vec<&'static str> {
+    vec!["mcf_like_a", "bwaves_like", "bfs_small"]
+}
+
+/// Runs the full matrix, printing the MicroBench table, and returns the
+/// per-cell results plus the geometric-mean sim-instructions/sec.
+pub fn run_matrix() -> (Vec<CellResult>, f64) {
+    let window = WARMUP + MEASURE;
+    let mut mb = MicroBench::new("simcore");
+    let mut cells = Vec::new();
+    for (label, cfg) in config_matrix() {
+        for trace_name in trace_matrix() {
+            let trace = suite::cached_trace(trace_name, window as usize);
+            let name = format!("{label} x {trace_name}");
+            let ns = mb.bench_ns(&name, || {
+                let mut sys =
+                    System::new(cfg.clone(), vec![trace.clone()]).with_window(WARMUP, MEASURE);
+                sys.run();
+                sys.cycles()
+            });
+            cells.push(CellResult {
+                config: label.to_string(),
+                trace: trace_name.to_string(),
+                instr_per_sec: window as f64 * 1e9 / ns,
+            });
+        }
+    }
+    mb.finish();
+    let geomean = geomean(cells.iter().map(|c| c.instr_per_sec));
+    (cells, geomean)
+}
+
+/// Geometric mean of a positive sequence (0.0 when empty).
+pub fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0f64, 0u32);
+    for v in vals {
+        log_sum += v.max(f64::MIN_POSITIVE).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / f64::from(n)).exp()
+    }
+}
+
+/// Renders the `BENCH_simcore.json` document.
+pub fn render_json(cells: &[CellResult], geomean: f64, baseline: f64) -> String {
+    let cell_rows: Vec<Json> = cells
+        .iter()
+        .map(|c| {
+            json::obj(vec![
+                ("config", Json::Str(c.config.clone())),
+                ("trace", Json::Str(c.trace.clone())),
+                ("sim_instr_per_sec", Json::Float(c.instr_per_sec)),
+            ])
+        })
+        .collect();
+    let speedup = if baseline > 0.0 {
+        geomean / baseline
+    } else {
+        0.0
+    };
+    let doc = json::obj(vec![
+        ("schema", Json::Str("secpref-simbench-v1".to_string())),
+        (
+            "window",
+            json::obj(vec![
+                ("warmup", Json::UInt(WARMUP)),
+                ("measure", Json::UInt(MEASURE)),
+            ]),
+        ),
+        ("cells", Json::Arr(cell_rows)),
+        ("geomean_sim_instr_per_sec", Json::Float(geomean)),
+        ("baseline_geomean_sim_instr_per_sec", Json::Float(baseline)),
+        ("speedup_vs_baseline", Json::Float(speedup)),
+    ]);
+    format!("{doc}\n")
+}
+
+/// Parses a `BENCH_simcore.json` document back, returning
+/// `(geomean, baseline, speedup)` — the smoke stage's validation hook.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed or missing field.
+pub fn parse_json(text: &str) -> Result<(f64, f64, f64), String> {
+    let doc = json::parse(text)?;
+    if doc.get("schema").and_then(Json::as_str) != Some("secpref-simbench-v1") {
+        return Err("missing or unknown schema".to_string());
+    }
+    let field = |k: &str| {
+        doc.get(k)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric field `{k}`"))
+    };
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing `cells` array".to_string())?;
+    if cells.is_empty() {
+        return Err("empty `cells` array".to_string());
+    }
+    Ok((
+        field("geomean_sim_instr_per_sec")?,
+        field("baseline_geomean_sim_instr_per_sec")?,
+        field("speedup_vs_baseline")?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+        let g = geomean([2.0, 8.0].into_iter());
+        assert!((g - 4.0).abs() < 1e-12, "{g}");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let cells = vec![
+            CellResult {
+                config: "a".into(),
+                trace: "t1".into(),
+                instr_per_sec: 1.5e6,
+            },
+            CellResult {
+                config: "b".into(),
+                trace: "t2".into(),
+                instr_per_sec: 2.5e6,
+            },
+        ];
+        let g = geomean(cells.iter().map(|c| c.instr_per_sec));
+        let text = render_json(&cells, g, 1.0e6);
+        let (geo, base, speedup) = parse_json(&text).unwrap();
+        assert_eq!(geo, g);
+        assert_eq!(base, 1.0e6);
+        assert!((speedup - g / 1.0e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_json("{}").is_err());
+        assert!(parse_json("not json").is_err());
+    }
+
+    #[test]
+    fn matrix_axes_are_known() {
+        for t in trace_matrix() {
+            assert!(suite::trace_by_name(t).is_some(), "{t}");
+        }
+        for (_, cfg) in config_matrix() {
+            assert!(cfg.validate().is_ok());
+        }
+    }
+}

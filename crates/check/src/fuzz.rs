@@ -820,7 +820,7 @@ mod tests {
             assert!(!a.instrs.is_empty());
             assert!(a.instrs.len() < 2_000, "fuzz traces stay small");
             // Correct-path addresses never touch the secret region.
-            for i in &a.instrs {
+            for i in a.instrs.iter() {
                 if let secpref_trace::InstrKind::Load { addr, .. }
                 | secpref_trace::InstrKind::Store { addr } = i.kind
                 {

@@ -1,0 +1,88 @@
+//! Pinned report-digest regression test — the permanent tripwire for the
+//! hot-path data-structure work (ISSUE 4 and beyond).
+//!
+//! Every fuzz-matrix cell ([`secpref_check::cells`]) is run on three
+//! pinned adversarial traces through a *production-shaped* system (no
+//! checkers installed — `System::new` wires the filter from the config,
+//! exactly as `repro` does). The full [`SimReport`] is serialized with
+//! the canonical deterministic codec and FNV-1a-64 hashed; the resulting
+//! 13 digests are pinned below.
+//!
+//! Any change to simulator behavior — timing, eviction order,
+//! tie-breaking, counter accounting — moves at least one digest. Pure
+//! data-structure or allocation changes must leave all 13 untouched.
+//! If a digest moves *intentionally* (a modeled-behavior change),
+//! re-pin it and say why in the commit message.
+
+use std::sync::Arc;
+
+use secpref_check::fuzz::gen_trace;
+use secpref_check::{cells, PINNED_SEED};
+use secpref_exp::codec::report_to_string;
+use secpref_sim::System;
+
+/// Trace seeds: three flavors of adversarial trace per cell, derived
+/// from the fuzzer's pinned seed. Offsets chosen so the generator's
+/// flavor wheel lands on distinct classes (gadget burst, alias strides,
+/// mixed soup).
+const TRACE_SEEDS: [u64; 3] = [PINNED_SEED, PINNED_SEED + 3, PINNED_SEED + 5];
+
+/// Expected FNV-1a-64 digest per cell, in `cells()` order.
+const PINNED: [(&str, u64); 13] = [
+    ("nonsecure/No-Pref", 0xBC9D2F8EEAD83795),
+    ("nonsecure/IP-Stride", 0x33A0B0AEFCDEA7C5),
+    ("nonsecure/IPCP", 0xFE7EE16845357415),
+    ("nonsecure/Bingo", 0xC7A4302FDE655219),
+    ("nonsecure/SPP+PPF", 0xD00EA8C32C4D9637),
+    ("nonsecure/Berti", 0x8437DFAFB1054B21),
+    ("ghostminion+suf/No-Pref", 0x6C6EB4F88D7A3E1F),
+    ("ghostminion+suf/IP-Stride", 0xE36D1AEF4E51E9F2),
+    ("ghostminion+suf/IPCP", 0x67BC7C91AB141D98),
+    ("ghostminion+suf/Bingo", 0x2C09353425DFFDCF),
+    ("ghostminion+suf/SPP+PPF", 0x9DBCAFA829D47F4F),
+    ("ghostminion+suf/Berti", 0xB4EE1E4B0FDAA56A),
+    ("ghostminion/always-update", 0x0ADC09B4DB6063FD),
+];
+
+fn fnv1a64(data: &[u8], mut hash: u64) -> u64 {
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn cell_digest(cfg: &secpref_types::SystemConfig) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for seed in TRACE_SEEDS {
+        let trace = Arc::new(gen_trace(seed));
+        let n = trace.instrs.len() as u64;
+        let mut sys = System::new(cfg.clone(), vec![trace]).with_window(0, n);
+        sys.run();
+        let text = report_to_string(&sys.report());
+        hash = fnv1a64(text.as_bytes(), hash);
+    }
+    hash
+}
+
+#[test]
+fn report_digests_are_pinned() {
+    let cells = cells();
+    assert_eq!(cells.len(), PINNED.len(), "fuzz matrix changed shape");
+    let mut mismatches = Vec::new();
+    for (cell, &(label, expected)) in cells.iter().zip(PINNED.iter()) {
+        assert_eq!(cell.label, label, "fuzz matrix changed order");
+        let actual = cell_digest(&cell.cfg);
+        if actual != expected {
+            mismatches.push(format!(
+                "    (\"{label}\", {actual:#018X}), // was {expected:#018X}"
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "report digests moved — simulator behavior changed.\n\
+         If intentional, re-pin:\n{}",
+        mismatches.join("\n")
+    );
+}

@@ -137,6 +137,13 @@ impl LqEntry {
 /// time table.
 const NOT_DONE: Cycle = Cycle::MAX;
 
+/// One branch-resolve heap entry:
+/// `(resolve_at, ts, ip_raw, trace_idx, taken | predicted << 1)`.
+/// Metadata lives inline (ts is unique per dispatch, so the trailing
+/// fields never influence the ordering); a squashed branch is detected
+/// at resolve by its ts no longer being in the ROB.
+type ResolveEntry = (Cycle, u64, u64, u32, u8);
+
 /// The trace-driven out-of-order core.
 ///
 /// Drive it by calling [`Core::tick`] once per cycle with the memory
@@ -191,10 +198,11 @@ pub struct Core {
     lq: Vec<LqEntry>,
     lq_free: Vec<u32>,
     predictor: PerceptronPredictor,
-    /// (resolve_at, ts, ip, taken, predicted)
-    resolve_heap: BinaryHeap<Reverse<(Cycle, u64)>>,
-    resolve_meta: std::collections::HashMap<u64, (Ip, bool, bool, u32)>,
+    resolve_heap: BinaryHeap<Reverse<ResolveEntry>>,
     dispatch_stall_until: Cycle,
+    /// Load-queue entries that are in use but not yet issued; lets
+    /// `issue_loads` skip the LQ scan entirely on quiet cycles.
+    lq_pending: usize,
     next_ts: u64,
     load_done_at: Vec<Cycle>,
     stats: CoreStats,
@@ -215,8 +223,8 @@ impl Core {
             lq_free: (0..lq_n as u32).rev().collect(),
             predictor: PerceptronPredictor::new(),
             resolve_heap: BinaryHeap::new(),
-            resolve_meta: std::collections::HashMap::new(),
             dispatch_stall_until: 0,
+            lq_pending: 0,
             next_ts: 1,
             load_done_at,
             stats: CoreStats::default(),
@@ -337,17 +345,16 @@ impl Core {
     }
 
     fn resolve_branches(&mut self, now: Cycle) {
-        while let Some(&Reverse((at, ts))) = self.resolve_heap.peek() {
+        while let Some(&Reverse((at, ts, ip_raw, trace_idx, flags))) = self.resolve_heap.peek() {
             if at > now {
                 break;
             }
             self.resolve_heap.pop();
-            let Some((ip, taken, predicted, trace_idx)) = self.resolve_meta.remove(&ts) else {
-                continue;
-            };
+            let (taken, predicted) = (flags & 1 != 0, flags & 2 != 0);
             let Some(pos) = self.rob_position(ts) else {
                 continue; // squashed before resolving
             };
+            let ip = Ip::new(ip_raw);
             self.predictor.update(ip, taken, predicted);
             if let RobKind::Branch { resolved, .. } = &mut self.rob[pos].kind {
                 *resolved = true;
@@ -368,6 +375,7 @@ impl Core {
             self.stats.squashed += 1;
             if matches!(e.kind, RobKind::Load) {
                 let lq = &mut self.lq[e.lq_id as usize];
+                let was_unissued = !lq.issued;
                 lq.in_use = false;
                 lq.gen = lq.gen.wrapping_add(1);
                 lq.fill = None;
@@ -375,22 +383,29 @@ impl Core {
                 // Its completion, if it landed, must not satisfy the
                 // re-dispatched instance's dependents prematurely.
                 self.load_done_at[e.trace_idx as usize] = NOT_DONE;
+                if was_unissued {
+                    self.lq_pending -= 1;
+                }
             }
-            if matches!(e.kind, RobKind::Branch { .. }) {
-                self.resolve_meta.remove(&e.ts);
-            }
+            // Squashed branches leave their resolve_heap entry behind;
+            // resolve finds their ts gone from the ROB and skips them.
         }
         self.cursor = branch_trace_idx as usize + 1;
         self.dispatch_stall_until = now + self.cfg.mispredict_penalty;
     }
 
     fn issue_loads(&mut self, now: Cycle, mem: &mut dyn LoadPort) {
+        if self.lq_pending == 0 {
+            return;
+        }
         let mut issued = 0;
         for i in 0..self.lq.len() {
             if issued >= self.cfg.load_issue_width {
                 break;
             }
-            let e = self.lq[i];
+            // By reference: copying the whole LqEntry per slot per cycle
+            // was one of the simulator's largest single costs.
+            let e = &self.lq[i];
             if !e.in_use || e.issued || e.ready_at > now {
                 continue;
             }
@@ -400,20 +415,18 @@ impl Core {
                     continue; // producer not finished yet
                 }
             }
-            let ok = mem.try_issue_load(
-                now,
-                LoadIssue {
-                    core: self.id,
-                    lq_id: i as u32,
-                    gen: e.gen,
-                    addr: e.addr,
-                    ip: e.ip,
-                    ts: e.ts,
-                    wrong_path: false,
-                },
-            );
-            if ok {
+            let req = LoadIssue {
+                core: self.id,
+                lq_id: i as u32,
+                gen: e.gen,
+                addr: e.addr,
+                ip: e.ip,
+                ts: e.ts,
+                wrong_path: false,
+            };
+            if mem.try_issue_load(now, req) {
                 self.lq[i].issued = true;
+                self.lq_pending -= 1;
                 issued += 1;
             } else {
                 self.stats.issue_rejects += 1;
@@ -470,6 +483,7 @@ impl Core {
                         fill: None,
                     };
                     self.load_done_at[trace_idx as usize] = NOT_DONE;
+                    self.lq_pending += 1;
                     let mut e = RobEntry {
                         trace_idx,
                         ts,
@@ -487,9 +501,14 @@ impl Core {
                 InstrKind::Branch { taken } => {
                     let predicted = self.predictor.predict(instr.ip);
                     let resolve_at = ready_at + 1;
-                    self.resolve_heap.push(Reverse((resolve_at, ts)));
-                    self.resolve_meta
-                        .insert(ts, (instr.ip, taken, predicted, trace_idx));
+                    let flags = taken as u8 | (predicted as u8) << 1;
+                    self.resolve_heap.push(Reverse((
+                        resolve_at,
+                        ts,
+                        instr.ip.raw(),
+                        trace_idx,
+                        flags,
+                    )));
                     if predicted != taken {
                         // The wrong path executes transiently between now
                         // and resolve: inject its loads if the trace

@@ -104,8 +104,14 @@ pub struct Engine {
     verbose: bool,
     mem: Mutex<HashMap<String, SimReport>>,
     disk: Mutex<Option<HashMap<String, StoredResult>>>,
-    run_seq: AtomicU64,
 }
+
+/// Process-wide run counter. Run ids embed `(unix second, pid, seq)`;
+/// the sequence must be global — with a per-engine counter, two engines
+/// created in the same process and second (e.g. a cold run and a resume
+/// check in one test) would mint the same id and overwrite each other's
+/// manifests.
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl Engine {
     /// Creates an engine over the store at `dir` with a fixed worker
@@ -121,7 +127,6 @@ impl Engine {
             verbose: false,
             mem: Mutex::new(HashMap::new()),
             disk: Mutex::new(None),
-            run_seq: AtomicU64::new(0),
         })
     }
 
@@ -581,7 +586,7 @@ impl Engine {
             "{}-{}-{}",
             unix_now(),
             std::process::id(),
-            self.run_seq.fetch_add(1, Ordering::Relaxed),
+            RUN_SEQ.fetch_add(1, Ordering::Relaxed),
         )
     }
 

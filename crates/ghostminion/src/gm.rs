@@ -49,9 +49,19 @@ struct GmEntry {
 #[derive(Clone, Debug)]
 pub struct GmCache {
     entries: Vec<GmEntry>,
+    /// Flat packed tag array: `tags[i] == entries[i].line.raw()` when
+    /// valid, else [`TAG_INVALID`] — lookups scan this dense word array
+    /// (the same packed-tag path the set-associative caches use).
+    tags: Vec<u64>,
+    /// Number of valid entries (kept exact so `occupancy` is O(1)).
+    live: usize,
     /// Insertions dropped by TimeGuarding (statistics).
     pub dropped_inserts: u64,
 }
+
+/// Sentinel tag for an invalid slot. A line with this raw address is
+/// findable only through the slow full scan (see [`GmCache::find_pos`]).
+const TAG_INVALID: u64 = u64::MAX;
 
 impl GmCache {
     /// Creates a GM with `slots` fully-associative entries
@@ -72,8 +82,31 @@ impl GmCache {
                 };
                 slots
             ],
+            tags: vec![TAG_INVALID; slots],
+            live: 0,
             dropped_inserts: 0,
         }
+    }
+
+    /// Slot index of the valid entry for `line`, via the packed tags.
+    #[inline]
+    fn find_pos(&self, line: LineAddr) -> Option<usize> {
+        let raw = line.raw();
+        if raw == TAG_INVALID {
+            // Sentinel-aliasing line: only the full metadata scan works.
+            return self.entries.iter().position(|e| e.valid && e.line == line);
+        }
+        self.tags.iter().position(|&t| t == raw)
+    }
+
+    /// Writes slot `i`'s packed tag for a just-validated `line`.
+    #[inline]
+    fn set_tag(&mut self, i: usize, line: LineAddr) {
+        self.tags[i] = if line.raw() == TAG_INVALID {
+            TAG_INVALID // slow-path line: findable only via the full scan
+        } else {
+            line.raw()
+        };
     }
 
     /// Number of slots.
@@ -83,17 +116,15 @@ impl GmCache {
 
     /// Number of valid entries.
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.valid).count()
+        self.live
     }
 
     /// TimeGuarded lookup: returns the fill latency recorded with the line
     /// if it is resident *and* was inserted by an instruction no younger
     /// than `ts`.
     pub fn lookup(&self, line: LineAddr, ts: u64) -> Option<u32> {
-        self.entries
-            .iter()
-            .find(|e| e.valid && e.line == line && e.ts <= ts)
-            .map(|e| e.latency)
+        let e = &self.entries[self.find_pos(line)?];
+        (e.ts <= ts).then_some(e.latency)
     }
 
     /// Unguarded residence check (for the commit path: the committing
@@ -108,27 +139,37 @@ impl GmCache {
     pub fn insert(&mut self, line: LineAddr, ts: u64, latency: u32) -> GmInsertOutcome {
         // Already resident: keep the older timestamp so the earliest
         // instruction retains visibility rights.
-        if let Some(e) = self.entries.iter_mut().find(|e| e.valid && e.line == line) {
+        if let Some(i) = self.find_pos(line) {
+            let e = &mut self.entries[i];
             e.ts = e.ts.min(ts);
             return GmInsertOutcome::AlreadyPresent;
         }
-        if let Some(e) = self.entries.iter_mut().find(|e| !e.valid) {
-            *e = GmEntry {
+        if self.live < self.entries.len() {
+            let i = self
+                .entries
+                .iter()
+                .position(|e| !e.valid)
+                .expect("live count below capacity implies a free slot");
+            self.entries[i] = GmEntry {
                 line,
                 ts,
                 latency,
                 valid: true,
             };
+            self.set_tag(i, line);
+            self.live += 1;
             return GmInsertOutcome::Inserted;
         }
-        // Full: the victim must be *younger* than the inserter.
-        let (idx, youngest_ts) = self
-            .entries
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (i, e.ts))
-            .max_by_key(|&(_, t)| t)
-            .expect("GM nonempty");
+        // Full: the victim must be *younger* than the inserter. On ties
+        // the *last* youngest entry is chosen (the `max_by_key` rule the
+        // original scan pinned).
+        let (mut idx, mut youngest_ts) = (0, self.entries[0].ts);
+        for (i, e) in self.entries.iter().enumerate().skip(1) {
+            if e.ts >= youngest_ts {
+                idx = i;
+                youngest_ts = e.ts;
+            }
+        }
         if youngest_ts > ts {
             let victim = self.entries[idx].line;
             self.entries[idx] = GmEntry {
@@ -137,6 +178,7 @@ impl GmCache {
                 latency,
                 valid: true,
             };
+            self.set_tag(idx, line);
             GmInsertOutcome::InsertedEvicting(victim)
         } else {
             self.dropped_inserts += 1;
@@ -147,21 +189,22 @@ impl GmCache {
     /// Removes the line at commit (it moves to L1D). Returns its recorded
     /// fill latency if it was resident.
     pub fn remove(&mut self, line: LineAddr) -> Option<u32> {
-        let e = self
-            .entries
-            .iter_mut()
-            .find(|e| e.valid && e.line == line)?;
-        e.valid = false;
-        Some(e.latency)
+        let i = self.find_pos(line)?;
+        self.entries[i].valid = false;
+        self.tags[i] = TAG_INVALID;
+        self.live -= 1;
+        Some(self.entries[i].latency)
     }
 
     /// Drops entries older than `retire_horizon` that were never
     /// committed (squashed leftovers), freeing slots. `now` is unused but
     /// kept for symmetry with hardware that ages entries.
     pub fn expire_older_than(&mut self, retire_horizon: u64, _now: Cycle) {
-        for e in &mut self.entries {
+        for (e, tag) in self.entries.iter_mut().zip(self.tags.iter_mut()) {
             if e.valid && e.ts < retire_horizon {
                 e.valid = false;
+                *tag = TAG_INVALID;
+                self.live -= 1;
             }
         }
     }

@@ -117,11 +117,19 @@ pub struct SetAssocCache {
     sets: usize,
     ways: usize,
     lines: Vec<LineMeta>,
+    /// Flat packed tag array: `tags[i] == lines[i].line.raw()` when
+    /// `lines[i].valid`, else [`TAG_INVALID`]. Lookups scan this dense
+    /// word array per set instead of walking the full `LineMeta` structs.
+    tags: Vec<u64>,
     lru_clock: u64,
     valid_count: usize,
     policy: ReplacementKind,
     rng: u64,
 }
+
+/// Sentinel tag for an invalid way. A real line with this raw address
+/// cannot be cached through the packed path (see [`SetAssocCache::find`]).
+const TAG_INVALID: u64 = u64::MAX;
 
 impl SetAssocCache {
     /// Creates an empty cache with `sets` sets of `ways` ways.
@@ -148,6 +156,7 @@ impl SetAssocCache {
             sets,
             ways,
             lines: vec![LineMeta::INVALID; sets * ways],
+            tags: vec![TAG_INVALID; sets * ways],
             lru_clock: 0,
             valid_count: 0,
             policy,
@@ -180,8 +189,21 @@ impl SetAssocCache {
     }
 
     fn find(&self, line: LineAddr) -> Option<usize> {
-        self.set_range(line)
-            .find(|&i| self.lines[i].valid && self.lines[i].line == line)
+        let raw = line.raw();
+        if raw == TAG_INVALID {
+            // A line whose raw address equals the sentinel cannot use the
+            // packed path (it would match empty ways); fall back to the
+            // full metadata scan.
+            return self
+                .set_range(line)
+                .find(|&i| self.lines[i].valid && self.lines[i].line == line);
+        }
+        let range = self.set_range(line);
+        let start = range.start;
+        self.tags[range]
+            .iter()
+            .position(|&t| t == raw)
+            .map(|p| start + p)
     }
 
     /// Looks up a line **without** updating replacement state
@@ -199,6 +221,23 @@ impl SetAssocCache {
         self.lines[i].lru = self.lru_clock;
         self.lines[i].rrpv = 0; // SRRIP: promote to imminent on reuse
         Some(self.lines[i])
+    }
+
+    /// Non-speculative access in one tag lookup: [`touch`](Self::touch) +
+    /// [`mark_demand_use`](Self::mark_demand_use), plus the dirty-bit set
+    /// when `store` is true. Returns `(was_prefetched, fetch_latency)` on
+    /// a hit — the simulator's hit fast path, equivalent to the three
+    /// separate calls but with a single set scan.
+    pub fn touch_demand(&mut self, line: LineAddr, store: bool) -> Option<(bool, u32)> {
+        let i = self.find(line)?;
+        self.lru_clock += 1;
+        let l = &mut self.lines[i];
+        l.lru = self.lru_clock;
+        l.rrpv = 0; // SRRIP: promote to imminent on reuse
+        let was = l.prefetched;
+        l.prefetched = false;
+        l.dirty |= store;
+        Some((was, l.fetch_latency))
     }
 
     /// Marks a resident line's first demand use: clears the `prefetched`
@@ -277,6 +316,11 @@ impl SetAssocCache {
             rrpv: 2, // SRRIP: inserted with a "long" re-reference interval
             valid: true,
         };
+        self.tags[victim] = if line.raw() == TAG_INVALID {
+            TAG_INVALID // slow-path line: findable only via the full scan
+        } else {
+            line.raw()
+        };
         evicted
     }
 
@@ -312,6 +356,7 @@ impl SetAssocCache {
         let i = self.find(line)?;
         let v = self.lines[i];
         self.lines[i] = LineMeta::INVALID;
+        self.tags[i] = TAG_INVALID;
         self.valid_count -= 1;
         Some(EvictedLine {
             line: v.line,

@@ -82,7 +82,16 @@ pub struct DramModel {
     cfg: DramConfig,
     banks: Vec<Bank>,
     read_q: VecDeque<DramRequest>,
+    /// Precomputed `(bank, row)` per `read_q` entry, in lockstep — the
+    /// FR-FCFS scan runs over these words instead of re-dividing every
+    /// line address each cycle.
+    read_geo: VecDeque<(u32, u64)>,
     write_q: VecDeque<DramRequest>,
+    /// Precomputed `(bank, row)` per `write_q` entry, in lockstep.
+    write_geo: VecDeque<(u32, u64)>,
+    /// Packed line addresses of `write_q`, in lockstep — the indexed
+    /// duplicate-line probe behind write-queue forwarding.
+    write_lines: VecDeque<u64>,
     bus_free_at: Cycle,
     completions: BinaryHeap<Reverse<(Cycle, u64)>>,
     draining_writes: bool,
@@ -97,7 +106,10 @@ impl DramModel {
             cfg,
             banks,
             read_q: VecDeque::new(),
+            read_geo: VecDeque::new(),
             write_q: VecDeque::new(),
+            write_geo: VecDeque::new(),
+            write_lines: VecDeque::new(),
             bus_free_at: 0,
             completions: BinaryHeap::new(),
             draining_writes: false,
@@ -110,9 +122,9 @@ impl DramModel {
         (self.cfg.row_bytes as u64 / secpref_types::LINE_SIZE).max(1)
     }
 
-    fn bank_and_row(&self, line: LineAddr) -> (usize, u64) {
+    fn bank_and_row(&self, line: LineAddr) -> (u32, u64) {
         let global_row = line.raw() / self.lines_per_row();
-        let bank = (global_row % self.banks.len() as u64) as usize;
+        let bank = (global_row % self.banks.len() as u64) as u32;
         let row = global_row / self.banks.len() as u64;
         (bank, row)
     }
@@ -131,9 +143,13 @@ impl DramModel {
             if self.write_q.len() >= self.cfg.queue_depth {
                 return Err(req);
             }
+            let geo = self.bank_and_row(req.line);
             self.write_q.push_back(req);
+            self.write_geo.push_back(geo);
+            self.write_lines.push_back(req.line.raw());
         } else {
-            if self.write_q.iter().any(|w| w.line == req.line) {
+            let raw = req.line.raw();
+            if self.write_lines.iter().any(|&l| l == raw) {
                 self.stats.wq_forwards += 1;
                 self.completions
                     .push(Reverse((req.arrival + self.cfg.t_cas, req.token)));
@@ -142,7 +158,9 @@ impl DramModel {
             if self.read_q.len() >= self.cfg.queue_depth {
                 return Err(req);
             }
+            let geo = self.bank_and_row(req.line);
             self.read_q.push_back(req);
+            self.read_geo.push_back(geo);
         }
         Ok(())
     }
@@ -157,13 +175,13 @@ impl DramModel {
         self.stats
     }
 
-    /// FR-FCFS pick from `q`: the oldest row-hit whose bank is ready,
-    /// else the oldest request with a ready bank.
-    fn pick(&self, q: &VecDeque<DramRequest>, now: Cycle) -> Option<usize> {
+    /// FR-FCFS pick over a queue's precomputed `(bank, row)` geometry:
+    /// the oldest row-hit whose bank is ready, else the oldest request
+    /// with a ready bank.
+    fn pick(&self, geo: &VecDeque<(u32, u64)>, now: Cycle) -> Option<usize> {
         let mut oldest_ready: Option<usize> = None;
-        for (i, r) in q.iter().enumerate() {
-            let (b, row) = self.bank_and_row(r.line);
-            let bank = &self.banks[b];
+        for (i, &(b, row)) in geo.iter().enumerate() {
+            let bank = &self.banks[b as usize];
             if bank.ready_at > now {
                 continue;
             }
@@ -177,9 +195,8 @@ impl DramModel {
         oldest_ready
     }
 
-    fn service(&mut self, req: DramRequest, now: Cycle) {
-        let (b, row) = self.bank_and_row(req.line);
-        let bank = &mut self.banks[b];
+    fn service(&mut self, req: DramRequest, b: u32, row: u64, now: Cycle) {
+        let bank = &mut self.banks[b as usize];
         // Access latency is when the data appears; bank *occupancy* is
         // shorter — column accesses pipeline behind an open row (t_ccd),
         // while activates hold the bank until the row is open.
@@ -231,14 +248,21 @@ impl DramModel {
         let use_writes =
             self.draining_writes || (self.read_q.is_empty() && !self.write_q.is_empty());
         let picked = if use_writes {
-            self.pick(&self.write_q, now)
-                .map(|i| self.write_q.remove(i).expect("index in range"))
+            self.pick(&self.write_geo, now).map(|i| {
+                let req = self.write_q.remove(i).expect("index in range");
+                let geo = self.write_geo.remove(i).expect("index in range");
+                self.write_lines.remove(i).expect("index in range");
+                (req, geo)
+            })
         } else {
-            self.pick(&self.read_q, now)
-                .map(|i| self.read_q.remove(i).expect("index in range"))
+            self.pick(&self.read_geo, now).map(|i| {
+                let req = self.read_q.remove(i).expect("index in range");
+                let geo = self.read_geo.remove(i).expect("index in range");
+                (req, geo)
+            })
         };
-        if let Some(req) = picked {
-            self.service(req, now);
+        if let Some((req, (b, row))) = picked {
+            self.service(req, b, row, now);
         }
 
         while let Some(&Reverse((c, tok))) = self.completions.peek() {
@@ -331,6 +355,39 @@ mod tests {
         let done = run(&mut dram, 200);
         assert!(done.iter().any(|&(t, c)| t == 9 && c == 3 + cfg.t_cas));
         assert_eq!(dram.stats().wq_forwards, 1);
+    }
+
+    #[test]
+    fn wq_forward_index_tracks_queue_boundary() {
+        // The packed write-line index must stay in lockstep with the
+        // write queue across drains: a read arriving while its write is
+        // queued forwards at arrival + t_cas; once the write has drained
+        // out of the queue, the same line must go to the banks instead
+        // of forwarding against a stale index entry.
+        let cfg = DramConfig::default();
+        let mut dram = DramModel::new(cfg.clone());
+        dram.enqueue(DramRequest {
+            line: LineAddr::new(5),
+            is_write: true,
+            token: 0,
+            arrival: 0,
+        })
+        .unwrap();
+        // A read to a *different* line must not forward.
+        dram.enqueue(read(6, 1, 0)).unwrap();
+        // A read to the queued line forwards exactly.
+        dram.enqueue(read(5, 2, 2)).unwrap();
+        assert_eq!(dram.stats().wq_forwards, 1);
+        let done = run(&mut dram, 2000);
+        assert!(done.iter().any(|&(t, c)| t == 2 && c == 2 + cfg.t_cas));
+        assert!(done.iter().any(|&(t, _)| t == 1));
+        // The write has drained (queues idle → drain mode picks it up).
+        assert_eq!(dram.stats().writes, 1);
+        // Same line again: the index entry must be gone with the write.
+        dram.enqueue(read(5, 3, 2000)).unwrap();
+        let done = run_from(&mut dram, 2000, 2000);
+        assert_eq!(dram.stats().wq_forwards, 1, "no forward after drain");
+        assert!(done.iter().any(|&(t, _)| t == 3), "read served by banks");
     }
 
     #[test]

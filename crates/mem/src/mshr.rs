@@ -68,6 +68,12 @@ pub struct MshrEntry {
 pub struct MshrFile {
     capacity: usize,
     entries: Vec<MshrEntry>,
+    /// Packed copy of `entries[i].line.raw()`, kept in lockstep with
+    /// `entries` — line lookups scan this flat word array instead of
+    /// walking the full entry structs (the simulator's hottest probe).
+    lines: Vec<u64>,
+    /// Packed copy of `entries[i].token.0`, same lockstep discipline.
+    tokens: Vec<u64>,
     next_token: u64,
     high_water: usize,
 }
@@ -83,9 +89,18 @@ impl MshrFile {
         MshrFile {
             capacity,
             entries: Vec::with_capacity(capacity),
+            lines: Vec::with_capacity(capacity),
+            tokens: Vec::with_capacity(capacity),
             next_token: 0,
             high_water: 0,
         }
+    }
+
+    /// Index of the live entry for `line`, via the packed key array.
+    #[inline]
+    fn line_pos(&self, line: LineAddr) -> Option<usize> {
+        let raw = line.raw();
+        self.lines.iter().position(|&l| l == raw)
     }
 
     /// Capacity of the file.
@@ -110,10 +125,8 @@ impl MshrFile {
 
     /// Finds the in-flight entry for `line`, if any.
     pub fn find(&self, line: LineAddr) -> Option<(MshrToken, &MshrEntry)> {
-        self.entries
-            .iter()
-            .find(|e| e.line == line)
-            .map(|e| (e.token, e))
+        let e = &self.entries[self.line_pos(line)?];
+        Some((e.token, e))
     }
 
     /// Allocates an entry for a new miss.
@@ -134,7 +147,7 @@ impl MshrFile {
         now: Cycle,
         ts: u64,
     ) -> Result<MshrToken, AllocError> {
-        if self.is_full() || self.find(line).is_some() {
+        if self.is_full() || self.line_pos(line).is_some() {
             return Err(AllocError);
         }
         let token = MshrToken(self.next_token);
@@ -148,6 +161,8 @@ impl MshrFile {
             oldest_ts: ts,
             token,
         });
+        self.lines.push(line.raw());
+        self.tokens.push(token.0);
         self.high_water = self.high_water.max(self.entries.len());
         Ok(token)
     }
@@ -158,7 +173,8 @@ impl MshrFile {
     /// *prefetch* in flight (a late prefetch, when `demand` is true).
     /// Returns `None` if no entry for `line` exists.
     pub fn merge(&mut self, line: LineAddr, demand: bool, ts: u64) -> Option<(MshrToken, bool)> {
-        let e = self.entries.iter_mut().find(|e| e.line == line)?;
+        let idx = self.line_pos(line)?;
+        let e = &mut self.entries[idx];
         let was_prefetch = e.is_prefetch;
         e.merged += 1;
         if demand {
@@ -178,10 +194,12 @@ impl MshrFile {
     /// otherwise).
     pub fn complete(&mut self, token: MshrToken) -> MshrEntry {
         let idx = self
-            .entries
+            .tokens
             .iter()
-            .position(|e| e.token == token)
+            .position(|&t| t == token.0)
             .expect("MSHR token must identify a live entry");
+        self.lines.swap_remove(idx);
+        self.tokens.swap_remove(idx);
         self.entries.swap_remove(idx)
     }
 

@@ -21,6 +21,7 @@
 
 use crate::classify::Classifier;
 use crate::metrics::CoreMetrics;
+use crate::wheel::EventWheel;
 use secpref_cpu::LoadIssue;
 use secpref_ghostminion::{CommitAction, GmCache, UpdateFilter, WbBits};
 use secpref_mem::{
@@ -32,8 +33,6 @@ use secpref_types::{
     AccessKind, CacheConfig, CacheLevel, CoreId, Cycle, FillInfo, HitLevel, Ip, LineAddr,
     PrefetchMode, PrefetchRequest, PrefetcherKind, SystemConfig,
 };
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 
 const EV_ACCESS: u8 = 0;
 const EV_RESPONSE: u8 = 1;
@@ -95,7 +94,12 @@ struct LevelState {
     cache: SetAssocCache,
     mshr: MshrFile,
     ports: PortScheduler,
-    waiting: HashMap<MshrToken, Vec<u32>>,
+    /// Requests parked on an in-flight MSHR, keyed by token. A flat vec
+    /// beats a hash map here: occupancy is bounded by the MSHR count
+    /// (tens), so a linear probe is cheaper than hashing, and the waiter
+    /// vectors are recycled through [`Hierarchy::waiter_pool`] instead of
+    /// being reallocated on every miss.
+    waiting: Vec<(MshrToken, Vec<u32>)>,
     latency: Cycle,
 }
 
@@ -113,7 +117,7 @@ impl LevelState {
             cache: SetAssocCache::with_policy(cfg.sets(), cfg.ways, replacement(cfg)),
             mshr: MshrFile::new(cfg.mshrs),
             ports: PortScheduler::new(cfg.ports_per_cycle),
-            waiting: HashMap::new(),
+            waiting: Vec::new(),
             latency: cfg.latency,
         }
     }
@@ -134,8 +138,9 @@ pub struct Hierarchy {
     classifiers: Vec<Option<Classifier>>,
     reqs: Vec<Req>,
     free: Vec<u32>,
-    events: BinaryHeap<Reverse<(Cycle, u64, u32, u8)>>,
-    seq: u64,
+    events: EventWheel,
+    /// Spare waiter vectors recycled across MSHR merge/complete cycles.
+    waiter_pool: Vec<Vec<u32>>,
     /// Completed demand loads, drained by the system each cycle:
     /// (core, lq, gen, fill).
     pub completions: Vec<(CoreId, u32, u32, FillInfo)>,
@@ -148,6 +153,11 @@ pub struct Hierarchy {
     pf_outstanding: Vec<usize>,
     pf_recent: Vec<[LineAddr; PF_RECENT]>,
     pf_recent_head: Vec<usize>,
+    /// Reusable DRAM-completion buffer for `tick` (no per-cycle allocs).
+    dram_done: Vec<(u64, Cycle)>,
+    /// Per-core `("l1d[c]", "l2[c]")` labels, built once at construction
+    /// so the capture path never formats strings.
+    mshr_labels: Vec<(String, String)>,
     /// Observability recorder; `Obs::disabled()` unless tracing was
     /// requested, in which case every hook below feeds it.
     obs: Obs,
@@ -189,8 +199,8 @@ impl Hierarchy {
             classifiers,
             reqs: Vec::with_capacity(4096),
             free: Vec::new(),
-            events: BinaryHeap::new(),
-            seq: 0,
+            events: EventWheel::new(),
+            waiter_pool: Vec::new(),
             completions: Vec::new(),
             metrics: vec![CoreMetrics::default(); cores],
             tlbs: (0..cores)
@@ -214,6 +224,10 @@ impl Hierarchy {
             pf_outstanding: vec![0; cores],
             pf_recent: vec![[LineAddr::new(u64::MAX); PF_RECENT]; cores],
             pf_recent_head: vec![0; cores],
+            dram_done: Vec::new(),
+            mshr_labels: (0..cores)
+                .map(|c| (format!("l1d[{c}]"), format!("l2[{c}]")))
+                .collect(),
             obs: Obs::disabled(),
             cfg,
             now: 0,
@@ -264,10 +278,11 @@ impl Hierarchy {
         let obs = std::mem::take(&mut self.obs);
         let mut cap = obs.finish()?;
         for c in 0..self.cfg.cores {
+            let (l1d_label, l2_label) = &self.mshr_labels[c];
             cap.mshr_high_water
-                .push((format!("l1d[{c}]"), self.l1d[c].mshr.high_water() as u64));
+                .push((l1d_label.clone(), self.l1d[c].mshr.high_water() as u64));
             cap.mshr_high_water
-                .push((format!("l2[{c}]"), self.l2[c].mshr.high_water() as u64));
+                .push((l2_label.clone(), self.l2[c].mshr.high_water() as u64));
         }
         cap.mshr_high_water
             .push(("llc".to_string(), self.llc.mshr.high_water() as u64));
@@ -314,8 +329,7 @@ impl Hierarchy {
     }
 
     fn schedule(&mut self, at: Cycle, rid: u32, kind: u8) {
-        self.seq += 1;
-        self.events.push(Reverse((at, self.seq, rid, kind)));
+        self.events.push(at, rid, kind);
     }
 
     fn blank_req(core: CoreId, line: LineAddr, ip: Ip, kind: ReqKind, now: Cycle) -> Req {
@@ -395,19 +409,17 @@ impl Hierarchy {
     /// events due at or before `now`.
     pub fn tick(&mut self, now: Cycle) {
         self.now = now;
-        let mut done = Vec::new();
+        let mut done = std::mem::take(&mut self.dram_done);
+        done.clear();
         self.dram.tick(now, &mut done);
-        for (rid, _) in done {
+        for &(rid, _) in &done {
             let rid = rid as u32;
             let req = &mut self.reqs[rid as usize];
             req.hit_level = HitLevel::Dram;
             self.schedule(now, rid, EV_RESPONSE);
         }
-        while let Some(&Reverse((at, _, rid, kind))) = self.events.peek() {
-            if at > now {
-                break;
-            }
-            self.events.pop();
+        self.dram_done = done;
+        while let Some((rid, kind)) = self.events.pop_due(now) {
             if !self.reqs[rid as usize].alive {
                 continue;
             }
@@ -591,15 +603,13 @@ impl Hierarchy {
                     Some(meta) => (true, meta.prefetched, meta.fetch_latency),
                     None => (false, false, 0),
                 }
-            } else if level.cache.touch(req.line).is_some() {
-                let (was_pf, lat) = level.cache.mark_demand_use(req.line).unwrap_or((false, 0));
-                // Prefetch requests must not clear the prefetched bit.
+            } else if let Some((was_pf, lat)) = level
+                .cache
+                .touch_demand(req.line, matches!(req.kind, ReqKind::Store))
+            {
                 if matches!(req.kind, ReqKind::Prefetch) {
                     (true, false, 0)
                 } else {
-                    if matches!(req.kind, ReqKind::Store) {
-                        level.cache.set_dirty(req.line);
-                    }
                     (true, was_pf, lat)
                 }
             } else {
@@ -675,14 +685,30 @@ impl Hierarchy {
                 self.free_req(rid);
                 return;
             }
-            {
+            let joined_existing = {
                 let level = match lvl {
                     0 => &mut self.l1d[core],
                     1 => &mut self.l2[core],
                     _ => &mut self.llc,
                 };
                 level.mshr.merge(req.line, demandish, req.ts);
-                level.waiting.entry(token).or_default().push(rid);
+                match level.waiting.iter_mut().find(|(t, _)| *t == token) {
+                    Some((_, v)) => {
+                        v.push(rid);
+                        true
+                    }
+                    None => false,
+                }
+            };
+            if !joined_existing {
+                let mut v = self.waiter_pool.pop().unwrap_or_default();
+                v.push(rid);
+                let level = match lvl {
+                    0 => &mut self.l1d[core],
+                    1 => &mut self.l2[core],
+                    _ => &mut self.llc,
+                };
+                level.waiting.push((token, v));
             }
             // Merging onto an in-flight *demand* is a hit-under-miss, not
             // a new miss; merging onto a *prefetch* is the paper's "late
@@ -1009,21 +1035,28 @@ impl Hierarchy {
             let Some(token) = req.path[lvl as usize] else {
                 continue;
             };
-            let waiters = {
+            let mut waiters = {
                 let level = match lvl {
                     0 => &mut self.l1d[core],
                     1 => &mut self.l2[core],
                     _ => &mut self.llc,
                 };
                 level.mshr.complete(token);
-                level.waiting.remove(&token).unwrap_or_default()
+                match level.waiting.iter().position(|(t, _)| *t == token) {
+                    Some(i) => level.waiting.swap_remove(i).1,
+                    None => Vec::new(),
+                }
             };
             self.fill_on_path(now, rid, lvl);
-            for w in waiters {
+            for &w in &waiters {
                 let hl = req.hit_level;
                 let wr = &mut self.reqs[w as usize];
                 wr.hit_level = hl;
                 self.schedule(now, w, EV_RESPONSE);
+            }
+            if waiters.capacity() > 0 && self.waiter_pool.len() < 64 {
+                waiters.clear();
+                self.waiter_pool.push(waiters);
             }
         }
         self.finish_request(now, rid);

@@ -28,6 +28,7 @@ pub mod hierarchy;
 pub mod metrics;
 pub mod report;
 pub mod system;
+mod wheel;
 
 pub use classify::Classifier;
 pub use energy::EnergyModel;

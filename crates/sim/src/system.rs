@@ -251,16 +251,20 @@ impl System {
     pub fn run(&mut self) {
         let target = self.warmup + self.measure;
         let mut last_progress = (0u64, 0 as Cycle);
+        // Scratch buffers reused across cycles (the tick loop allocates
+        // nothing in steady state).
+        let mut completions = Vec::new();
+        let mut events: Vec<CoreEvent> = Vec::new();
         loop {
             let now = self.now;
             self.hierarchy.tick(now);
             // Deliver memory completions to the owning cores.
-            let completions: Vec<_> = self.hierarchy.completions.drain(..).collect();
-            for (c, lq, gen, fill) in completions {
+            completions.clear();
+            completions.append(&mut self.hierarchy.completions);
+            for &(c, lq, gen, fill) in completions.iter() {
                 self.cores[c].core.complete_load(lq, gen, fill);
             }
             let mut all_done = true;
-            let mut events: Vec<CoreEvent> = Vec::new();
             for c in 0..self.cores.len() {
                 let st = &mut self.cores[c];
                 if st.total_retired() >= target {

@@ -759,7 +759,7 @@ mod tests {
         let k = &roster()[1]; // three components
         let t = k.generate(10_000);
         let mut bases = HashSet::new();
-        for i in &t.instrs {
+        for i in t.instrs.iter() {
             if let InstrKind::Load { addr, .. } = i.kind {
                 bases.insert(addr.raw() / COMPONENT_BASE);
             }

@@ -98,12 +98,17 @@ impl Instr {
 }
 
 /// A complete workload trace.
+///
+/// The instruction stream is a shared `Arc<[Instr]>`, so cloning a trace
+/// (e.g. handing it to every worker of an experiment sweep, or replaying
+/// it on core restart) shares one decoded copy instead of duplicating
+/// the stream per consumer.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     /// Human-readable trace name (e.g. `mcf_like_a`).
     pub name: String,
-    /// The committed instruction stream.
-    pub instrs: Vec<Instr>,
+    /// The committed instruction stream (shared, immutable once built).
+    pub instrs: std::sync::Arc<[Instr]>,
     /// Wrong-path loads: if the branch at index `i` *mispredicts* during
     /// simulation, the core transiently executes loads of these addresses
     /// and squashes them at branch resolve. Used by the Spectre security
@@ -117,7 +122,7 @@ impl Trace {
     pub fn new(name: impl Into<String>, instrs: Vec<Instr>) -> Self {
         Trace {
             name: name.into(),
-            instrs,
+            instrs: instrs.into(),
             wrong_path: BTreeMap::new(),
         }
     }

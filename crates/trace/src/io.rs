@@ -70,7 +70,7 @@ pub fn write_trace(mut writer: impl Write, trace: &Trace) -> io::Result<()> {
     put_u64(w, trace.wrong_path.len() as u64)?;
     put_u32(w, trace.name.len() as u32)?;
     w.write_all(trace.name.as_bytes())?;
-    for i in &trace.instrs {
+    for i in trace.instrs.iter() {
         assert!(
             i.ip.raw() <= u32::MAX as u64,
             "IP exceeds 32-bit compression"

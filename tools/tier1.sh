@@ -8,8 +8,8 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --check
 
-echo "== cargo clippy (deny warnings)"
-cargo clippy --offline --workspace --all-targets -- -D warnings
+echo "== cargo clippy (deny warnings, incl. perf lints)"
+cargo clippy --offline --workspace --all-targets -- -D warnings -D clippy::perf
 
 echo "== cargo clippy secpref-obs (deny warnings)"
 cargo clippy --offline -p secpref-obs --all-targets -- -D warnings
@@ -35,6 +35,13 @@ if [ -s "$stderr_file" ]; then
     cat "$stderr_file" >&2
     exit 1
 fi
+
+echo "== simbench smoke (benchmark harness stays runnable)"
+# One tiny iteration per cell: validates that the benchmark matrix still
+# builds and runs, that BENCH_simcore.json-shaped output parses, and that
+# the geomean is positive. Not a performance measurement.
+cargo build --release -p secpref-bench --bin simbench
+./target/release/simbench --smoke
 
 echo "== secpref-check fuzz (pinned seed, 2k-iteration budget)"
 # Deterministic fast check: differential golden models + invariant audit
