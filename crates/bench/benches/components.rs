@@ -78,7 +78,7 @@ fn main() {
     }
     for kind in PrefetcherKind::EVALUATED {
         let mut p = build(kind);
-        let mut out = Vec::new();
+        let mut out = secpref_prefetch::PfBuf::new();
         let mut i = 0u64;
         mb.bench(&format!("train_{}", kind.name()), move || {
             i += 1;

@@ -4,26 +4,47 @@
 //! Usage:
 //!
 //! ```text
-//! simbench [--smoke] [--out PATH] [--baseline GEOMEAN]
+//! simbench [--smoke] [--profile] [--guard PATH] [--out PATH] [--baseline GEOMEAN]
 //! ```
 //!
 //! - `--smoke`: tiny per-cell time budget, write to a scratch path, then
 //!   parse the artifact back and assert `geomean > 0` — the tier-1 CI
 //!   stage. Exits non-zero on any validation failure.
+//! - `--profile`: run the matrix once with the built-in phase profiler
+//!   and print the ranked wall-time-per-phase table instead of
+//!   benchmarking (see EXPERIMENTS.md, "Profiling the simulator").
+//! - `--guard PATH`: after measuring, compare the geomean against the
+//!   committed artifact at `PATH` and exit non-zero on a regression
+//!   beyond the guard band (the tier-1 perf tripwire). Set
+//!   `SECPREF_BENCH_SKIP_GUARD=1` to turn the comparison into a no-op
+//!   (noisy shared runners, intentional perf-neutral rewrites pending a
+//!   baseline regeneration — see EXPERIMENTS.md).
 //! - `--out PATH`: artifact path (default `BENCH_simcore.json`).
 //! - `--baseline GEOMEAN`: pre-change geomean sim-instr/sec to record in
 //!   the artifact (default: the committed [`simcore::BASELINE_GEOMEAN`]).
+
+/// A guard run fails when the measured geomean drops below this
+/// fraction of the committed artifact's geomean. Wide enough to absorb
+/// run-to-run noise at small time budgets, tight enough to catch a real
+/// hot-path regression (anything slower than ~1.4x-off trips it).
+const GUARD_BAND: f64 = 0.70;
 
 use secpref_bench::simcore;
 
 fn main() {
     let mut smoke = false;
+    let mut profile = false;
+    let mut guard: Option<String> = None;
     let mut out: Option<String> = None;
     let mut baseline = simcore::BASELINE_GEOMEAN;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--profile" => profile = true,
+            "--guard" => {
+                guard = Some(args.next().unwrap_or_else(|| die("--guard needs a path")));
+            }
             "--out" => {
                 out = Some(args.next().unwrap_or_else(|| die("--out needs a path")));
             }
@@ -37,6 +58,13 @@ fn main() {
             }
             other => die(&format!("unknown flag `{other}`")),
         }
+    }
+
+    if profile {
+        let report = simcore::run_profile();
+        println!("simbench: phase profile over the full matrix");
+        println!("{report}");
+        return;
     }
 
     if smoke && std::env::var_os("SECPREF_BENCH_MS").is_none() {
@@ -79,6 +107,32 @@ fn main() {
             Ok((geo, _, _)) => die(&format!("smoke failed: geomean {geo} not > 0")),
             Err(e) => die(&format!("smoke failed: {e}")),
         }
+    }
+
+    if let Some(guard_path) = guard {
+        if std::env::var_os("SECPREF_BENCH_SKIP_GUARD").is_some() {
+            println!("simbench: guard skipped (SECPREF_BENCH_SKIP_GUARD set)");
+            return;
+        }
+        let committed = std::fs::read_to_string(&guard_path)
+            .unwrap_or_else(|e| die(&format!("guard: reading {guard_path}: {e}")));
+        let (committed_geo, _, _) = simcore::parse_json(&committed)
+            .unwrap_or_else(|e| die(&format!("guard: parsing {guard_path}: {e}")));
+        if committed_geo <= 0.0 {
+            die(&format!("guard: committed geomean {committed_geo} not > 0"));
+        }
+        let ratio = geomean / committed_geo;
+        if ratio < GUARD_BAND {
+            die(&format!(
+                "guard: geomean {geomean:.0} is {ratio:.2}x of committed {committed_geo:.0} \
+                 (threshold {GUARD_BAND}) — simulator perf regression; if intentional, \
+                 regenerate BENCH_simcore.json per EXPERIMENTS.md or set \
+                 SECPREF_BENCH_SKIP_GUARD=1"
+            ));
+        }
+        println!(
+            "simbench: guard OK ({ratio:.2}x of committed {committed_geo:.0}, threshold {GUARD_BAND})"
+        );
     }
 }
 

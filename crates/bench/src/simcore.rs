@@ -26,12 +26,13 @@ pub const WARMUP: u64 = 10_000;
 pub const MEASURE: u64 = 40_000;
 
 /// Geomean sim-instructions/sec of this matrix measured at the last
-/// committed perf baseline (the tree state *before* the hot-path
-/// overhaul), on the reference runner. Regenerate per EXPERIMENTS.md
-/// ("Regenerating the simulator baseline") when the hardware or the
-/// matrix changes; the committed `BENCH_simcore.json` records both this
-/// number and the current measurement.
-pub const BASELINE_GEOMEAN: f64 = 354_681.0;
+/// committed perf baseline (the tree state *before* the prefetch-path
+/// overhaul and idle-cycle fast-forward — best-of-3 interleaved runs at
+/// `SECPREF_BENCH_MS=200`), on the reference runner. Regenerate per
+/// EXPERIMENTS.md ("Regenerating the simulator baseline") when the
+/// hardware or the matrix changes; the committed `BENCH_simcore.json`
+/// records both this number and the current measurement.
+pub const BASELINE_GEOMEAN: f64 = 763_516.0;
 
 /// One cell of the benchmark matrix.
 #[derive(Clone, Debug)]
@@ -45,14 +46,52 @@ pub struct CellResult {
 }
 
 /// The pinned configuration axis: label × config.
+///
+/// The matrix covers every distinct hot path: the two no-prefetch
+/// anchors, **all five** prefetchers on-access (non-secure), all five
+/// on-commit behind GhostMinion+SUF (the paper's secure configuration —
+/// and the slowest simulator cells, which is exactly why they are
+/// measured), and the TSB timely-secure variant.
 pub fn config_matrix() -> Vec<(&'static str, SystemConfig)> {
     vec![
         ("nonsecure/nopf", configs::nonsecure_nopref()),
+        (
+            "nonsecure/ip-stride-on-access",
+            configs::on_access_nonsecure(PrefetcherKind::IpStride),
+        ),
+        (
+            "nonsecure/ipcp-on-access",
+            configs::on_access_nonsecure(PrefetcherKind::Ipcp),
+        ),
+        (
+            "nonsecure/bingo-on-access",
+            configs::on_access_nonsecure(PrefetcherKind::Bingo),
+        ),
+        (
+            "nonsecure/spp-ppf-on-access",
+            configs::on_access_nonsecure(PrefetcherKind::SppPpf),
+        ),
         (
             "nonsecure/berti-on-access",
             configs::on_access_nonsecure(PrefetcherKind::Berti),
         ),
         ("ghostminion/nopf", configs::secure_nopref()),
+        (
+            "ghostminion+suf/ip-stride-on-commit",
+            configs::on_commit_suf(PrefetcherKind::IpStride),
+        ),
+        (
+            "ghostminion+suf/ipcp-on-commit",
+            configs::on_commit_suf(PrefetcherKind::Ipcp),
+        ),
+        (
+            "ghostminion+suf/bingo-on-commit",
+            configs::on_commit_suf(PrefetcherKind::Bingo),
+        ),
+        (
+            "ghostminion+suf/spp-ppf-on-commit",
+            configs::on_commit_suf(PrefetcherKind::SppPpf),
+        ),
         (
             "ghostminion+suf/berti-on-commit",
             configs::on_commit_suf(PrefetcherKind::Berti),
@@ -62,6 +101,13 @@ pub fn config_matrix() -> Vec<(&'static str, SystemConfig)> {
             configs::timely_secure_suf(PrefetcherKind::Berti),
         ),
     ]
+}
+
+/// Whether a matrix cell runs with a prefetcher enabled (the cells the
+/// prefetch-path optimisation targets; the speedup criterion is their
+/// geomean).
+pub fn is_prefetch_on(config_label: &str) -> bool {
+    !config_label.ends_with("/nopf")
 }
 
 /// The pinned trace axis: one representative per access-pattern class.
@@ -95,6 +141,33 @@ pub fn run_matrix() -> (Vec<CellResult>, f64) {
     mb.finish();
     let geomean = geomean(cells.iter().map(|c| c.instr_per_sec));
     (cells, geomean)
+}
+
+/// Runs one pass of the matrix with the phase profiler enabled and
+/// returns the aggregated wall-time attribution (`simbench --profile`).
+///
+/// Each cell simulates the full warm-up + measurement window exactly
+/// once (no repetition — profiling wants attribution, not variance
+/// control) and the per-cell profiles are merged into one ranked table.
+pub fn run_profile() -> secpref_sim::ProfileReport {
+    let window = WARMUP + MEASURE;
+    let mut agg = secpref_sim::ProfileReport::empty();
+    for (label, cfg) in config_matrix() {
+        for trace_name in trace_matrix() {
+            let trace = suite::cached_trace(trace_name, window as usize);
+            let mut sys = System::new(cfg.clone(), vec![trace])
+                .with_window(WARMUP, MEASURE)
+                .with_profiling();
+            sys.run();
+            let cell = sys.profile_report();
+            eprintln!(
+                "[profile] {label} x {trace_name}: {:.1} ms",
+                cell.total().as_secs_f64() * 1e3
+            );
+            agg.merge(&cell);
+        }
+    }
+    agg
 }
 
 /// Geometric mean of a positive sequence (0.0 when empty).

@@ -44,6 +44,19 @@ const PINNED: [(&str, u64); 13] = [
     ("ghostminion/always-update", 0x0ADC09B4DB6063FD),
 ];
 
+/// Expected FNV-1a-64 digest per timely-secure cell (TS-*/TSB + SUF —
+/// the paper's full proposal), one per prefetcher. These exercise the
+/// `TimelySecure`/`Tsb` wrappers, which own their own copies of the
+/// prefetcher hot structures and are therefore *also* guarded against
+/// the indexed rewrites.
+const PINNED_TS: [(&str, u64); 5] = [
+    ("ts+suf/IP-Stride", 0x2CC3DAEA2263F4F4),
+    ("ts+suf/IPCP", 0x5446C4E0883F2628),
+    ("ts+suf/Bingo", 0xA96AE928F487423F),
+    ("ts+suf/SPP+PPF", 0xE000C70D431F7D0B),
+    ("ts+suf/Berti", 0x02A5843DFDCB8DE2),
+];
+
 fn fnv1a64(data: &[u8], mut hash: u64) -> u64 {
     for &b in data {
         hash ^= u64::from(b);
@@ -82,6 +95,40 @@ fn report_digests_are_pinned() {
     assert!(
         mismatches.is_empty(),
         "report digests moved — simulator behavior changed.\n\
+         If intentional, re-pin:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn timely_secure_report_digests_are_pinned() {
+    use secpref_types::{PrefetchMode, PrefetcherKind, SecureMode, SystemConfig};
+    let kinds = [
+        PrefetcherKind::IpStride,
+        PrefetcherKind::Ipcp,
+        PrefetcherKind::Bingo,
+        PrefetcherKind::SppPpf,
+        PrefetcherKind::Berti,
+    ];
+    assert_eq!(kinds.len(), PINNED_TS.len());
+    let mut mismatches = Vec::new();
+    for (kind, &(label, expected)) in kinds.iter().zip(PINNED_TS.iter()) {
+        let cfg = SystemConfig::baseline(1)
+            .with_secure(SecureMode::GhostMinion)
+            .with_prefetcher(*kind)
+            .with_mode(PrefetchMode::OnCommit)
+            .with_timely_secure(true)
+            .with_suf(true);
+        let actual = cell_digest(&cfg);
+        if actual != expected {
+            mismatches.push(format!(
+                "    (\"{label}\", {actual:#018X}), // was {expected:#018X}"
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "timely-secure report digests moved — simulator behavior changed.\n\
          If intentional, re-pin:\n{}",
         mismatches.join("\n")
     );

@@ -12,8 +12,8 @@
 //! for SPP+PPF. Thresholds: 0.14 everywhere except Bingo's 0.05 (Bingo
 //! produces few late prefetches to begin with).
 
-use secpref_prefetch::{AccessEvent, Feedback, FillEvent, Prefetcher};
-use secpref_types::{PrefetchRequest, PrefetcherKind};
+use secpref_prefetch::{AccessEvent, Feedback, FillEvent, PfBuf, Prefetcher};
+use secpref_types::PrefetcherKind;
 
 /// Lateness threshold used by IP-stride, IPCP, and SPP+PPF.
 pub const LATENESS_THRESHOLD: f64 = 0.14;
@@ -139,7 +139,7 @@ impl Prefetcher for TimelySecure {
         self.inner.storage_bytes() + 16.0
     }
 
-    fn observe_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>) {
+    fn observe_access(&mut self, ev: &AccessEvent, out: &mut PfBuf) {
         self.accesses += 1;
         self.inner.observe_access(ev, out);
     }
@@ -246,9 +246,10 @@ mod tests {
         let mut ts = ts_stride();
         let base = ts.timeliness_knob();
         // Grow the distance with two late intervals of similar density.
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
         for _ in 0..3 {
             for i in 0..L1_INTERVAL {
+                out.clear();
                 ts.observe_access(&secpref_prefetch::simple_access(1, i, i, false), &mut out);
             }
             interval(&mut ts, L1_INTERVAL, 0.9);
@@ -256,6 +257,7 @@ mod tests {
         assert!(ts.timeliness_knob() > base);
         // New phase: the interval suddenly has 4× the accesses per miss.
         for i in 0..L1_INTERVAL * 8 {
+            out.clear();
             ts.observe_access(&secpref_prefetch::simple_access(1, i, i, false), &mut out);
         }
         interval(&mut ts, L1_INTERVAL, 0.9);

@@ -18,8 +18,7 @@
 //! instruction influences its tables; the X-LQ entry is private to its
 //! load and flushed on domain switches (Section V-C).
 
-use secpref_prefetch::{AccessEvent, BertiEngine, FillEvent, Prefetcher};
-use secpref_types::PrefetchRequest;
+use secpref_prefetch::{AccessEvent, BertiEngine, FillEvent, PfBuf, Prefetcher};
 
 /// Timely Secure Berti.
 ///
@@ -35,11 +34,13 @@ use secpref_types::PrefetchRequest;
 /// use secpref_types::{Ip, LineAddr};
 ///
 /// let mut tsb = Tsb::new();
-/// let mut out = Vec::new();
+/// let mut out = secpref_prefetch::PfBuf::new();
 /// // Loads of consecutive lines: access at t, commit at t+40,
 /// // true fetch latency 30 (X-LQ payload).
+/// let mut issued = 0;
 /// for i in 0..60u64 {
 ///     let access = i * 10;
+///     out.clear();
 ///     tsb.observe_access(&AccessEvent {
 ///         ip: Ip::new(0x4),
 ///         line: LineAddr::new(i),
@@ -50,8 +51,9 @@ use secpref_types::PrefetchRequest;
 ///         hit_prefetched: false,
 ///         mshr_free: 16,
 ///     }, &mut out);
+///     issued += out.len();
 /// }
-/// assert!(!out.is_empty(), "TSB learns timely deltas from commit events");
+/// assert!(issued > 0, "TSB learns timely deltas from commit events");
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Tsb {
@@ -86,7 +88,7 @@ impl Prefetcher for Tsb {
         secpref_prefetch::OnAccessBerti::new().storage_bytes() + Self::XLQ_STORAGE_BITS as f64 / 8.0
     }
 
-    fn observe_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>) {
+    fn observe_access(&mut self, ev: &AccessEvent, out: &mut PfBuf) {
         // The X-LQ valid bit is set only for L1D misses and hits on
         // prefetched lines; regular hits take no action at commit.
         let xlq_valid = !ev.hit || ev.hit_prefetched;
@@ -142,19 +144,22 @@ mod tests {
     #[test]
     fn fig8_tsb_learns_covering_delta() {
         let mut tsb = Tsb::new();
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
+        let mut issued = 0;
         for i in 0..50u64 {
             let access = i * 2;
             let commit = access + 4;
+            out.clear();
             tsb.observe_access(&commit_event(0x4, i, access, commit, 3, false), &mut out);
+            issued += out.len();
         }
-        assert!(!out.is_empty());
+        assert!(issued > 0);
         // Ask the engine for the learned deltas at a fresh trigger: a
         // prefetch issued at commit C@n arrives 3 cycles later, while
         // access A@(n+d) happens d*2 - 4 cycles after C@n — so only
         // deltas with 2d - 4 >= 3, i.e. d >= 4, are timely. The naive
         // commit-late +1 delta must be absent.
-        let mut fresh = Vec::new();
+        let mut fresh = PfBuf::new();
         tsb.engine()
             .prefetches(Ip::new(0x4), LineAddr::new(1000), 16, &mut fresh);
         assert!(!fresh.is_empty());
@@ -171,7 +176,7 @@ mod tests {
     #[test]
     fn regular_hits_take_no_action() {
         let mut tsb = Tsb::new();
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
         for i in 0..50u64 {
             tsb.observe_access(&commit_event(0x4, i, i * 2, i * 2 + 4, 3, true), &mut out);
         }
@@ -202,7 +207,7 @@ mod tests {
                 by_prefetch: false,
             });
         }
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
         tsb.engine
             .prefetches(Ip::new(0x4), LineAddr::new(100), 16, &mut out);
         assert!(out.is_empty());

@@ -287,6 +287,69 @@ impl Core {
         self.dispatch(now, mem);
     }
 
+    /// Earliest cycle strictly after `now` at which [`Core::tick`] could
+    /// do anything the caller cannot otherwise observe coming: retire
+    /// the ROB head, resolve a branch, issue a (possibly backpressured)
+    /// load, or dispatch. `Cycle::MAX` means the core is quiescent until
+    /// an external event ([`Core::complete_load`]) arrives.
+    ///
+    /// Skipping to the returned cycle is *exact*, not just safe: a
+    /// backpressured load keeps the wake at `now + 1` (it is retried —
+    /// and counted as an issue reject — every cycle), and loads waiting
+    /// on an unfinished producer report `MAX` because the completion
+    /// that unblocks them is itself a wake source for the caller.
+    pub fn next_wake(&self, now: Cycle) -> Cycle {
+        let mut wake = Cycle::MAX;
+        if let Some(head) = self.rob.front() {
+            wake = match head.kind {
+                RobKind::Alu | RobKind::Store { .. } => head.ready_at.max(now + 1),
+                RobKind::Load if self.lq[head.lq_id as usize].fill.is_some() => now + 1,
+                RobKind::Branch { resolved } if resolved => now + 1,
+                // Unfilled load / unresolved branch: unblocked by
+                // complete_load or the resolve_heap entry below.
+                _ => Cycle::MAX,
+            };
+        }
+        if wake == now + 1 {
+            return wake;
+        }
+        if let Some(&Reverse((at, ..))) = self.resolve_heap.peek() {
+            wake = wake.min(at.max(now + 1));
+        }
+        if self.lq_pending > 0 {
+            for e in &self.lq {
+                if !e.in_use || e.issued {
+                    continue;
+                }
+                let at = match e.dep_idx {
+                    Some(dep) => {
+                        let done = self.load_done_at[dep as usize];
+                        if done == NOT_DONE {
+                            continue; // wakes via the producer's completion
+                        }
+                        // issue_loads requires done < now, i.e. done + 1.
+                        e.ready_at.max(done + 1)
+                    }
+                    None => e.ready_at,
+                };
+                wake = wake.min(at.max(now + 1));
+                if wake == now + 1 {
+                    return wake;
+                }
+            }
+        }
+        if self.cursor < self.trace.instrs.len() && self.rob.len() < self.cfg.rob_entries {
+            let lq_blocked = self.lq_free.is_empty()
+                && matches!(self.trace.instrs[self.cursor].kind, InstrKind::Load { .. });
+            if !lq_blocked {
+                // ROB-full / LQ-full stalls clear on a retirement, which
+                // the head-of-ROB term above already tracks.
+                wake = wake.min(self.dispatch_stall_until.max(now + 1));
+            }
+        }
+        wake
+    }
+
     fn retire(&mut self, now: Cycle, events: &mut Vec<CoreEvent>) {
         for _ in 0..self.cfg.retire_width {
             let Some(head) = self.rob.front() else { break };

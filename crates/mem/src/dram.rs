@@ -26,6 +26,28 @@ struct Bank {
     ready_at: Cycle,
 }
 
+/// Per-bank FR-FCFS index over one request queue: ascending sequence
+/// numbers of the bank's queued requests (FCFS order), plus the subset
+/// that hits the bank's currently-open row. `hits` is rebuilt whenever
+/// the bank's open row changes and maintained incrementally otherwise,
+/// so the scheduler's pick is a scan over banks, not over the queue.
+#[derive(Clone, Debug, Default)]
+struct BankIndex {
+    seqs: VecDeque<u64>,
+    hits: VecDeque<u64>,
+}
+
+impl BankIndex {
+    /// Drops `seq` from both lists (the request left the queue).
+    fn remove(&mut self, seq: u64) {
+        let i = self.seqs.binary_search(&seq).expect("seq indexed");
+        self.seqs.remove(i);
+        if let Ok(i) = self.hits.binary_search(&seq) {
+            self.hits.remove(i);
+        }
+    }
+}
+
 /// Aggregate DRAM statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DramStats {
@@ -92,6 +114,14 @@ pub struct DramModel {
     /// Packed line addresses of `write_q`, in lockstep — the indexed
     /// duplicate-line probe behind write-queue forwarding.
     write_lines: VecDeque<u64>,
+    /// Monotonic per-request sequence numbers of `read_q` / `write_q`
+    /// entries, in lockstep (ascending, so seq → position is a binary
+    /// search), and the per-bank indexes built over them.
+    read_seqs: VecDeque<u64>,
+    write_seqs: VecDeque<u64>,
+    read_idx: Vec<BankIndex>,
+    write_idx: Vec<BankIndex>,
+    next_seq: u64,
     bus_free_at: Cycle,
     completions: BinaryHeap<Reverse<(Cycle, u64)>>,
     draining_writes: bool,
@@ -102,6 +132,7 @@ impl DramModel {
     /// Creates a controller with the given timing parameters.
     pub fn new(cfg: DramConfig) -> Self {
         let banks = vec![Bank::default(); cfg.banks.max(1)];
+        let nbanks = banks.len();
         DramModel {
             cfg,
             banks,
@@ -110,6 +141,11 @@ impl DramModel {
             write_q: VecDeque::new(),
             write_geo: VecDeque::new(),
             write_lines: VecDeque::new(),
+            read_seqs: VecDeque::new(),
+            write_seqs: VecDeque::new(),
+            read_idx: vec![BankIndex::default(); nbanks],
+            write_idx: vec![BankIndex::default(); nbanks],
+            next_seq: 0,
             bus_free_at: 0,
             completions: BinaryHeap::new(),
             draining_writes: false,
@@ -144,9 +180,17 @@ impl DramModel {
                 return Err(req);
             }
             let geo = self.bank_and_row(req.line);
+            let seq = self.next_seq;
+            self.next_seq += 1;
             self.write_q.push_back(req);
             self.write_geo.push_back(geo);
             self.write_lines.push_back(req.line.raw());
+            self.write_seqs.push_back(seq);
+            let bi = &mut self.write_idx[geo.0 as usize];
+            bi.seqs.push_back(seq);
+            if self.banks[geo.0 as usize].open_row == Some(geo.1) {
+                bi.hits.push_back(seq);
+            }
         } else {
             let raw = req.line.raw();
             if self.write_lines.iter().any(|&l| l == raw) {
@@ -159,8 +203,16 @@ impl DramModel {
                 return Err(req);
             }
             let geo = self.bank_and_row(req.line);
+            let seq = self.next_seq;
+            self.next_seq += 1;
             self.read_q.push_back(req);
             self.read_geo.push_back(geo);
+            self.read_seqs.push_back(seq);
+            let bi = &mut self.read_idx[geo.0 as usize];
+            bi.seqs.push_back(seq);
+            if self.banks[geo.0 as usize].open_row == Some(geo.1) {
+                bi.hits.push_back(seq);
+            }
         }
         Ok(())
     }
@@ -175,10 +227,37 @@ impl DramModel {
         self.stats
     }
 
-    /// FR-FCFS pick over a queue's precomputed `(bank, row)` geometry:
-    /// the oldest row-hit whose bank is ready, else the oldest request
-    /// with a ready bank.
-    fn pick(&self, geo: &VecDeque<(u32, u64)>, now: Cycle) -> Option<usize> {
+    /// FR-FCFS pick over a queue's per-bank index: the oldest row-hit
+    /// whose bank is ready, else the oldest request with a ready bank —
+    /// a scan over the banks (each list head is its bank's oldest
+    /// request) instead of over the whole queue, with the winner's queue
+    /// position recovered by binary search on the ascending seq array.
+    fn pick(&self, idx: &[BankIndex], seqs: &VecDeque<u64>, now: Cycle) -> Option<usize> {
+        let mut best_hit: Option<u64> = None;
+        let mut best_any: Option<u64> = None;
+        for (b, bi) in idx.iter().enumerate() {
+            if self.banks[b].ready_at > now {
+                continue;
+            }
+            if let Some(&s) = bi.hits.front() {
+                if best_hit.is_none_or(|c| s < c) {
+                    best_hit = Some(s);
+                }
+            }
+            if let Some(&s) = bi.seqs.front() {
+                if best_any.is_none_or(|c| s < c) {
+                    best_any = Some(s);
+                }
+            }
+        }
+        let target = best_hit.or(best_any)?;
+        Some(seqs.binary_search(&target).expect("seq in queue"))
+    }
+
+    /// The pre-index linear scan, kept as the debug-mode oracle: every
+    /// `tick` in a debug build asserts the indexed pick matches it.
+    #[cfg(debug_assertions)]
+    fn pick_linear(&self, geo: &VecDeque<(u32, u64)>, now: Cycle) -> Option<usize> {
         let mut oldest_ready: Option<usize> = None;
         for (i, &(b, row)) in geo.iter().enumerate() {
             let bank = &self.banks[b as usize];
@@ -195,8 +274,27 @@ impl DramModel {
         oldest_ready
     }
 
+    /// Refills bank `b`'s row-hit lists after its open row changed.
+    fn rebuild_hits(&mut self, b: u32, row: u64) {
+        let bi = &mut self.read_idx[b as usize];
+        bi.hits.clear();
+        for (g, &s) in self.read_geo.iter().zip(self.read_seqs.iter()) {
+            if *g == (b, row) {
+                bi.hits.push_back(s);
+            }
+        }
+        let bi = &mut self.write_idx[b as usize];
+        bi.hits.clear();
+        for (g, &s) in self.write_geo.iter().zip(self.write_seqs.iter()) {
+            if *g == (b, row) {
+                bi.hits.push_back(s);
+            }
+        }
+    }
+
     fn service(&mut self, req: DramRequest, b: u32, row: u64, now: Cycle) {
         let bank = &mut self.banks[b as usize];
+        let row_changed = bank.open_row != Some(row);
         // Access latency is when the data appears; bank *occupancy* is
         // shorter — column accesses pipeline behind an open row (t_ccd),
         // while activates hold the bank until the row is open.
@@ -223,6 +321,9 @@ impl DramModel {
         self.bus_free_at = done;
         bank.ready_at = now + busy;
         bank.open_row = Some(row);
+        if row_changed {
+            self.rebuild_hits(b, row);
+        }
         if req.is_write {
             self.stats.writes += 1;
         } else {
@@ -248,16 +349,34 @@ impl DramModel {
         let use_writes =
             self.draining_writes || (self.read_q.is_empty() && !self.write_q.is_empty());
         let picked = if use_writes {
-            self.pick(&self.write_geo, now).map(|i| {
+            let i = self.pick(&self.write_idx, &self.write_seqs, now);
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                i,
+                self.pick_linear(&self.write_geo, now),
+                "indexed FR-FCFS must match the linear scan"
+            );
+            i.map(|i| {
                 let req = self.write_q.remove(i).expect("index in range");
                 let geo = self.write_geo.remove(i).expect("index in range");
                 self.write_lines.remove(i).expect("index in range");
+                let seq = self.write_seqs.remove(i).expect("index in range");
+                self.write_idx[geo.0 as usize].remove(seq);
                 (req, geo)
             })
         } else {
-            self.pick(&self.read_geo, now).map(|i| {
+            let i = self.pick(&self.read_idx, &self.read_seqs, now);
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                i,
+                self.pick_linear(&self.read_geo, now),
+                "indexed FR-FCFS must match the linear scan"
+            );
+            i.map(|i| {
                 let req = self.read_q.remove(i).expect("index in range");
                 let geo = self.read_geo.remove(i).expect("index in range");
+                let seq = self.read_seqs.remove(i).expect("index in range");
+                self.read_idx[geo.0 as usize].remove(seq);
                 (req, geo)
             })
         };
@@ -272,6 +391,32 @@ impl DramModel {
             self.completions.pop();
             completed.push((tok, c));
         }
+    }
+
+    /// Earliest cycle strictly after `now` at which [`DramModel::tick`]
+    /// could do anything: deliver a completion, or pick a queued request
+    /// once its bank turns ready. `Cycle::MAX` when fully idle. May be
+    /// conservatively early (e.g. a bank turns ready but the scheduler
+    /// is in the other drain mode) — safe, because `tick` is a no-op
+    /// when nothing is pickable or completable.
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        let mut at = Cycle::MAX;
+        if let Some(&Reverse((c, _))) = self.completions.peek() {
+            at = c.max(now + 1);
+        }
+        if self.pending() > 0 {
+            for (b, bank) in self.banks.iter().enumerate() {
+                if self.read_idx[b].seqs.front().is_some()
+                    || self.write_idx[b].seqs.front().is_some()
+                {
+                    at = at.min(bank.ready_at.max(now + 1));
+                    if at == now + 1 {
+                        break;
+                    }
+                }
+            }
+        }
+        at
     }
 }
 
@@ -532,6 +677,38 @@ mod tests {
     mod props {
         use super::*;
         use secpref_types::rng::Xoshiro256ss;
+
+        /// Stresses the per-bank FR-FCFS index against the linear-scan
+        /// oracle (the `debug_assert_eq!` inside `tick`): mixed reads
+        /// and writes arriving over time, hot rows forcing row hits,
+        /// scattered lines forcing conflicts and open-row rebuilds.
+        #[test]
+        fn indexed_pick_matches_linear_oracle_under_stress() {
+            for seed in 0..32u64 {
+                let mut rng = Xoshiro256ss::seed_from_u64(seed);
+                let mut dram = DramModel::new(DramConfig::default());
+                let mut out = Vec::new();
+                let mut token = 0u64;
+                for now in 0..20_000u64 {
+                    if rng.gen_index(3) == 0 {
+                        // Half the traffic reuses a handful of hot rows.
+                        let line = if rng.gen_flip() {
+                            rng.gen_u64(4) * 4096 + rng.gen_u64(32)
+                        } else {
+                            rng.gen_u64(1_000_000)
+                        };
+                        token += 1;
+                        let _ = dram.enqueue(DramRequest {
+                            line: LineAddr::new(line),
+                            is_write: rng.gen_flip(),
+                            token,
+                            arrival: now,
+                        });
+                    }
+                    dram.tick(now, &mut out);
+                }
+            }
+        }
 
         /// Every read that enters the controller eventually completes,
         /// exactly once, with completion >= arrival.

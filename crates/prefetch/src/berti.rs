@@ -16,7 +16,7 @@
 //! misleading 1-cycle GM→L1D commit-write latency — the paper's Fig. 8
 //! pathology).
 
-use crate::{AccessEvent, FillEvent, Prefetcher};
+use crate::{AccessEvent, FillEvent, PfBuf, Prefetcher};
 use secpref_types::{Cycle, Ip, LineAddr, PrefetchRequest};
 
 const HISTORY_SIZE: usize = 128;
@@ -39,7 +39,6 @@ const DEDUP_SCAN: usize = 8;
 #[derive(Clone, Copy, Debug, Default)]
 struct HistEntry {
     valid: bool,
-    ip_tag: u32,
     line: LineAddr,
     /// The time this access could have triggered a prefetch.
     trigger_time: Cycle,
@@ -54,7 +53,6 @@ struct DeltaStat {
 #[derive(Clone, Copy, Debug, Default)]
 struct DeltaEntry {
     valid: bool,
-    ip_tag: u32,
     deltas: [DeltaStat; DELTAS_PER_ENTRY],
     searches: u8,
     lru: u64,
@@ -65,7 +63,7 @@ struct DeltaEntry {
 /// # Examples
 ///
 /// ```
-/// use secpref_prefetch::BertiEngine;
+/// use secpref_prefetch::{BertiEngine, PfBuf};
 /// use secpref_types::{Ip, LineAddr};
 ///
 /// let mut e = BertiEngine::new();
@@ -77,15 +75,21 @@ struct DeltaEntry {
 ///     e.record_access(ip, LineAddr::new(i), t);
 ///     e.train(ip, LineAddr::new(i), t, 35);
 /// }
-/// let mut out = Vec::new();
+/// let mut out = PfBuf::new();
 /// e.prefetches(ip, LineAddr::new(40), 16, &mut out);
 /// assert!(out.iter().all(|r| r.line.raw() >= 44), "learned timely delta");
 /// ```
 #[derive(Clone, Debug)]
 pub struct BertiEngine {
     history: Vec<HistEntry>,
+    /// Packed ip-tags parallel to `history`: the full-depth search in
+    /// [`Self::train`] touches 4 bytes per slot instead of a whole
+    /// entry, only loading entries whose tag matches.
+    hist_tags: Vec<u32>,
     head: usize,
     table: Vec<DeltaEntry>,
+    /// Packed ip-tags parallel to `table` (same trick for row lookup).
+    table_tags: Vec<u32>,
     lru_clock: u64,
 }
 
@@ -100,8 +104,10 @@ impl BertiEngine {
     pub fn new() -> Self {
         BertiEngine {
             history: vec![HistEntry::default(); HISTORY_SIZE],
+            hist_tags: vec![0; HISTORY_SIZE],
             head: 0,
             table: vec![DeltaEntry::default(); DELTA_TABLE_SIZE],
+            table_tags: vec![0; DELTA_TABLE_SIZE],
             lru_clock: 0,
         }
     }
@@ -120,17 +126,21 @@ impl BertiEngine {
         // history and shrink its effective depth; keep the earliest entry
         // (the earliest prefetch-trigger opportunity).
         for k in 1..=DEDUP_SCAN {
-            let h = &self.history[(self.head + HISTORY_SIZE - k) % HISTORY_SIZE];
-            if h.valid && h.ip_tag == tag && h.line == line {
+            let i = (self.head + HISTORY_SIZE - k) % HISTORY_SIZE;
+            if self.hist_tags[i] != tag {
+                continue;
+            }
+            let h = &self.history[i];
+            if h.valid && h.line == line {
                 return;
             }
         }
         self.history[self.head] = HistEntry {
             valid: true,
-            ip_tag: tag,
             line,
             trigger_time,
         };
+        self.hist_tags[self.head] = tag;
         self.head = (self.head + 1) % HISTORY_SIZE;
     }
 
@@ -144,8 +154,12 @@ impl BertiEngine {
         // Scan newest → oldest: the nearest timely access yields the
         // smallest (most reusable) delta, as in the Berti hardware search.
         for k in 1..=HISTORY_SIZE {
-            let h = &self.history[(self.head + HISTORY_SIZE - k) % HISTORY_SIZE];
-            if !h.valid || h.ip_tag != tag || h.line == line {
+            let i = (self.head + HISTORY_SIZE - k) % HISTORY_SIZE;
+            if self.hist_tags[i] != tag {
+                continue;
+            }
+            let h = &self.history[i];
+            if !h.valid || h.line == line {
                 continue;
             }
             if h.trigger_time + latency as Cycle > need_time {
@@ -187,15 +201,25 @@ impl BertiEngine {
     }
 
     fn bump_search(&mut self, tag: u32) {
-        if let Some(e) = self.table.iter_mut().find(|e| e.valid && e.ip_tag == tag) {
-            e.searches = e.searches.saturating_add(1);
+        if let Some(i) = self.table_idx(tag) {
+            self.table[i].searches = self.table[i].searches.saturating_add(1);
         }
+    }
+
+    /// Row lookup through the packed tag array; a tag match is confirmed
+    /// against the entry's valid bit (valid rows have unique tags).
+    #[inline]
+    fn table_idx(&self, tag: u32) -> Option<usize> {
+        self.table_tags
+            .iter()
+            .enumerate()
+            .find_map(|(i, &t)| (t == tag && self.table[i].valid).then_some(i))
     }
 
     fn entry_mut(&mut self, tag: u32) -> &mut DeltaEntry {
         self.lru_clock += 1;
         let clock = self.lru_clock;
-        if let Some(i) = self.table.iter().position(|e| e.valid && e.ip_tag == tag) {
+        if let Some(i) = self.table_idx(tag) {
             self.table[i].lru = clock;
             return &mut self.table[i];
         }
@@ -208,42 +232,57 @@ impl BertiEngine {
             .expect("delta table nonempty");
         self.table[victim] = DeltaEntry {
             valid: true,
-            ip_tag: tag,
             deltas: [DeltaStat::default(); DELTAS_PER_ENTRY],
             searches: 0,
             lru: clock,
         };
+        self.table_tags[victim] = tag;
         &mut self.table[victim]
     }
 
     /// Issues prefetch requests for the trigger (`ip`, `line`):
     /// high-coverage deltas go to L1D (demoted to L2 under MSHR
     /// pressure), medium-coverage deltas to L2.
-    pub fn prefetches(
-        &self,
-        ip: Ip,
-        line: LineAddr,
-        mshr_free: usize,
-        out: &mut Vec<PrefetchRequest>,
-    ) {
+    pub fn prefetches(&self, ip: Ip, line: LineAddr, mshr_free: usize, out: &mut PfBuf) {
         let tag = Self::ip_tag(ip);
-        let Some(e) = self.table.iter().find(|e| e.valid && e.ip_tag == tag) else {
+        let Some(ei) = self.table_idx(tag) else {
             return;
         };
+        let e = &self.table[ei];
         if e.searches < MIN_SEARCHES {
             return;
         }
-        // Highest-coverage deltas first, bounded by PQ bandwidth.
-        let mut ranked: Vec<(u32, i32)> = e
-            .deltas
-            .iter()
-            .filter(|s| s.count > 0 && s.delta != 0)
-            .map(|s| (s.count as u32 * 100 / e.searches.max(1) as u32, s.delta))
-            .filter(|(cov, _)| *cov >= L2_COVERAGE)
-            .collect();
-        ranked.sort_unstable_by(|a, b| b.cmp(a));
-        ranked.truncate(MAX_PF_PER_TRIGGER);
-        for (coverage, delta) in ranked {
+        // Highest-coverage deltas first, bounded by PQ bandwidth:
+        // a fixed-size insertion-ranked array (no allocation). The
+        // (coverage, delta) keys are unique — among live slots a delta
+        // appears at most once — so descending insertion order is the
+        // exact order the old sort produced.
+        let mut ranked = [(0u32, 0i32); MAX_PF_PER_TRIGGER];
+        let mut n = 0usize;
+        for s in &e.deltas {
+            if s.count == 0 || s.delta == 0 {
+                continue;
+            }
+            let cov = s.count as u32 * 100 / e.searches.max(1) as u32;
+            if cov < L2_COVERAGE {
+                continue;
+            }
+            let cand = (cov, s.delta);
+            if n == MAX_PF_PER_TRIGGER {
+                if cand <= ranked[n - 1] {
+                    continue;
+                }
+                n -= 1;
+            }
+            let mut i = n;
+            while i > 0 && ranked[i - 1] < cand {
+                ranked[i] = ranked[i - 1];
+                i -= 1;
+            }
+            ranked[i] = cand;
+            n += 1;
+        }
+        for &(coverage, delta) in &ranked[..n] {
             let target = line.offset(delta as i64);
             if coverage >= L1D_COVERAGE {
                 if mshr_free > MSHR_SLACK {
@@ -299,7 +338,7 @@ impl Prefetcher for OnAccessBerti {
             / 8.0
     }
 
-    fn observe_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>) {
+    fn observe_access(&mut self, ev: &AccessEvent, out: &mut PfBuf) {
         // A hit on a prefetched line trains with the latency the prefetch
         // experienced (stored alongside the L1D line).
         if ev.hit && ev.hit_prefetched && ev.fetch_latency > 0 {
@@ -333,7 +372,7 @@ mod tests {
             e.record_access(ip, LineAddr::new(100 + i), t);
             e.train(ip, LineAddr::new(100 + i), t, 35);
         }
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
         e.prefetches(ip, LineAddr::new(200), 16, &mut out);
         assert!(!out.is_empty());
         for r in &out {
@@ -354,7 +393,7 @@ mod tests {
             e.record_access(ip, LineAddr::new(i), t);
             e.train(ip, LineAddr::new(i), t, 5);
         }
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
         e.prefetches(ip, LineAddr::new(100), 16, &mut out);
         assert!(
             out.iter().any(|r| r.line.raw() == 101),
@@ -375,7 +414,7 @@ mod tests {
             naive.record_access(ip, LineAddr::new(i), commit_t);
             naive.train(ip, LineAddr::new(i), commit_t, 1);
         }
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
         naive.prefetches(ip, LineAddr::new(50), 16, &mut out);
         assert!(out.iter().any(|r| r.line.raw() == 51), "naive learns +1");
 
@@ -388,7 +427,7 @@ mod tests {
             tsb.record_access(ip, LineAddr::new(i), commit_t);
             tsb.train(ip, LineAddr::new(i), access_t, 3);
         }
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
         tsb.prefetches(ip, LineAddr::new(50), 16, &mut out);
         assert!(
             out.iter().all(|r| r.line.raw() >= 52),
@@ -405,9 +444,9 @@ mod tests {
             e.record_access(ip, LineAddr::new(i), i * 20);
             e.train(ip, LineAddr::new(i), i * 20, 5);
         }
-        let mut relaxed = Vec::new();
+        let mut relaxed = PfBuf::new();
         e.prefetches(ip, LineAddr::new(100), 16, &mut relaxed);
-        let mut pressured = Vec::new();
+        let mut pressured = PfBuf::new();
         e.prefetches(ip, LineAddr::new(100), 1, &mut pressured);
         assert!(relaxed
             .iter()
@@ -420,7 +459,7 @@ mod tests {
     #[test]
     fn irregular_stream_stays_quiet() {
         let mut p = OnAccessBerti::new();
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
         let lines = [7u64, 91234, 33, 5555, 12, 987_654, 4, 777];
         for (i, &l) in lines.iter().enumerate() {
             p.observe_access(&simple_access(0x4, l, i as u64 * 50, false), &mut out);
@@ -438,10 +477,13 @@ mod tests {
     #[test]
     fn prefetcher_wrapper_trains_on_fills() {
         let mut p = OnAccessBerti::new();
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
+        let mut issued = 0;
         for i in 0..80u64 {
             let t = i * 10;
+            out.clear();
             p.observe_access(&simple_access(0x4, 1000 + i, t, false), &mut out);
+            issued += out.len();
             p.observe_fill(&FillEvent {
                 line: LineAddr::new(1000 + i),
                 ip: Ip::new(0x4),
@@ -450,6 +492,6 @@ mod tests {
                 by_prefetch: false,
             });
         }
-        assert!(!out.is_empty(), "stream with stable latency must prefetch");
+        assert!(issued > 0, "stream with stable latency must prefetch");
     }
 }

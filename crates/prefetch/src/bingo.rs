@@ -9,7 +9,7 @@
 //! full trigger address) is tried first; on a long-key miss the short key
 //! (trigger PC and in-region offset) generalizes across regions.
 
-use crate::{AccessEvent, FillEvent, Prefetcher};
+use crate::{min_idx, AccessEvent, FillEvent, PfBuf, Prefetcher};
 use secpref_types::{Ip, LineAddr, PrefetchRequest};
 
 const FT_SIZE: usize = 64;
@@ -21,11 +21,9 @@ const REGION_LINES: u64 = 32;
 
 #[derive(Clone, Copy, Debug, Default)]
 struct FtEntry {
-    region: u64,
     ip: u64,
     offset: u32,
     valid: bool,
-    lru: u64,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -35,7 +33,6 @@ struct AtEntry {
     offset: u32,
     bitmap: u32,
     valid: bool,
-    lru: u64,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -50,23 +47,35 @@ struct PhtEntry {
 /// # Examples
 ///
 /// ```
-/// use secpref_prefetch::{Bingo, Prefetcher, simple_access};
+/// use secpref_prefetch::{Bingo, PfBuf, Prefetcher, simple_access};
 ///
 /// let mut p = Bingo::new();
-/// let mut out = Vec::new();
+/// let mut out = PfBuf::new();
 /// // Visit many regions with the same footprint {0,1,4} from IP 0x9;
 /// // footprints commit to the PHT as regions age out of the AT.
+/// let mut predicted = 0;
 /// for r in 0..170u64 {
 ///     for off in [0u64, 1, 4] {
+///         out.clear();
 ///         p.observe_access(&simple_access(0x9, r * 32 + off, r, false), &mut out);
+///         predicted += out.len();
 ///     }
 /// }
-/// assert!(!out.is_empty(), "recurring footprint gets predicted");
+/// assert!(predicted > 0, "recurring footprint gets predicted");
 /// ```
 #[derive(Clone, Debug)]
 pub struct Bingo {
     ft: Vec<FtEntry>,
     at: Vec<AtEntry>,
+    /// Packed region keys parallel to `ft`/`at`: the per-access match
+    /// scans touch 8 bytes per slot, loading an entry only to confirm
+    /// its valid bit on a key match (valid regions are unique per
+    /// table).
+    ft_regions: Vec<u64>,
+    at_regions: Vec<u64>,
+    /// Packed LRU stamps (0 = invalid slot) for the victim scans.
+    ft_lru: Vec<u64>,
+    at_lru: Vec<u64>,
     pht_long: Vec<PhtEntry>,
     pht_short: Vec<PhtEntry>,
     lru_clock: u64,
@@ -89,6 +98,10 @@ impl Bingo {
         Bingo {
             ft: vec![FtEntry::default(); FT_SIZE],
             at: vec![AtEntry::default(); AT_SIZE],
+            ft_regions: vec![0; FT_SIZE],
+            at_regions: vec![0; AT_SIZE],
+            ft_lru: vec![0; FT_SIZE],
+            at_lru: vec![0; AT_SIZE],
             pht_long: vec![PhtEntry::default(); PHT_SIZE],
             pht_short: vec![PhtEntry::default(); PHT_SIZE],
             lru_clock: 0,
@@ -154,7 +167,7 @@ impl Bingo {
         skip_offset: Option<u32>,
         footprint: u32,
         ip: Ip,
-        out: &mut Vec<PrefetchRequest>,
+        out: &mut PfBuf,
     ) {
         for bit in 0..REGION_LINES as u32 {
             if footprint & (1 << bit) == 0 {
@@ -179,7 +192,7 @@ impl Prefetcher for Bingo {
         (2.0 * PHT_SIZE as f64 * 60.0 + FT_SIZE as f64 * 90.0 + AT_SIZE as f64 * 120.0) / 8.0
     }
 
-    fn observe_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>) {
+    fn observe_access(&mut self, ev: &AccessEvent, out: &mut PfBuf) {
         self.lru_clock += 1;
         let region = ev.line.raw() / REGION_LINES;
         let offset = (ev.line.raw() % REGION_LINES) as u32;
@@ -189,22 +202,31 @@ impl Prefetcher for Bingo {
         }
 
         // Accumulating?
-        if let Some(a) = self.at.iter_mut().find(|a| a.valid && a.region == region) {
-            a.bitmap |= 1 << offset;
-            a.lru = self.lru_clock;
+        let mut at_hit = None;
+        for (i, &r) in self.at_regions.iter().enumerate() {
+            if r == region && self.at[i].valid {
+                at_hit = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = at_hit {
+            self.at[i].bitmap |= 1 << offset;
+            self.at_lru[i] = self.lru_clock;
             return;
         }
         // Second access to a filtered region: move FT → AT.
-        if let Some(fi) = self.ft.iter().position(|f| f.valid && f.region == region) {
+        let mut ft_hit = None;
+        for (i, &r) in self.ft_regions.iter().enumerate() {
+            if r == region && self.ft[i].valid {
+                ft_hit = Some(i);
+                break;
+            }
+        }
+        if let Some(fi) = ft_hit {
             let f = self.ft[fi];
             self.ft[fi].valid = false;
-            let victim_idx = self
-                .at
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, a)| if a.valid { a.lru } else { 0 })
-                .map(|(i, _)| i)
-                .expect("AT nonempty");
+            self.ft_lru[fi] = 0;
+            let victim_idx = min_idx(&self.at_lru);
             let victim = self.at[victim_idx];
             if victim.valid {
                 self.commit_footprint(victim);
@@ -215,25 +237,20 @@ impl Prefetcher for Bingo {
                 offset: f.offset,
                 bitmap: (1 << f.offset) | (1 << offset),
                 valid: true,
-                lru: self.lru_clock,
             };
+            self.at_regions[victim_idx] = region;
+            self.at_lru[victim_idx] = self.lru_clock;
             return;
         }
         // Trigger access to a brand-new region: allocate FT and predict.
-        let victim_idx = self
-            .ft
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, f)| if f.valid { f.lru } else { 0 })
-            .map(|(i, _)| i)
-            .expect("FT nonempty");
+        let victim_idx = min_idx(&self.ft_lru);
         self.ft[victim_idx] = FtEntry {
-            region,
             ip: ev.ip.raw(),
             offset,
             valid: true,
-            lru: self.lru_clock,
         };
+        self.ft_regions[victim_idx] = region;
+        self.ft_lru[victim_idx] = self.lru_clock;
         if let Some(fp) = self.predict(ev.ip.raw(), ev.line.raw(), offset) {
             self.issue_footprint(region, Some(offset), fp, ev.ip, out);
             // TS-Bingo tempo: prefetch the same predicted footprint for
@@ -261,23 +278,28 @@ mod tests {
     use super::*;
     use crate::simple_access;
 
-    /// Touch `footprint` offsets of `region` with trigger ip.
-    fn visit(p: &mut Bingo, ip: u64, region: u64, offsets: &[u64], out: &mut Vec<PrefetchRequest>) {
+    /// Touch `footprint` offsets of `region` with trigger ip, discarding
+    /// any predictions made along the way.
+    fn visit(p: &mut Bingo, ip: u64, region: u64, offsets: &[u64]) {
+        let mut scratch = PfBuf::new();
         for &o in offsets {
-            p.observe_access(&simple_access(ip, region * 32 + o, region, false), out);
+            scratch.clear();
+            p.observe_access(
+                &simple_access(ip, region * 32 + o, region, false),
+                &mut scratch,
+            );
         }
     }
 
     #[test]
     fn recurring_footprint_predicted_for_new_region() {
         let mut p = Bingo::new();
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
         // Footprints commit to the PHT when regions leave the AT, so
         // visit more regions than the AT holds.
         for r in 0..(AT_SIZE as u64 + 40) {
-            visit(&mut p, 0x5, r, &[3, 4, 9, 20], &mut out);
+            visit(&mut p, 0x5, r, &[3, 4, 9, 20]);
         }
-        out.clear();
         // New region, same trigger PC+offset: short key should hit.
         p.observe_access(&simple_access(0x5, 5000 * 32 + 3, 999, false), &mut out);
         let offs: Vec<u64> = out.iter().map(|r| r.line.raw() % 32).collect();
@@ -292,11 +314,10 @@ mod tests {
     #[test]
     fn prefetches_target_l2() {
         let mut p = Bingo::new();
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
         for r in 0..(AT_SIZE as u64 + 40) {
-            visit(&mut p, 0x5, r, &[1, 2], &mut out);
+            visit(&mut p, 0x5, r, &[1, 2]);
         }
-        out.clear();
         p.observe_access(&simple_access(0x5, 500 * 32 + 1, 999, false), &mut out);
         assert!(!out.is_empty());
         assert!(out
@@ -307,28 +328,26 @@ mod tests {
     #[test]
     fn single_access_regions_not_learned() {
         let mut p = Bingo::new();
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
         // 200 regions touched exactly once each.
         for r in 0..200 {
-            visit(&mut p, 0x7, r, &[5], &mut out);
+            visit(&mut p, 0x7, r, &[5]);
         }
-        out.clear();
         p.observe_access(&simple_access(0x7, 1000 * 32 + 5, 999, false), &mut out);
         assert!(out.is_empty(), "no footprint should exist");
     }
 
     #[test]
     fn lookahead_knob_prefetches_future_regions() {
-        let mut base_out = Vec::new();
         let mut p = Bingo::new();
         for r in 0..(AT_SIZE as u64 + 40) {
-            visit(&mut p, 0x5, r, &[2, 6, 7], &mut base_out);
+            visit(&mut p, 0x5, r, &[2, 6, 7]);
         }
-        let mut out0 = Vec::new();
+        let mut out0 = PfBuf::new();
         let mut p0 = p.clone();
         p0.observe_access(&simple_access(0x5, 5000 * 32 + 2, 999, false), &mut out0);
 
-        let mut out2 = Vec::new();
+        let mut out2 = PfBuf::new();
         p.set_timeliness_knob(2);
         p.observe_access(&simple_access(0x5, 5000 * 32 + 2, 999, false), &mut out2);
         assert!(
@@ -342,18 +361,17 @@ mod tests {
     #[test]
     fn long_key_beats_short_key() {
         let mut p = Bingo::new();
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
         // Region 7 gets a specific footprint under trigger (ip, full addr).
-        visit(&mut p, 0x9, 7, &[0, 10, 11], &mut out);
+        visit(&mut p, 0x9, 7, &[0, 10, 11]);
         // Many other regions (same ip, same offset 0) get a different one.
         for r in 100..130 {
-            visit(&mut p, 0x9, r, &[0, 1], &mut out);
+            visit(&mut p, 0x9, r, &[0, 1]);
         }
         // Force region 7's AT entry out by filling the AT.
         for r in 200..(200 + AT_SIZE as u64 + 4) {
-            visit(&mut p, 0x9, r, &[0, 1], &mut out);
+            visit(&mut p, 0x9, r, &[0, 1]);
         }
-        out.clear();
         // Re-trigger region 7 at offset 0: the long key (exact address)
         // should recall {10, 11}, not the generic {1}.
         p.observe_access(&simple_access(0x9, 7 * 32, 9999, false), &mut out);

@@ -1,7 +1,7 @@
 //! The classic IP-stride prefetcher (the Intel/AMD L1D prefetcher of the
 //! paper's Table III: 1024 entries, 8 KB).
 
-use crate::{AccessEvent, FillEvent, Prefetcher};
+use crate::{AccessEvent, FillEvent, PfBuf, Prefetcher};
 use secpref_types::PrefetchRequest;
 
 const TABLE_SIZE: usize = 1024;
@@ -24,10 +24,10 @@ struct Entry {
 /// # Examples
 ///
 /// ```
-/// use secpref_prefetch::{IpStride, Prefetcher, simple_access};
+/// use secpref_prefetch::{IpStride, PfBuf, Prefetcher, simple_access};
 ///
 /// let mut p = IpStride::new();
-/// let mut out = Vec::new();
+/// let mut out = PfBuf::new();
 /// for i in 0..8u64 {
 ///     p.observe_access(&simple_access(0x400, 100 + 2 * i, i, false), &mut out);
 /// }
@@ -75,7 +75,7 @@ impl Prefetcher for IpStride {
         TABLE_SIZE as f64 * 8.0
     }
 
-    fn observe_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>) {
+    fn observe_access(&mut self, ev: &AccessEvent, out: &mut PfBuf) {
         let (idx, tag) = Self::index(ev.ip.raw());
         let e = &mut self.table[idx];
         if !e.valid || e.tag != tag {
@@ -125,11 +125,14 @@ mod tests {
     use crate::simple_access;
 
     fn drive(p: &mut IpStride, ip: u64, lines: &[u64]) -> Vec<u64> {
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
+        let mut targets = Vec::new();
         for (i, &l) in lines.iter().enumerate() {
+            out.clear();
             p.observe_access(&simple_access(ip, l, i as u64, false), &mut out);
+            targets.extend(out.iter().map(|r| r.line.raw()));
         }
-        out.iter().map(|r| r.line.raw()).collect()
+        targets
     }
 
     #[test]
@@ -175,15 +178,17 @@ mod tests {
     #[test]
     fn distinct_ips_tracked_separately() {
         let mut p = IpStride::new();
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
+        let mut lines: Vec<u64> = Vec::new();
         for i in 0..10u64 {
+            out.clear();
             p.observe_access(&simple_access(0x10, 100 + i, 2 * i, false), &mut out);
             p.observe_access(
                 &simple_access(0x2000, 5000 + 3 * i, 2 * i + 1, false),
                 &mut out,
             );
+            lines.extend(out.iter().map(|r| r.line.raw()));
         }
-        let lines: Vec<u64> = out.iter().map(|r| r.line.raw()).collect();
         assert!(lines.iter().any(|&l| (100..200).contains(&l)));
         assert!(lines.iter().any(|&l| l >= 5000));
     }

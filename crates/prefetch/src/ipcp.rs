@@ -8,7 +8,7 @@
 //! region stream table) → **CPLX** (complex stride, predicted by the
 //! CSPT signature chain).
 
-use crate::{AccessEvent, FillEvent, Prefetcher};
+use crate::{min_idx, AccessEvent, FillEvent, PfBuf, Prefetcher};
 use secpref_types::PrefetchRequest;
 
 const IP_TABLE: usize = 128;
@@ -39,13 +39,11 @@ struct CsptEntry {
 
 #[derive(Clone, Copy, Debug, Default)]
 struct RstEntry {
-    region: u64,
     valid: bool,
     bitmap: u32,
     last_offset: u32,
     /// +1 ascending, -1 descending, 0 unknown.
     direction: i8,
-    lru: u64,
 }
 
 /// The IPCP prefetcher (L1D).
@@ -53,10 +51,10 @@ struct RstEntry {
 /// # Examples
 ///
 /// ```
-/// use secpref_prefetch::{Ipcp, Prefetcher, simple_access};
+/// use secpref_prefetch::{Ipcp, PfBuf, Prefetcher, simple_access};
 ///
 /// let mut p = Ipcp::new();
-/// let mut out = Vec::new();
+/// let mut out = PfBuf::new();
 /// for i in 0..10u64 {
 ///     p.observe_access(&simple_access(0x400, 64 + 3 * i, i, false), &mut out);
 /// }
@@ -67,6 +65,11 @@ pub struct Ipcp {
     ip_table: Vec<IpEntry>,
     cspt: Vec<CsptEntry>,
     rst: Vec<RstEntry>,
+    /// Packed region keys and LRU stamps (0 = invalid) parallel to
+    /// `rst`, so the per-access stream lookup and victim scan stay off
+    /// the full entries.
+    rst_regions: Vec<u64>,
+    rst_lru: Vec<u64>,
     distance: u32,
     lru_clock: u64,
 }
@@ -84,6 +87,8 @@ impl Ipcp {
             ip_table: vec![IpEntry::default(); IP_TABLE],
             cspt: vec![CsptEntry::default(); CSPT_SIZE],
             rst: vec![RstEntry::default(); RST_SIZE],
+            rst_regions: vec![0; RST_SIZE],
+            rst_lru: vec![0; RST_SIZE],
             distance: 4,
             lru_clock: 0,
         }
@@ -99,7 +104,16 @@ impl Ipcp {
         self.lru_clock += 1;
         let region = line >> 5;
         let offset = (line & 31) as u32;
-        if let Some(e) = self.rst.iter_mut().find(|e| e.valid && e.region == region) {
+        let mut hit = None;
+        for (i, &r) in self.rst_regions.iter().enumerate() {
+            if r == region && self.rst[i].valid {
+                hit = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = hit {
+            let e = &mut self.rst[i];
+            self.rst_lru[i] = self.lru_clock;
             e.bitmap |= 1 << offset;
             e.direction = match offset.cmp(&e.last_offset) {
                 std::cmp::Ordering::Greater => 1,
@@ -107,26 +121,21 @@ impl Ipcp {
                 std::cmp::Ordering::Equal => e.direction,
             };
             e.last_offset = offset;
-            e.lru = self.lru_clock;
             if e.bitmap.count_ones() >= DENSE_THRESHOLD && e.direction != 0 {
                 return Some(e.direction);
             }
             return None;
         }
         // Allocate over LRU.
-        let victim = self
-            .rst
-            .iter_mut()
-            .min_by_key(|e| if e.valid { e.lru } else { 0 })
-            .expect("RST nonempty");
-        *victim = RstEntry {
-            region,
+        let victim = min_idx(&self.rst_lru);
+        self.rst[victim] = RstEntry {
             valid: true,
             bitmap: 1 << offset,
             last_offset: offset,
             direction: 0,
-            lru: self.lru_clock,
         };
+        self.rst_regions[victim] = region;
+        self.rst_lru[victim] = self.lru_clock;
         None
     }
 }
@@ -142,7 +151,7 @@ impl Prefetcher for Ipcp {
         (IP_TABLE as f64 * 46.0 + RST_SIZE as f64 * 45.0 + CSPT_SIZE as f64 * 9.0) / 8.0
     }
 
-    fn observe_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>) {
+    fn observe_access(&mut self, ev: &AccessEvent, out: &mut PfBuf) {
         let stream_dir = self.update_rst(ev.line.raw());
         let (idx, tag) = Self::ip_index(ev.ip.raw());
         let e = &mut self.ip_table[idx];
@@ -230,11 +239,14 @@ mod tests {
     use crate::simple_access;
 
     fn drive(p: &mut Ipcp, ip: u64, lines: &[u64]) -> Vec<u64> {
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
+        let mut targets = Vec::new();
         for (i, &l) in lines.iter().enumerate() {
+            out.clear();
             p.observe_access(&simple_access(ip, l, i as u64, false), &mut out);
+            targets.extend(out.iter().map(|r| r.line.raw()));
         }
-        out.iter().map(|r| r.line.raw()).collect()
+        targets
     }
 
     #[test]
@@ -251,18 +263,19 @@ mod tests {
         let mut p = Ipcp::new();
         // Touch 24 lines of one region ascending with *different* IPs so
         // no per-IP constant stride forms, leaving GS to classify.
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
         for i in 0..24u64 {
+            out.clear();
             p.observe_access(
                 &simple_access(0x100 + i * 64, 32 * 50 + i, i, false),
                 &mut out,
             );
         }
         // Now a fresh access in the same region from a noisy IP: GS fires.
-        let before = out.len();
+        out.clear();
         p.observe_access(&simple_access(0x100, 32 * 50 + 25, 30, false), &mut out);
         p.observe_access(&simple_access(0x100, 32 * 50 + 26, 31, false), &mut out);
-        assert!(out.len() > before, "dense ascending region triggers GS");
+        assert!(!out.is_empty(), "dense ascending region triggers GS");
     }
 
     #[test]

@@ -27,6 +27,110 @@ pub use spp::SppPpf;
 
 use secpref_types::{Cycle, Ip, LineAddr, PrefetchRequest, PrefetcherKind};
 
+/// Capacity of a [`PfBuf`]: strictly above the worst case any prefetcher
+/// can emit for a single event. The maximum is Bingo at full lookahead:
+/// (1 + 4) regions × 32 offsets = 160 candidates.
+pub const PF_BUF_CAP: usize = 192;
+
+/// Fixed-capacity, caller-owned scratch buffer prefetchers write their
+/// candidates into.
+///
+/// The buffer allocates once (at construction) and never again: the hot
+/// path reuses one `PfBuf` per core for the lifetime of a run, so
+/// [`Prefetcher::observe_access`] is allocation-free. Callers clear the
+/// buffer before each event; prefetchers append.
+///
+/// Derefs to `[PrefetchRequest]` for reading.
+///
+/// # Examples
+///
+/// ```
+/// use secpref_prefetch::PfBuf;
+/// use secpref_types::{Ip, LineAddr, PrefetchRequest};
+///
+/// let mut out = PfBuf::new();
+/// out.push(PrefetchRequest::to_l2(LineAddr::new(7), Ip::new(1)));
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(out[0].line.raw(), 7);
+/// out.clear();
+/// assert!(out.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct PfBuf {
+    buf: Vec<PrefetchRequest>,
+}
+
+impl PfBuf {
+    /// Creates an empty buffer with the full fixed capacity reserved.
+    pub fn new() -> Self {
+        PfBuf {
+            buf: Vec::with_capacity(PF_BUF_CAP),
+        }
+    }
+
+    /// Appends a candidate. The capacity strictly exceeds what any
+    /// prefetcher can emit per event, so in correct use this never
+    /// saturates; a hypothetical overflow drops the candidate (and
+    /// panics in debug builds) rather than reallocating.
+    #[inline]
+    pub fn push(&mut self, r: PrefetchRequest) {
+        debug_assert!(self.buf.len() < PF_BUF_CAP, "PfBuf overflow");
+        if self.buf.len() < PF_BUF_CAP {
+            self.buf.push(r);
+        }
+    }
+
+    /// Empties the buffer (keeps the reserved storage).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Keeps only the first `n` candidates.
+    #[inline]
+    pub fn truncate(&mut self, n: usize) {
+        self.buf.truncate(n);
+    }
+}
+
+impl Default for PfBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for PfBuf {
+    type Target = [PrefetchRequest];
+
+    #[inline]
+    fn deref(&self) -> &[PrefetchRequest] {
+        &self.buf
+    }
+}
+
+impl<'a> IntoIterator for &'a PfBuf {
+    type Item = &'a PrefetchRequest;
+    type IntoIter = std::slice::Iter<'a, PrefetchRequest>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.iter()
+    }
+}
+
+/// Index of the smallest key (first occurrence on ties) — the victim
+/// scan over a packed per-slot LRU array, where invalid slots hold 0.
+/// Matches `min_by_key(|e| if e.valid { e.lru } else { 0 })` exactly.
+#[inline]
+pub(crate) fn min_idx(keys: &[u64]) -> usize {
+    let mut best = 0;
+    for (i, &k) in keys.iter().enumerate().skip(1) {
+        if k < keys[best] {
+            best = i;
+        }
+    }
+    best
+}
+
 /// A demand access observed by a prefetcher (at its cache level).
 #[derive(Clone, Copy, Debug)]
 pub struct AccessEvent {
@@ -109,8 +213,8 @@ pub trait Prefetcher: std::fmt::Debug + Send {
     fn storage_bytes(&self) -> f64;
 
     /// Observes a demand access and appends any prefetch requests to
-    /// `out`.
-    fn observe_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>);
+    /// `out` (a caller-owned reusable buffer — see [`PfBuf`]).
+    fn observe_access(&mut self, ev: &AccessEvent, out: &mut PfBuf);
 
     /// Observes a fill at the prefetcher's cache level.
     fn observe_fill(&mut self, ev: &FillEvent);
@@ -140,7 +244,7 @@ impl Prefetcher for NullPrefetcher {
     fn storage_bytes(&self) -> f64 {
         0.0
     }
-    fn observe_access(&mut self, _ev: &AccessEvent, _out: &mut Vec<PrefetchRequest>) {}
+    fn observe_access(&mut self, _ev: &AccessEvent, _out: &mut PfBuf) {}
     fn observe_fill(&mut self, _ev: &FillEvent) {}
 }
 
@@ -188,7 +292,7 @@ mod tests {
     #[test]
     fn null_prefetcher_is_silent() {
         let mut p = NullPrefetcher;
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
         for i in 0..100 {
             p.observe_access(&simple_access(1, i, i, false), &mut out);
         }

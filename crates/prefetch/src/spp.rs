@@ -14,7 +14,7 @@
 //! suppresses the first `k` steps of the lookahead walk, so on-commit
 //! triggering still targets lines far enough ahead to arrive in time.
 
-use crate::{AccessEvent, Feedback, FillEvent, Prefetcher};
+use crate::{AccessEvent, Feedback, FillEvent, PfBuf, Prefetcher};
 use secpref_types::{LineAddr, PrefetchRequest};
 
 const ST_SIZE: usize = 256;
@@ -65,14 +65,17 @@ struct FilterEntry {
 /// # Examples
 ///
 /// ```
-/// use secpref_prefetch::{SppPpf, Prefetcher, simple_access};
+/// use secpref_prefetch::{PfBuf, Prefetcher, SppPpf, simple_access};
 ///
 /// let mut p = SppPpf::new();
-/// let mut out = Vec::new();
+/// let mut out = PfBuf::new();
+/// let mut proposed = 0;
 /// for i in 0..40u64 {
+///     out.clear();
 ///     p.observe_access(&simple_access(0x8, i, i, false), &mut out);
+///     proposed += out.len();
 /// }
-/// assert!(!out.is_empty(), "+1 stream becomes a confident signature path");
+/// assert!(proposed > 0, "+1 stream becomes a confident signature path");
 /// ```
 #[derive(Clone, Debug)]
 pub struct SppPpf {
@@ -235,7 +238,7 @@ impl Prefetcher for SppPpf {
         st + pt + weights + filters
     }
 
-    fn observe_access(&mut self, ev: &AccessEvent, out: &mut Vec<PrefetchRequest>) {
+    fn observe_access(&mut self, ev: &AccessEvent, out: &mut PfBuf) {
         let page = ev.line.page();
         let offset = ev.line.page_offset() as u8;
         let (si, tag) = Self::st_index(page);
@@ -331,11 +334,14 @@ mod tests {
     use crate::simple_access;
 
     fn drive(p: &mut SppPpf, ip: u64, lines: &[u64]) -> Vec<u64> {
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
+        let mut targets = Vec::new();
         for (i, &l) in lines.iter().enumerate() {
+            out.clear();
             p.observe_access(&simple_access(ip, l, i as u64, false), &mut out);
+            targets.extend(out.iter().map(|r| r.line.raw()));
         }
-        out.iter().map(|r| r.line.raw()).collect()
+        targets
     }
 
     #[test]
@@ -394,28 +400,30 @@ mod tests {
     #[test]
     fn ppf_learns_to_reject_useless_streams() {
         let mut p = SppPpf::new();
-        let mut out = Vec::new();
+        let mut out = PfBuf::new();
         // Train a +1 path and repeatedly mark its prefetches useless.
         for round in 0..60u64 {
             for i in 0..32u64 {
+                out.clear();
                 p.observe_access(
                     &simple_access(0x8, round * 64 + i, round * 64 + i, false),
                     &mut out,
                 );
-            }
-            for r in out.drain(..) {
-                p.feedback(Feedback::Useless { line: r.line });
+                for r in out.iter().copied().collect::<Vec<_>>() {
+                    p.feedback(Feedback::Useless { line: r.line });
+                }
             }
         }
         // After sustained negative feedback the filter clams up.
-        let mut tail = Vec::new();
+        let mut tail = 0usize;
         for i in 0..32u64 {
-            p.observe_access(&simple_access(0x8, 10_000 * 64 + i, i, false), &mut tail);
+            out.clear();
+            p.observe_access(&simple_access(0x8, 10_000 * 64 + i, i, false), &mut out);
+            tail += out.len();
         }
         assert!(
-            tail.len() < 8,
-            "perceptron should now reject most proposals (got {})",
-            tail.len()
+            tail < 8,
+            "perceptron should now reject most proposals (got {tail})"
         );
     }
 

@@ -15,37 +15,146 @@
 //! * otherwise → **uncovered**.
 
 use crate::metrics::MissClassCounts;
-use secpref_prefetch::{AccessEvent, FillEvent, Prefetcher};
-use secpref_types::{Cycle, LineAddr, PrefetchRequest};
-use std::collections::{HashMap, VecDeque};
+use secpref_prefetch::{AccessEvent, FillEvent, PfBuf, Prefetcher};
+use secpref_types::{Cycle, LineAddr};
+use std::collections::VecDeque;
 
 /// How long after a miss the on-commit prefetcher may still issue the
 /// prefetch for it to count as commit-late rather than missed.
 const RESOLVE_WINDOW: Cycle = 5_000;
 /// Capacity of the issued-line trackers.
 const TRACK_CAP: usize = 8192;
+/// Hash-table slots backing an [`IssueTracker`]: twice the tracked lines,
+/// so linear probing stays short at the ≤0.5 load factor.
+const TRACK_SLOTS: usize = 2 * TRACK_CAP;
+
+const _: () = assert!(TRACK_SLOTS.is_power_of_two());
+
+/// One open-addressed slot: a line, its issue cycle, and a live bit.
+#[derive(Clone, Copy, Debug, Default)]
+struct TrackSlot {
+    line: u64,
+    at: Cycle,
+    live: bool,
+}
 
 /// A bounded line → cycle map with FIFO aging.
-#[derive(Debug, Default)]
+///
+/// Probes an FNV-hashed open-addressed table (linear probing,
+/// backward-shift deletion — no tombstones) instead of a `HashMap`, so
+/// the classifier's per-event lookups avoid SipHash and per-node
+/// indirection. Retention semantics are exactly the old map's: FIFO by
+/// *first* insertion; re-inserting a tracked line refreshes its cycle
+/// without refreshing its age.
+#[derive(Debug)]
 struct IssueTracker {
-    map: HashMap<LineAddr, Cycle>,
+    slots: Vec<TrackSlot>,
     order: VecDeque<LineAddr>,
 }
 
+impl Default for IssueTracker {
+    fn default() -> Self {
+        IssueTracker {
+            slots: vec![TrackSlot::default(); TRACK_SLOTS],
+            order: VecDeque::with_capacity(TRACK_CAP + 1),
+        }
+    }
+}
+
 impl IssueTracker {
+    /// FNV-1a over the line address's little-endian bytes.
+    #[inline]
+    fn home(line: u64) -> usize {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in line.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (h as usize) & (TRACK_SLOTS - 1)
+    }
+
+    /// Slot index of `line` if tracked.
+    #[inline]
+    fn probe(&self, line: u64) -> Option<usize> {
+        let mut i = Self::home(line);
+        loop {
+            let s = &self.slots[i];
+            if !s.live {
+                return None;
+            }
+            if s.line == line {
+                return Some(i);
+            }
+            i = (i + 1) & (TRACK_SLOTS - 1);
+        }
+    }
+
     fn insert(&mut self, line: LineAddr, at: Cycle) {
-        if self.map.insert(line, at).is_none() {
-            self.order.push_back(line);
-            if self.order.len() > TRACK_CAP {
-                if let Some(old) = self.order.pop_front() {
-                    self.map.remove(&old);
-                }
+        let raw = line.raw();
+        let mut i = Self::home(raw);
+        loop {
+            let s = &mut self.slots[i];
+            if !s.live {
+                *s = TrackSlot {
+                    line: raw,
+                    at,
+                    live: true,
+                };
+                break;
+            }
+            if s.line == raw {
+                // Already tracked: refresh the cycle, keep the FIFO age.
+                s.at = at;
+                return;
+            }
+            i = (i + 1) & (TRACK_SLOTS - 1);
+        }
+        self.order.push_back(line);
+        if self.order.len() > TRACK_CAP {
+            if let Some(old) = self.order.pop_front() {
+                self.remove(old.raw());
             }
         }
     }
 
+    /// Deletes `line` by backward-shifting the probe cluster (keeps every
+    /// remaining key reachable from its home without tombstones).
+    fn remove(&mut self, line: u64) {
+        let Some(mut i) = self.probe(line) else {
+            return;
+        };
+        let mask = TRACK_SLOTS - 1;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            if !self.slots[j].live {
+                break;
+            }
+            let k = Self::home(self.slots[j].line);
+            // If the home of slot j's key lies cyclically in (i, j], that
+            // key may not move back to i; keep scanning the cluster.
+            let in_gap = if i <= j {
+                i < k && k <= j
+            } else {
+                i < k || k <= j
+            };
+            if in_gap {
+                continue;
+            }
+            self.slots[i] = self.slots[j];
+            i = j;
+        }
+        self.slots[i].live = false;
+    }
+
     fn get(&self, line: LineAddr) -> Option<Cycle> {
-        self.map.get(&line).copied()
+        self.probe(line.raw()).map(|i| self.slots[i].at)
+    }
+
+    /// Number of tracked lines.
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.order.len()
     }
 }
 
@@ -57,7 +166,7 @@ pub struct Classifier {
     actual_issued: IssueTracker,
     pending: VecDeque<(LineAddr, Cycle)>,
     counts: MissClassCounts,
-    scratch: Vec<PrefetchRequest>,
+    scratch: PfBuf,
 }
 
 impl Classifier {
@@ -70,7 +179,7 @@ impl Classifier {
             actual_issued: IssueTracker::default(),
             pending: VecDeque::new(),
             counts: MissClassCounts::default(),
-            scratch: Vec::new(),
+            scratch: PfBuf::new(),
         }
     }
 
@@ -232,8 +341,74 @@ mod tests {
         for i in 0..(TRACK_CAP as u64 + 100) {
             t.insert(la(i), i);
         }
-        assert!(t.map.len() <= TRACK_CAP);
+        assert!(t.len() <= TRACK_CAP);
         assert!(t.get(la(0)).is_none(), "oldest entries age out");
         assert!(t.get(la(TRACK_CAP as u64 + 99)).is_some());
+    }
+
+    #[test]
+    fn tracker_reinsert_refreshes_cycle_not_age() {
+        let mut t = IssueTracker::default();
+        t.insert(la(1), 10);
+        for i in 2..TRACK_CAP as u64 + 1 {
+            t.insert(la(i), i);
+        }
+        // Re-inserting line 1 must update its cycle but keep its FIFO
+        // position: the next new line still evicts it first.
+        t.insert(la(1), 999);
+        assert_eq!(t.get(la(1)), Some(999));
+        t.insert(la(500_000), 1000);
+        assert!(t.get(la(1)).is_none(), "refresh must not reset the age");
+        assert_eq!(t.get(la(2)), Some(2), "second-oldest survives");
+    }
+
+    /// Differential check against the old `HashMap` + `VecDeque`
+    /// reference over pseudorandom insert/lookup streams (including
+    /// aliasing keys that collide in the open-addressed table).
+    #[test]
+    fn tracker_matches_hashmap_reference() {
+        use secpref_types::rng::Xoshiro256ss;
+        use std::collections::HashMap;
+
+        #[derive(Default)]
+        struct Reference {
+            map: HashMap<LineAddr, Cycle>,
+            order: std::collections::VecDeque<LineAddr>,
+        }
+        impl Reference {
+            fn insert(&mut self, line: LineAddr, at: Cycle) {
+                if self.map.insert(line, at).is_none() {
+                    self.order.push_back(line);
+                    if self.order.len() > TRACK_CAP {
+                        if let Some(old) = self.order.pop_front() {
+                            self.map.remove(&old);
+                        }
+                    }
+                }
+            }
+        }
+
+        for seed in 0..8u64 {
+            let mut rng = Xoshiro256ss::seed_from_u64(seed);
+            let mut t = IssueTracker::default();
+            let mut r = Reference::default();
+            for step in 0..3 * TRACK_CAP as u64 {
+                // A small key space forces re-inserts; occasional huge
+                // keys exercise distant hash homes.
+                let key = if rng.gen_flip() {
+                    rng.gen_u64(TRACK_CAP as u64 / 2)
+                } else {
+                    rng.gen_u64(u64::MAX / 2)
+                };
+                t.insert(la(key), step);
+                r.insert(la(key), step);
+                let probe = la(rng.gen_u64(TRACK_CAP as u64 / 2));
+                assert_eq!(t.get(probe), r.map.get(&probe).copied(), "seed {seed}");
+            }
+            assert_eq!(t.len(), r.map.len());
+            for (&line, &at) in &r.map {
+                assert_eq!(t.get(line), Some(at));
+            }
+        }
     }
 }

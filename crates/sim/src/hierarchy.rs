@@ -21,6 +21,7 @@
 
 use crate::classify::Classifier;
 use crate::metrics::CoreMetrics;
+use crate::profile::{Phase, ProfileReport, Profiler};
 use crate::wheel::EventWheel;
 use secpref_cpu::LoadIssue;
 use secpref_ghostminion::{CommitAction, GmCache, UpdateFilter, WbBits};
@@ -28,7 +29,7 @@ use secpref_mem::{
     DramModel, DramRequest, FillAttrs, MshrFile, MshrToken, PortScheduler, SetAssocCache, Tlb,
 };
 use secpref_obs::{Event, EventKind, Obs};
-use secpref_prefetch::{AccessEvent, Feedback, FillEvent, Prefetcher};
+use secpref_prefetch::{AccessEvent, Feedback, FillEvent, PfBuf, Prefetcher};
 use secpref_types::{
     AccessKind, CacheConfig, CacheLevel, CoreId, Cycle, FillInfo, HitLevel, Ip, LineAddr,
     PrefetchMode, PrefetchRequest, PrefetcherKind, SystemConfig,
@@ -149,7 +150,7 @@ pub struct Hierarchy {
     tlbs: Vec<Option<Tlb>>,
     l1_inflight: Vec<usize>,
     commit_count: Vec<u64>,
-    pf_scratch: Vec<PrefetchRequest>,
+    pf_scratch: PfBuf,
     pf_outstanding: Vec<usize>,
     pf_recent: Vec<[LineAddr; PF_RECENT]>,
     pf_recent_head: Vec<usize>,
@@ -161,7 +162,30 @@ pub struct Hierarchy {
     /// Observability recorder; `Obs::disabled()` unless tracing was
     /// requested, in which case every hook below feeds it.
     obs: Obs,
+    /// Wall-time phase profiler; disabled (one branch per hook) unless
+    /// `simbench --profile` style runs request it.
+    prof: Profiler,
     now: Cycle,
+}
+
+/// Phase a cache-walk event at `lvl` is attributed to.
+fn level_phase(lvl: u8) -> Phase {
+    match lvl {
+        0 => Phase::L1d,
+        1 => Phase::L2,
+        2 => Phase::Llc,
+        _ => Phase::Dram,
+    }
+}
+
+/// Phase a response is attributed to: the level that supplied the data.
+fn hit_phase(hl: HitLevel) -> Phase {
+    match hl {
+        HitLevel::L1d => Phase::L1d,
+        HitLevel::L2 => Phase::L2,
+        HitLevel::Llc => Phase::Llc,
+        HitLevel::Dram => Phase::Dram,
+    }
 }
 
 impl std::fmt::Debug for Hierarchy {
@@ -220,7 +244,7 @@ impl Hierarchy {
                 .collect(),
             l1_inflight: vec![0; cores],
             commit_count: vec![0; cores],
-            pf_scratch: Vec::new(),
+            pf_scratch: PfBuf::new(),
             pf_outstanding: vec![0; cores],
             pf_recent: vec![[LineAddr::new(u64::MAX); PF_RECENT]; cores],
             pf_recent_head: vec![0; cores],
@@ -229,9 +253,30 @@ impl Hierarchy {
                 .map(|c| (format!("l1d[{c}]"), format!("l2[{c}]")))
                 .collect(),
             obs: Obs::disabled(),
+            prof: Profiler::disabled(),
             cfg,
             now: 0,
         }
+    }
+
+    /// Enables the wall-time phase profiler (see [`crate::profile`]).
+    pub fn enable_profiling(&mut self) {
+        self.prof = Profiler::enabled();
+    }
+
+    /// The accumulated phase profile (all-zero unless profiling was
+    /// enabled).
+    pub fn profile_report(&mut self) -> ProfileReport {
+        self.prof.report()
+    }
+
+    /// Phase hooks for the system run loop (core-model attribution).
+    pub(crate) fn prof_enter(&mut self, phase: Phase) {
+        self.prof.enter(phase);
+    }
+
+    pub(crate) fn prof_exit(&mut self) {
+        self.prof.exit();
     }
 
     /// Installs an observability recorder (replaces the disabled default).
@@ -411,7 +456,9 @@ impl Hierarchy {
         self.now = now;
         let mut done = std::mem::take(&mut self.dram_done);
         done.clear();
+        self.prof.enter(Phase::Dram);
         self.dram.tick(now, &mut done);
+        self.prof.exit();
         for &(rid, _) in &done {
             let rid = rid as u32;
             let req = &mut self.reqs[rid as usize];
@@ -420,13 +467,21 @@ impl Hierarchy {
         }
         self.dram_done = done;
         while let Some((rid, kind)) = self.events.pop_due(now) {
-            if !self.reqs[rid as usize].alive {
+            let req = &self.reqs[rid as usize];
+            if !req.alive {
                 continue;
             }
             match kind {
-                EV_ACCESS => self.on_access(now, rid),
-                _ => self.on_response(now, rid),
+                EV_ACCESS => {
+                    self.prof.enter(level_phase(req.cur_level));
+                    self.on_access(now, rid);
+                }
+                _ => {
+                    self.prof.enter(hit_phase(req.hit_level));
+                    self.on_response(now, rid);
+                }
             }
+            self.prof.exit();
         }
         // MSHR occupancy statistics.
         for c in 0..self.cfg.cores {
@@ -435,6 +490,31 @@ impl Hierarchy {
             m.l1d.mshr_full_cycles += self.l1d[c].mshr.is_full() as u64;
             m.l2.mshr_occupancy_integral += self.l2[c].mshr.occupancy() as u64;
             m.l2.mshr_full_cycles += self.l2[c].mshr.is_full() as u64;
+        }
+    }
+
+    /// Earliest cycle strictly after `now` at which [`Hierarchy::tick`]
+    /// has work: the wheel's next due event or DRAM's next possible
+    /// action. `Cycle::MAX` when the memory system is fully idle.
+    pub fn next_due(&self, now: Cycle) -> Cycle {
+        match self.events.next_due(now) {
+            // Already due next cycle: DRAM cannot beat that.
+            Some(at) if at <= now + 1 => at,
+            wheel => wheel.unwrap_or(Cycle::MAX).min(self.dram.next_event(now)),
+        }
+    }
+
+    /// Folds in the per-cycle MSHR occupancy statistics for `n` cycles
+    /// skipped by the run loop's idle fast-forward. Occupancy cannot
+    /// change while no event fires, so the per-cycle accumulation in
+    /// [`Hierarchy::tick`] has this closed form over the skipped span.
+    pub fn account_idle_cycles(&mut self, n: u64) {
+        for c in 0..self.cfg.cores {
+            let m = &mut self.metrics[c];
+            m.l1d.mshr_occupancy_integral += self.l1d[c].mshr.occupancy() as u64 * n;
+            m.l1d.mshr_full_cycles += self.l1d[c].mshr.is_full() as u64 * n;
+            m.l2.mshr_occupancy_integral += self.l2[c].mshr.occupancy() as u64 * n;
+            m.l2.mshr_full_cycles += self.l2[c].mshr.is_full() as u64 * n;
         }
     }
 
@@ -582,7 +662,10 @@ impl Hierarchy {
         // GhostMinion: speculative loads probe the GM in parallel with L1D.
         if lvl == 0 && speculative {
             self.metrics[core].gm_accesses += 1;
-            if self.gm[core].lookup(req.line, req.ts).is_some() {
+            self.prof.enter(Phase::Gm);
+            let gm_hit = self.gm[core].lookup(req.line, req.ts).is_some();
+            self.prof.exit();
+            if gm_hit {
                 self.observe_demand_l1(now, rid, true, false, 0);
                 let r = &mut self.reqs[rid as usize];
                 r.hit_level = HitLevel::L1d;
@@ -806,7 +889,9 @@ impl Hierarchy {
         if pf_here {
             self.feedback(req.core, Feedback::DemandMiss { line: req.line });
             if let Some(c) = self.classifiers[req.core].as_mut() {
+                self.prof.enter(Phase::Classifier);
                 c.demand_miss(req.line, now, merged_onto_pf);
+                self.prof.exit();
             }
         }
     }
@@ -836,7 +921,9 @@ impl Hierarchy {
             mshr_free: self.l1d[req.core].mshr.capacity() - self.l1d[req.core].mshr.occupancy(),
         };
         if let Some(c) = self.classifiers[req.core].as_mut() {
+            self.prof.enter(Phase::Classifier);
             c.shadow_access(&ev);
+            self.prof.exit();
         }
         if !self.on_commit {
             self.train_and_inject(now, req.core, &ev);
@@ -859,7 +946,9 @@ impl Hierarchy {
             mshr_free: self.l2[req.core].mshr.capacity() - self.l2[req.core].mshr.occupancy(),
         };
         if let Some(c) = self.classifiers[req.core].as_mut() {
+            self.prof.enter(Phase::Classifier);
             c.shadow_access(&ev);
+            self.prof.exit();
         }
         if !self.on_commit {
             self.train_and_inject(now, req.core, &ev);
@@ -867,20 +956,25 @@ impl Hierarchy {
     }
 
     fn train_and_inject(&mut self, now: Cycle, core: CoreId, ev: &AccessEvent) {
-        let mut scratch = std::mem::take(&mut self.pf_scratch);
-        scratch.clear();
-        self.prefetchers[core].observe_access(ev, &mut scratch);
-        scratch.truncate(MAX_PF_PER_EVENT);
-        for pf in scratch.iter() {
-            self.inject_prefetch(now, core, *pf);
+        self.pf_scratch.clear();
+        self.prof.enter(Phase::Prefetcher);
+        self.prefetchers[core].observe_access(ev, &mut self.pf_scratch);
+        self.prof.exit();
+        self.pf_scratch.truncate(MAX_PF_PER_EVENT);
+        // Index-copy: `inject_prefetch` needs `&mut self` but never touches
+        // the scratch buffer.
+        for i in 0..self.pf_scratch.len() {
+            let pf = self.pf_scratch[i];
+            self.inject_prefetch(now, core, pf);
         }
-        self.pf_scratch = scratch;
     }
 
     fn inject_prefetch(&mut self, now: Cycle, core: CoreId, pf: PrefetchRequest) {
         self.metrics[core].prefetch.proposed += 1;
         if let Some(c) = self.classifiers[core].as_mut() {
+            self.prof.enter(Phase::Classifier);
             c.actual_issue(pf.line, now);
+            self.prof.exit();
         }
         // Injection-time dedup: the same target proposed again while it is
         // still fresh (resident, in flight, or queued) is dropped without
@@ -910,7 +1004,9 @@ impl Hierarchy {
     }
 
     fn feedback(&mut self, core: CoreId, fb: Feedback) {
+        self.prof.enter(Phase::Prefetcher);
         self.prefetchers[core].feedback(fb);
+        self.prof.exit();
     }
 
     /// L1-level fill event for on-commit L1 prefetchers (commit writes and
@@ -938,14 +1034,20 @@ impl Hierarchy {
         };
         if commit_path {
             if self.on_commit {
+                self.prof.enter(Phase::Prefetcher);
                 self.prefetchers[core].observe_fill(&ev);
+                self.prof.exit();
             }
         } else {
             if let Some(c) = self.classifiers[core].as_mut() {
+                self.prof.enter(Phase::Classifier);
                 c.shadow_fill(&ev);
+                self.prof.exit();
             }
             if !self.on_commit {
+                self.prof.enter(Phase::Prefetcher);
                 self.prefetchers[core].observe_fill(&ev);
+                self.prof.exit();
             }
         }
     }
@@ -1127,7 +1229,9 @@ impl Hierarchy {
                 if self.secure && req.hit_level != HitLevel::L1d {
                     // Speculative fill into the GM, timestamped with the
                     // oldest waiting instruction.
+                    self.prof.enter(Phase::Gm);
                     self.gm[core].insert(req.line, req.ts, latency);
+                    self.prof.exit();
                     self.obs_ev(now, core, EventKind::GmSpecFill, req.line, latency);
                 }
                 if req.hit_level != HitLevel::L1d {
@@ -1190,6 +1294,9 @@ impl Hierarchy {
         fill: &FillInfo,
     ) {
         if self.secure {
+            // The whole commit engine (GM lookup, SUF decision, action
+            // dispatch, GM expiry) is GhostMinion work.
+            self.prof.enter(Phase::Gm);
             let gm_hit = self.gm[core].lookup_commit(line, ts).is_some();
             let action = self.filter.commit_action(fill.hit_level, gm_hit);
             match action {
@@ -1228,6 +1335,7 @@ impl Hierarchy {
             if self.commit_count[core].is_multiple_of(16) {
                 self.gm[core].expire_older_than(ts, now);
             }
+            self.prof.exit();
         }
         // On-commit prefetcher training/triggering.
         if self.on_commit && self.cfg.prefetcher != PrefetcherKind::None {

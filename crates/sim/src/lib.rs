@@ -26,6 +26,7 @@ pub mod classify;
 pub mod energy;
 pub mod hierarchy;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod system;
 mod wheel;
@@ -33,6 +34,7 @@ mod wheel;
 pub use classify::Classifier;
 pub use energy::EnergyModel;
 pub use metrics::{CommitMetrics, CoreMetrics, LevelMetrics, MissClassCounts, PrefetchMetrics};
+pub use profile::{Phase, ProfileReport, Profiler};
 pub use report::{geomean, mean, weighted_speedup, SimReport};
 pub use secpref_mem::dram::DramStats;
 pub use secpref_obs::{ObsCapture, ObsConfig};

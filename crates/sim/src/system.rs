@@ -4,6 +4,7 @@
 use crate::classify::Classifier;
 use crate::hierarchy::Hierarchy;
 use crate::metrics::{CoreMetrics, LevelMetrics};
+use crate::profile::{Phase, ProfileReport};
 use crate::report::SimReport;
 use secpref_core::SecureUpdateFilter;
 use secpref_cpu::{Core, CoreEvent, LoadIssue, LoadPort};
@@ -147,6 +148,10 @@ pub struct System {
     obs_track: Vec<ObsTrack>,
     now: Cycle,
     finished: bool,
+    /// Master switch for the run loop's idle-cycle fast-forward (on by
+    /// default; [`System::with_cycle_skip`] turns it off for
+    /// differential testing, `SECPREF_NO_SKIP=1` for field debugging).
+    allow_skip: bool,
 }
 
 impl std::fmt::Debug for CoreState {
@@ -200,7 +205,17 @@ impl System {
             obs_track: Vec::new(),
             now: 0,
             finished: false,
+            allow_skip: true,
         }
+    }
+
+    /// Enables or disables the run loop's idle-cycle fast-forward.
+    /// Skipping is exact (see [`System::run`]); this switch exists so
+    /// tests can prove that by diffing a skipping run against a
+    /// cycle-by-cycle one.
+    pub fn with_cycle_skip(mut self, on: bool) -> Self {
+        self.allow_skip = on;
+        self
     }
 
     /// Enables in-run observability (event tracing + epoch sampling).
@@ -219,6 +234,20 @@ impl System {
     /// when observability was off).
     pub fn take_obs(&mut self) -> Option<ObsCapture> {
         self.hierarchy.take_obs_capture()
+    }
+
+    /// Enables the built-in wall-time phase profiler (`simbench
+    /// --profile`). Never changes simulation outputs; fetch the result
+    /// with [`System::profile_report`] after [`System::run`].
+    pub fn with_profiling(mut self) -> Self {
+        self.hierarchy.enable_profiling();
+        self
+    }
+
+    /// The accumulated phase profile (all-zero unless
+    /// [`System::with_profiling`] was used).
+    pub fn profile_report(&mut self) -> ProfileReport {
+        self.hierarchy.profile_report()
     }
 
     /// Overrides the warm-up / measurement windows (instructions).
@@ -244,6 +273,14 @@ impl System {
     /// Runs the simulation to completion: every core retires
     /// `warmup + measure` instructions (traces replay if shorter).
     ///
+    /// The loop fast-forwards over idle spans: when no hierarchy event
+    /// is due, no core can act, and nothing retired this cycle, `now`
+    /// jumps straight to the earliest cycle anything can happen. The
+    /// jump is *exact*, not approximate — every skipped cycle is
+    /// provably a no-op (see DESIGN.md §10) and the only per-cycle
+    /// accumulation (MSHR occupancy integrals) is folded in closed form
+    /// via [`Hierarchy::account_idle_cycles`].
+    ///
     /// # Panics
     ///
     /// Panics if the system livelocks (no retirement progress for
@@ -251,6 +288,15 @@ impl System {
     pub fn run(&mut self) {
         let target = self.warmup + self.measure;
         let mut last_progress = (0u64, 0 as Cycle);
+        let trace_progress = std::env::var_os("SECPREF_TRACE_PROGRESS").is_some();
+        // The fast-forward stays off under observability (epoch sampling
+        // and squash polling are per-cycle) and under the debug escape
+        // hatches; those paths keep the original cycle-by-cycle loop.
+        let fast_forward = self.allow_skip
+            && !trace_progress
+            && self.obs_track.is_empty()
+            && !self.hierarchy.obs_enabled()
+            && std::env::var_os("SECPREF_NO_SKIP").is_none();
         // Scratch buffers reused across cycles (the tick loop allocates
         // nothing in steady state).
         let mut completions = Vec::new();
@@ -261,9 +307,11 @@ impl System {
             // Deliver memory completions to the owning cores.
             completions.clear();
             completions.append(&mut self.hierarchy.completions);
+            self.hierarchy.prof_enter(Phase::Core);
             for &(c, lq, gen, fill) in completions.iter() {
                 self.cores[c].core.complete_load(lq, gen, fill);
             }
+            self.hierarchy.prof_exit();
             let mut all_done = true;
             for c in 0..self.cores.len() {
                 let st = &mut self.cores[c];
@@ -299,6 +347,10 @@ impl System {
                     }
                 }
                 events.clear();
+                // Core phase: the core model itself plus the retire
+                // loop; commit-path work nested under it (GM, prefetch
+                // training) re-attributes itself via scoped phases.
+                self.hierarchy.prof_enter(Phase::Core);
                 let mut port = PortAdapter {
                     h: &mut self.hierarchy,
                 };
@@ -314,6 +366,7 @@ impl System {
                         }
                     }
                 }
+                self.hierarchy.prof_exit();
                 // Observability: poll the squash counter and close any
                 // completed epoch. Empty `obs_track` keeps this free.
                 if !self.obs_track.is_empty() {
@@ -335,9 +388,7 @@ impl System {
             if all_done {
                 break;
             }
-            if self.now.is_multiple_of(100_000)
-                && std::env::var_os("SECPREF_TRACE_PROGRESS").is_some()
-            {
+            if trace_progress && self.now.is_multiple_of(100_000) {
                 eprintln!(
                     "[sim] cycle={} retired={:?} state={:?} lq={}",
                     self.now,
@@ -351,7 +402,8 @@ impl System {
             }
             // Watchdog.
             let retired_now: u64 = self.cores.iter().map(|s| s.total_retired()).sum();
-            if retired_now > last_progress.0 {
+            let progressed = retired_now > last_progress.0;
+            if progressed {
                 last_progress = (retired_now, now);
             } else {
                 assert!(
@@ -360,7 +412,42 @@ impl System {
                     last_progress.1
                 );
             }
-            self.now += 1;
+            let mut next_cycle = now + 1;
+            // Idle fast-forward. Gated on `!progressed` because warm-up
+            // and finish boundaries are recorded on the cycle *after*
+            // the crossing retirement — that cycle must be processed.
+            // With no retirement this cycle, the boundary checks, the
+            // replay check, and the watchdog are all no-ops until the
+            // next wake, so skipping to it is exact.
+            if fast_forward && !progressed {
+                let mut wake = self.hierarchy.next_due(now);
+                if wake > next_cycle {
+                    for st in &self.cores {
+                        if st.finished_cycle.is_some() {
+                            continue;
+                        }
+                        // A core awaiting trace replay re-enters at the
+                        // next processed cycle; never skip past it.
+                        let w = if st.core.is_done() {
+                            next_cycle
+                        } else {
+                            st.core.next_wake(now)
+                        };
+                        wake = wake.min(w);
+                        if wake <= next_cycle {
+                            break;
+                        }
+                    }
+                }
+                if wake > next_cycle {
+                    // Cap so a genuine livelock still reaches the
+                    // watchdog assert instead of jumping to Cycle::MAX.
+                    let wake = wake.min(now.saturating_add(WATCHDOG_CYCLES));
+                    self.hierarchy.account_idle_cycles(wake - now - 1);
+                    next_cycle = wake;
+                }
+            }
+            self.now = next_cycle;
         }
         self.hierarchy.finalize();
         self.finished = true;

@@ -29,6 +29,8 @@ use std::collections::{BinaryHeap, VecDeque};
 /// than this land in the overflow heap.
 pub(crate) const WHEEL_SLOTS: usize = 2048;
 const MASK: usize = WHEEL_SLOTS - 1;
+/// Words in the slot-occupancy bitmap (one bit per wheel slot).
+const WORDS: usize = WHEEL_SLOTS / 64;
 
 /// FIFO-per-cycle event queue with an overflow heap for the far future.
 ///
@@ -44,6 +46,11 @@ pub(crate) struct EventWheel {
     /// every pending bucket/overflow cycle, so a FIFO drained first
     /// reproduces `(cycle, sequence)` order exactly.
     late: VecDeque<(u32, u8)>,
+    /// One bit per slot, set while that slot's bucket is non-empty.
+    /// Lets [`EventWheel::pop_due`] jump over idle spans and
+    /// [`EventWheel::next_due`] answer "when is the next event?" without
+    /// walking empty buckets cycle by cycle.
+    occupied: [u64; WORDS],
     overflow: BinaryHeap<Reverse<(Cycle, u64, u32, u8)>>,
     /// Sequence counter ordering overflow entries pushed for the same
     /// due cycle.
@@ -60,6 +67,7 @@ impl EventWheel {
         EventWheel {
             buckets: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
             late: VecDeque::new(),
+            occupied: [0; WORDS],
             overflow: BinaryHeap::new(),
             seq: 0,
             next: 0,
@@ -80,11 +88,57 @@ impl EventWheel {
         if at < self.next {
             self.late.push_back((rid, kind));
         } else if at - self.next < WHEEL_SLOTS as Cycle {
-            self.buckets[at as usize & MASK].push((rid, kind));
+            let slot = at as usize & MASK;
+            self.buckets[slot].push((rid, kind));
+            self.occupied[slot >> 6] |= 1 << (slot & 63);
         } else {
             self.seq += 1;
             self.overflow.push(Reverse((at, self.seq, rid, kind)));
         }
+    }
+
+    /// The first occupied slot's cycle at or after `from`, scanning the
+    /// bitmap word-wise around the ring (`None` when all buckets are
+    /// empty). Every occupied slot maps to a unique cycle in
+    /// `[from, from + WHEEL_SLOTS)` because drained buckets are cleared
+    /// before `next` passes them.
+    fn next_occupied_cycle(&self, from: Cycle) -> Option<Cycle> {
+        let start = from as usize & MASK;
+        for k in 0..=WORDS {
+            let wi = ((start >> 6) + k) % WORDS;
+            let mut bits = self.occupied[wi];
+            if k == 0 {
+                bits &= !0u64 << (start & 63);
+            } else if k == WORDS {
+                // Wrap-around remainder of the starting word.
+                bits &= !(!0u64 << (start & 63));
+            }
+            if bits != 0 {
+                let slot = (wi << 6) | bits.trailing_zeros() as usize;
+                let dist = (slot + WHEEL_SLOTS - start) & MASK;
+                return Some(from + dist as Cycle);
+            }
+        }
+        None
+    }
+
+    /// Earliest cycle strictly after `now` that has queued work, or
+    /// `None` when the wheel is empty. `late` entries (scheduled behind
+    /// the drain point) fire on the next drain, i.e. at `now + 1`.
+    pub fn next_due(&self, now: Cycle) -> Option<Cycle> {
+        if self.len == 0 {
+            return None;
+        }
+        if !self.late.is_empty() {
+            return Some(now + 1);
+        }
+        let mut due = self
+            .next_occupied_cycle(self.next.max(now + 1))
+            .unwrap_or(Cycle::MAX);
+        if let Some(&Reverse((at, ..))) = self.overflow.peek() {
+            due = due.min(at);
+        }
+        Some(due.max(now + 1))
     }
 
     /// Pops the next event due at or before `now`, in `(cycle, push
@@ -97,15 +151,6 @@ impl EventWheel {
             return Some(e);
         }
         while self.next <= now {
-            if self.len == 0 {
-                // Only the current bucket can hold consumed-but-uncleared
-                // entries; clear it so a future cycle aliasing this slot
-                // does not replay them, then skip the empty span.
-                self.buckets[self.next as usize & MASK].clear();
-                self.cursor = 0;
-                self.next = now + 1;
-                return None;
-            }
             let t = self.next;
             if let Some(&Reverse((at, _, rid, kind))) = self.overflow.peek() {
                 if at <= t {
@@ -114,16 +159,34 @@ impl EventWheel {
                     return Some((rid, kind));
                 }
             }
-            let bucket = &mut self.buckets[t as usize & MASK];
+            let slot = t as usize & MASK;
+            let bucket = &mut self.buckets[slot];
             if self.cursor < bucket.len() {
                 let (rid, kind) = bucket[self.cursor];
                 self.cursor += 1;
                 self.len -= 1;
                 return Some((rid, kind));
             }
-            bucket.clear();
+            if !bucket.is_empty() {
+                // Fully consumed: clear so a future cycle aliasing this
+                // slot does not replay the entries.
+                bucket.clear();
+                self.occupied[slot >> 6] &= !(1 << (slot & 63));
+            }
             self.cursor = 0;
-            self.next = t + 1;
+            if self.len == 0 {
+                self.next = now + 1;
+                return None;
+            }
+            // Jump straight to the next cycle that can hold work instead
+            // of walking empty buckets one at a time. `next` must never
+            // pass `now + 1`: a push at a later cycle would otherwise be
+            // misfiled as `late` and fire too early.
+            let mut jump = self.next_occupied_cycle(t + 1).unwrap_or(Cycle::MAX);
+            if let Some(&Reverse((at, ..))) = self.overflow.peek() {
+                jump = jump.min(at);
+            }
+            self.next = jump.min(now + 1);
         }
         None
     }

@@ -1,0 +1,110 @@
+//! Differential proof that the run loop's idle-cycle fast-forward is
+//! exact: the same system run with and without skipping must produce an
+//! identical [`secpref_sim::System::report`] and finish on the identical
+//! cycle. Complements the pinned report digests (which run with the
+//! fast-forward on, against pins recorded before it existed).
+
+use secpref_sim::System;
+use secpref_trace::{Instr, Trace};
+use secpref_types::{PrefetchMode, PrefetcherKind, SecureMode, SystemConfig};
+use std::sync::Arc;
+
+/// Deterministic mixed trace: strided and scattered loads (cache misses
+/// with long DRAM round-trips → real idle spans), dependent-load chains
+/// (serialized memory → deeper idle spans), stores, and poorly
+/// predictable branches (squash/replay paths).
+fn mixed_trace(seed: u64, n: usize) -> Arc<Trace> {
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut instrs = Vec::with_capacity(n);
+    while instrs.len() < n {
+        match rng() % 10 {
+            0..=2 => {
+                // Strided stream a prefetcher can learn.
+                let base = (rng() % 8) * 0x10_0000;
+                for k in 0..16u64 {
+                    instrs.push(Instr::load(0x400 + base % 97, base + k * 64));
+                }
+            }
+            3..=4 => {
+                // Pointer-chase flavor: each load depends on the last.
+                let base = rng() % 0x80_0000;
+                instrs.push(Instr::load(0x500, base));
+                for k in 1..8u64 {
+                    instrs.push(Instr::load_dep(0x500, base ^ (k * 0x4111), 1));
+                }
+            }
+            5 => {
+                let a = rng() % 0x80_0000;
+                instrs.push(Instr::store(0x600, a));
+            }
+            6 => {
+                instrs.push(Instr::branch(0x700 + rng() % 5, rng() % 3 == 0));
+            }
+            _ => {
+                for _ in 0..(rng() % 30) {
+                    instrs.push(Instr::alu(0x800));
+                }
+            }
+        }
+    }
+    instrs.truncate(n);
+    Arc::new(Trace::new("skip-equiv", instrs))
+}
+
+fn run(cfg: &SystemConfig, traces: Vec<Arc<Trace>>, skip: bool) -> (String, u64) {
+    let n = traces[0].instrs.len() as u64;
+    let mut sys = System::new(cfg.clone(), traces)
+        .with_window(n / 4, n)
+        .with_cycle_skip(skip);
+    sys.run();
+    (format!("{:?}", sys.report()), sys.cycles())
+}
+
+fn assert_equiv(label: &str, cfg: &SystemConfig, traces: Vec<Arc<Trace>>) {
+    let (rep_skip, cyc_skip) = run(cfg, traces.clone(), true);
+    let (rep_step, cyc_step) = run(cfg, traces, false);
+    assert_eq!(cyc_skip, cyc_step, "{label}: end cycle diverged");
+    assert_eq!(rep_skip, rep_step, "{label}: report diverged");
+}
+
+#[test]
+fn skip_matches_cycle_by_cycle_nonsecure() {
+    let cfg = SystemConfig::baseline(1);
+    assert_equiv("nonsecure/nopf", &cfg, vec![mixed_trace(0xA1, 4000)]);
+}
+
+#[test]
+fn skip_matches_cycle_by_cycle_bingo_on_access() {
+    let cfg = SystemConfig::baseline(1).with_prefetcher(PrefetcherKind::Bingo);
+    assert_equiv("nonsecure/bingo", &cfg, vec![mixed_trace(0xB2, 4000)]);
+}
+
+#[test]
+fn skip_matches_cycle_by_cycle_secure_berti_on_commit() {
+    let cfg = SystemConfig::baseline(1)
+        .with_secure(SecureMode::GhostMinion)
+        .with_suf(true)
+        .with_prefetcher(PrefetcherKind::Berti)
+        .with_mode(PrefetchMode::OnCommit);
+    assert_equiv(
+        "gm+suf/berti-on-commit",
+        &cfg,
+        vec![mixed_trace(0xC3, 4000)],
+    );
+}
+
+#[test]
+fn skip_matches_cycle_by_cycle_two_cores() {
+    let cfg = SystemConfig::baseline(2).with_prefetcher(PrefetcherKind::IpStride);
+    assert_equiv(
+        "2core/ip-stride",
+        &cfg,
+        vec![mixed_trace(0xD4, 3000), mixed_trace(0xE5, 3000)],
+    );
+}

@@ -43,6 +43,16 @@ echo "== simbench smoke (benchmark harness stays runnable)"
 cargo build --release -p secpref-bench --bin simbench
 ./target/release/simbench --smoke
 
+echo "== simbench perf guard (vs committed BENCH_simcore.json)"
+# Perf-regression tripwire: a quick (~25 ms/cell) measurement of the
+# pinned matrix, compared against the committed artifact's geomean. A
+# drop past the guard band (30%) fails the gate. Escape hatch for noisy
+# runners or intentional changes pending a baseline regeneration
+# (EXPERIMENTS.md, "Regenerating the simulator baseline"):
+#   SECPREF_BENCH_SKIP_GUARD=1 tools/tier1.sh
+SECPREF_BENCH_MS=25 ./target/release/simbench \
+    --guard BENCH_simcore.json --out "$(mktemp)"
+
 echo "== secpref-check fuzz (pinned seed, 2k-iteration budget)"
 # Deterministic fast check: differential golden models + invariant audit
 # over every (mode, prefetcher) cell. The seed is pinned inside the
