@@ -82,7 +82,8 @@ fn main() {
     });
 
     let (cells, geomean) = simcore::run_matrix();
-    let text = simcore::render_json(&cells, geomean, baseline);
+    let stream_decode = simcore::run_decode_bench();
+    let text = simcore::render_json(&cells, geomean, baseline, stream_decode);
     if let Err(e) = std::fs::write(&out, &text) {
         die(&format!("writing {out}: {e}"));
     }
@@ -91,6 +92,7 @@ fn main() {
         geomean,
         cells.len()
     );
+    println!("simbench: streamed decode {stream_decode:.0} instr/sec (geomean)");
     if baseline > 0.0 {
         println!(
             "simbench: {:.2}x vs baseline {:.0}",

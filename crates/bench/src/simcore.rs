@@ -18,6 +18,7 @@ use crate::microbench::MicroBench;
 use secpref_exp::json::{self, Json};
 use secpref_sim::System;
 use secpref_trace::suite;
+use secpref_tracestore::{ReadSeek, StreamFeed, TraceReader, TraceWriter};
 use secpref_types::{PrefetcherKind, SystemConfig};
 
 /// Warm-up window per cell, in instructions.
@@ -143,6 +144,44 @@ pub fn run_matrix() -> (Vec<CellResult>, f64) {
     (cells, geomean)
 }
 
+/// Chunk size used by the streamed-decode throughput benchmark.
+const DECODE_CHUNK: u32 = 4_096;
+
+/// Measures sequential chunk-store decode throughput (instructions per
+/// second through a sliding-window [`StreamFeed`] scan) over the pinned
+/// trace axis and returns the geomean. This is the streamed path's
+/// decode-side cost in isolation — no simulator attached — recorded in
+/// `BENCH_simcore.json` so decode-speed regressions are visible in the
+/// committed artifact even though they do not gate the guard band.
+pub fn run_decode_bench() -> f64 {
+    let n = (WARMUP + MEASURE) as usize;
+    let mut mb = MicroBench::new("stream-decode");
+    let mut rates = Vec::new();
+    for trace_name in trace_matrix() {
+        let trace = suite::cached_trace(trace_name, n);
+        let mut w = TraceWriter::create(Vec::new(), trace_name, DECODE_CHUNK).expect("vec write");
+        for i in trace.instrs.iter() {
+            w.push(i).expect("vec write");
+        }
+        let (_, bytes) = w.finish().expect("vec write");
+        let ns = mb.bench_ns(&format!("decode x {trace_name}"), || {
+            let reader = TraceReader::open(
+                Box::new(std::io::Cursor::new(bytes.clone())) as Box<dyn ReadSeek>
+            )
+            .expect("store just written");
+            let mut feed = StreamFeed::new(reader, 256);
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= feed.get(i).ip.raw();
+            }
+            acc
+        });
+        rates.push(n as f64 * 1e9 / ns);
+    }
+    mb.finish();
+    geomean(rates.into_iter())
+}
+
 /// Runs one pass of the matrix with the phase profiler enabled and
 /// returns the aggregated wall-time attribution (`simbench --profile`).
 ///
@@ -184,8 +223,14 @@ pub fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
-/// Renders the `BENCH_simcore.json` document.
-pub fn render_json(cells: &[CellResult], geomean: f64, baseline: f64) -> String {
+/// Renders the `BENCH_simcore.json` document. `stream_decode` is the
+/// [`run_decode_bench`] geomean (instructions/sec).
+pub fn render_json(
+    cells: &[CellResult],
+    geomean: f64,
+    baseline: f64,
+    stream_decode: f64,
+) -> String {
     let cell_rows: Vec<Json> = cells
         .iter()
         .map(|c| {
@@ -214,6 +259,7 @@ pub fn render_json(cells: &[CellResult], geomean: f64, baseline: f64) -> String 
         ("geomean_sim_instr_per_sec", Json::Float(geomean)),
         ("baseline_geomean_sim_instr_per_sec", Json::Float(baseline)),
         ("speedup_vs_baseline", Json::Float(speedup)),
+        ("stream_decode_instr_per_sec", Json::Float(stream_decode)),
     ]);
     format!("{doc}\n")
 }
@@ -274,7 +320,8 @@ mod tests {
             },
         ];
         let g = geomean(cells.iter().map(|c| c.instr_per_sec));
-        let text = render_json(&cells, g, 1.0e6);
+        let text = render_json(&cells, g, 1.0e6, 5.0e7);
+        assert!(text.contains("stream_decode_instr_per_sec"));
         let (geo, base, speedup) = parse_json(&text).unwrap();
         assert_eq!(geo, g);
         assert_eq!(base, 1.0e6);

@@ -1,0 +1,114 @@
+//! Streamed-vs-materialized differential over the pinned fuzz-matrix
+//! cells (the same 13 + 5 cells whose report digests are pinned in
+//! `report_digest.rs`).
+//!
+//! Every cell runs each pinned adversarial trace twice — once with the
+//! classic in-memory `Arc<Trace>` feed and once streamed from a chunk
+//! store serialized in memory — and the two canonical reports must be
+//! **bit-identical**. The adversarial traces carry wrong-path
+//! annotations, so this also proves the store's wrong-path side table
+//! reaches the core intact. Together with the pinned digests this pins
+//! the streamed path to the exact pre-streaming simulator behavior.
+
+use std::sync::Arc;
+
+use secpref_check::fuzz::gen_trace;
+use secpref_check::{cells, PINNED_SEED};
+use secpref_exp::codec::report_to_string;
+use secpref_sim::System;
+use secpref_trace::Trace;
+use secpref_tracestore::{ReadSeek, StreamFeed, TraceFeed, TraceReader, TraceWriter};
+use std::io::Cursor;
+
+const TRACE_SEEDS: [u64; 3] = [PINNED_SEED, PINNED_SEED + 3, PINNED_SEED + 5];
+/// Small enough that the fuzz traces span many chunks.
+const CHUNK: u32 = 1_024;
+
+/// Serializes a materialized trace — wrong-path annotations included —
+/// into an in-memory chunk store.
+fn store_bytes(trace: &Trace) -> Vec<u8> {
+    let mut w = TraceWriter::create(Vec::new(), &trace.name, CHUNK).unwrap();
+    for i in trace.instrs.iter() {
+        w.push(i).unwrap();
+    }
+    for (&idx, addrs) in &trace.wrong_path {
+        w.push_wrong_path(idx as u64, addrs.clone());
+    }
+    let (_, bytes) = w.finish().unwrap();
+    bytes
+}
+
+fn stream_feed(bytes: Vec<u8>, rob_entries: usize) -> TraceFeed {
+    let reader = TraceReader::open(Box::new(Cursor::new(bytes)) as Box<dyn ReadSeek>).unwrap();
+    TraceFeed::Stream(Box::new(StreamFeed::for_core(reader, rob_entries)))
+}
+
+fn run_cell(cfg: &secpref_types::SystemConfig, seed: u64) -> (String, String) {
+    let trace = Arc::new(gen_trace(seed));
+    let n = trace.instrs.len() as u64;
+    let bytes = store_bytes(&trace);
+
+    let mut mem_sys = System::new(cfg.clone(), vec![trace]).with_window(0, n);
+    mem_sys.run();
+
+    let feed = stream_feed(bytes, cfg.core.rob_entries);
+    let mut stream_sys = System::from_feeds(cfg.clone(), vec![feed]).with_window(0, n);
+    stream_sys.run();
+
+    (
+        report_to_string(&mem_sys.report()),
+        report_to_string(&stream_sys.report()),
+    )
+}
+
+fn assert_cells_identical(configs: &[(String, secpref_types::SystemConfig)]) {
+    let mut mismatches = Vec::new();
+    for (label, cfg) in configs {
+        for seed in TRACE_SEEDS {
+            let (mem, streamed) = run_cell(cfg, seed);
+            if mem != streamed {
+                mismatches.push(format!("  {label} @ seed {seed}"));
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "streamed reports diverged from in-memory on:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn streamed_matches_materialized_on_all_pinned_cells() {
+    let configs: Vec<_> = cells()
+        .into_iter()
+        .map(|c| (c.label.to_string(), c.cfg))
+        .collect();
+    assert_cells_identical(&configs);
+}
+
+#[test]
+fn streamed_matches_materialized_on_timely_secure_cells() {
+    use secpref_types::{PrefetchMode, PrefetcherKind, SecureMode, SystemConfig};
+    let configs: Vec<_> = [
+        PrefetcherKind::IpStride,
+        PrefetcherKind::Ipcp,
+        PrefetcherKind::Bingo,
+        PrefetcherKind::SppPpf,
+        PrefetcherKind::Berti,
+    ]
+    .into_iter()
+    .map(|kind| {
+        (
+            format!("ts+suf/{kind}"),
+            SystemConfig::baseline(1)
+                .with_secure(SecureMode::GhostMinion)
+                .with_prefetcher(kind)
+                .with_mode(PrefetchMode::OnCommit)
+                .with_timely_secure(true)
+                .with_suf(true),
+        )
+    })
+    .collect();
+    assert_cells_identical(&configs);
+}

@@ -3,6 +3,7 @@
 
 use crate::predictor::PerceptronPredictor;
 use secpref_trace::{InstrKind, Trace};
+use secpref_tracestore::TraceFeed;
 use secpref_types::{config::CoreConfig, Addr, CoreId, Cycle, FillInfo, Ip};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -192,7 +193,7 @@ type ResolveEntry = (Cycle, u64, u64, u32, u8);
 pub struct Core {
     id: CoreId,
     cfg: CoreConfig,
-    trace: Arc<Trace>,
+    feed: TraceFeed,
     cursor: usize,
     rob: VecDeque<RobEntry>,
     lq: Vec<LqEntry>,
@@ -204,19 +205,41 @@ pub struct Core {
     /// `issue_loads` skip the LQ scan entirely on quiet cycles.
     lq_pending: usize,
     next_ts: u64,
+    /// Per-trace-index load completion times, indexed by
+    /// `trace_idx & done_mask`. For in-memory feeds the table is
+    /// trace-length and the mask is all-ones (identity indexing, exactly
+    /// the pre-streaming layout); for streamed feeds it is a power-of-two
+    /// ring sized past `rob_entries + max_dep_dist`, which is safe
+    /// because a slot is rewritten to `NOT_DONE` at dispatch before any
+    /// dependent can read it and the live index span never exceeds the
+    /// ring length.
     load_done_at: Vec<Cycle>,
+    done_mask: usize,
     stats: CoreStats,
 }
 
 impl Core {
-    /// Creates a core over `trace` with the given configuration.
+    /// Creates a core over an in-memory `trace` with the given
+    /// configuration.
     pub fn new(id: CoreId, cfg: CoreConfig, trace: Arc<Trace>) -> Self {
+        Self::from_feed(id, cfg, TraceFeed::Mem(trace))
+    }
+
+    /// Creates a core over any [`TraceFeed`] (in-memory or streamed).
+    pub fn from_feed(id: CoreId, cfg: CoreConfig, feed: TraceFeed) -> Self {
         let lq_n = cfg.lq_entries;
-        let load_done_at = vec![NOT_DONE; trace.instrs.len()];
+        let (done_len, done_mask) = match &feed {
+            TraceFeed::Mem(t) => (t.instrs.len(), usize::MAX),
+            TraceFeed::Stream(f) => {
+                let span = cfg.rob_entries + f.max_dep_dist() + 64;
+                let len = span.next_power_of_two();
+                (len, len - 1)
+            }
+        };
         Core {
             id,
             cfg,
-            trace,
+            feed,
             cursor: 0,
             rob: VecDeque::with_capacity(512),
             lq: vec![LqEntry::EMPTY; lq_n],
@@ -226,9 +249,25 @@ impl Core {
             dispatch_stall_until: 0,
             lq_pending: 0,
             next_ts: 1,
-            load_done_at,
+            load_done_at: vec![NOT_DONE; done_len],
+            done_mask,
             stats: CoreStats::default(),
         }
+    }
+
+    /// Resets the core to a fresh state over the same feed (stream
+    /// cursors rewound), discarding all statistics. Used between the
+    /// warmup and measurement phases of a simulation run.
+    pub fn replay(&mut self) {
+        let mut feed = std::mem::take(&mut self.feed);
+        feed.rewind();
+        *self = Core::from_feed(self.id, self.cfg.clone(), feed);
+    }
+
+    /// Residency instrumentation for streamed feeds (`None` for
+    /// in-memory traces).
+    pub fn feed_stats(&self) -> Option<Arc<secpref_tracestore::FeedStats>> {
+        self.feed.stats()
     }
 
     /// The core's id.
@@ -250,7 +289,7 @@ impl Core {
 
     /// True when the whole trace has been dispatched and retired.
     pub fn is_done(&self) -> bool {
-        self.cursor >= self.trace.instrs.len() && self.rob.is_empty()
+        self.cursor >= self.feed.len() && self.rob.is_empty()
     }
 
     /// Instructions retired so far.
@@ -274,7 +313,8 @@ impl Core {
             return;
         }
         e.fill = Some(fill);
-        self.load_done_at[e.trace_idx as usize] = fill.filled_at;
+        let slot = e.trace_idx as usize & self.done_mask;
+        self.load_done_at[slot] = fill.filled_at;
     }
 
     /// Advances the core by one cycle: retire → resolve branches →
@@ -298,7 +338,7 @@ impl Core {
     /// and counted as an issue reject — every cycle), and loads waiting
     /// on an unfinished producer report `MAX` because the completion
     /// that unblocks them is itself a wake source for the caller.
-    pub fn next_wake(&self, now: Cycle) -> Cycle {
+    pub fn next_wake(&mut self, now: Cycle) -> Cycle {
         let mut wake = Cycle::MAX;
         if let Some(head) = self.rob.front() {
             wake = match head.kind {
@@ -323,7 +363,7 @@ impl Core {
                 }
                 let at = match e.dep_idx {
                     Some(dep) => {
-                        let done = self.load_done_at[dep as usize];
+                        let done = self.load_done_at[dep as usize & self.done_mask];
                         if done == NOT_DONE {
                             continue; // wakes via the producer's completion
                         }
@@ -338,9 +378,9 @@ impl Core {
                 }
             }
         }
-        if self.cursor < self.trace.instrs.len() && self.rob.len() < self.cfg.rob_entries {
+        if self.cursor < self.feed.len() && self.rob.len() < self.cfg.rob_entries {
             let lq_blocked = self.lq_free.is_empty()
-                && matches!(self.trace.instrs[self.cursor].kind, InstrKind::Load { .. });
+                && matches!(self.feed.get(self.cursor).kind, InstrKind::Load { .. });
             if !lq_blocked {
                 // ROB-full / LQ-full stalls clear on a retirement, which
                 // the head-of-ROB term above already tracks.
@@ -445,7 +485,7 @@ impl Core {
                 self.lq_free.push(e.lq_id);
                 // Its completion, if it landed, must not satisfy the
                 // re-dispatched instance's dependents prematurely.
-                self.load_done_at[e.trace_idx as usize] = NOT_DONE;
+                self.load_done_at[e.trace_idx as usize & self.done_mask] = NOT_DONE;
                 if was_unissued {
                     self.lq_pending -= 1;
                 }
@@ -473,7 +513,7 @@ impl Core {
                 continue;
             }
             if let Some(dep) = e.dep_idx {
-                let done = self.load_done_at[dep as usize];
+                let done = self.load_done_at[dep as usize & self.done_mask];
                 if done == NOT_DONE || done >= now {
                     continue; // producer not finished yet
                 }
@@ -503,13 +543,13 @@ impl Core {
             return;
         }
         for _ in 0..self.cfg.fetch_width {
-            if self.cursor >= self.trace.instrs.len() {
+            if self.cursor >= self.feed.len() {
                 break;
             }
             if self.rob.len() >= self.cfg.rob_entries {
                 break;
             }
-            let instr = self.trace.instrs[self.cursor];
+            let instr = self.feed.get(self.cursor);
             let trace_idx = self.cursor as u32;
             let ts = self.next_ts;
             let ready_at = now + self.cfg.dispatch_latency;
@@ -521,15 +561,16 @@ impl Core {
                         break; // LQ full: stall dispatch
                     };
                     self.lq_free.pop();
-                    let dep_idx = (dep_dist > 0)
-                        .then(|| trace_idx.saturating_sub(dep_dist as u32))
-                        .filter(|&p| {
-                            matches!(self.trace.instrs[p as usize].kind, InstrKind::Load { .. })
-                                && p != trace_idx
-                        });
-                    if dep_idx.is_some() {
-                        // The producer's completion time is re-established
-                        // when (re-)dispatched; see squash_younger.
+                    // The producer's completion time is re-established
+                    // when (re-)dispatched; see squash_younger.
+                    let mut dep_idx = None;
+                    if dep_dist > 0 {
+                        let p = trace_idx.saturating_sub(dep_dist as u32);
+                        if p != trace_idx
+                            && matches!(self.feed.get(p as usize).kind, InstrKind::Load { .. })
+                        {
+                            dep_idx = Some(p);
+                        }
                     }
                     let slot = &mut self.lq[lq_id as usize];
                     let gen = slot.gen;
@@ -545,7 +586,7 @@ impl Core {
                         issued: false,
                         fill: None,
                     };
-                    self.load_done_at[trace_idx as usize] = NOT_DONE;
+                    self.load_done_at[trace_idx as usize & self.done_mask] = NOT_DONE;
                     self.lq_pending += 1;
                     let mut e = RobEntry {
                         trace_idx,
@@ -576,7 +617,7 @@ impl Core {
                         // The wrong path executes transiently between now
                         // and resolve: inject its loads if the trace
                         // specifies them (security experiments).
-                        if let Some(addrs) = self.trace.wrong_path.get(&trace_idx) {
+                        if let Some(addrs) = self.feed.wrong_path(trace_idx) {
                             for &a in addrs {
                                 self.stats.wrong_path_loads += 1;
                                 let _ = mem.try_issue_load(

@@ -12,26 +12,42 @@
 use crate::scale::ExpScale;
 use secpref_sim::{
     run_multi_with_window, run_multi_with_window_obs, run_single_with_window,
-    run_single_with_window_obs, ObsCapture, ObsConfig, SimReport,
+    run_single_with_window_obs, run_stream_with_window, ObsCapture, ObsConfig, SimReport,
 };
 use secpref_trace::suite;
 use secpref_types::SystemConfig;
+use std::path::PathBuf;
 
-/// What a job simulates: one trace on one core, or a 4-core mix.
+/// What a job simulates: one trace on one core, a 4-core mix, or a
+/// streamed on-disk chunk store.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Workload {
     /// Single-core run of one named suite trace.
     Single(String),
     /// 4-core multiprogrammed mix of named suite traces.
     Mix([String; 4]),
+    /// Single-core bounded-memory replay of a captured `.sct` chunk
+    /// store. Keyed by the store's chunking-independent content digest,
+    /// *not* by `path` — the same capture moved elsewhere on disk
+    /// deduplicates to the same job.
+    Stream {
+        /// Trace name recorded in the store footer.
+        name: String,
+        /// Whole-trace content digest from the store footer.
+        digest: u64,
+        /// Where the store lives (execution only; excluded from the key).
+        path: PathBuf,
+    },
 }
 
 impl Workload {
-    /// Trace names this workload needs, in order.
+    /// Suite trace names this workload needs pre-generated, in order
+    /// (empty for streams — their instructions come off disk).
     pub fn trace_names(&self) -> Vec<&str> {
         match self {
             Workload::Single(n) => vec![n.as_str()],
             Workload::Mix(ns) => ns.iter().map(String::as_str).collect(),
+            Workload::Stream { .. } => Vec::new(),
         }
     }
 
@@ -40,6 +56,7 @@ impl Workload {
         match self {
             Workload::Single(n) => n.clone(),
             Workload::Mix(ns) => format!("mix[{}]", ns.join("+")),
+            Workload::Stream { name, .. } => format!("stream[{name}]"),
         }
     }
 }
@@ -74,10 +91,32 @@ impl JobSpec {
         }
     }
 
+    /// Single-core streamed job over a captured chunk store at `path`.
+    /// Reads the store footer for the trace name and content digest that
+    /// key the job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/validation errors from the chunk-store reader.
+    pub fn stream(cfg: SystemConfig, path: PathBuf, scale: ExpScale) -> std::io::Result<Self> {
+        let file = std::io::BufReader::new(std::fs::File::open(&path)?);
+        let reader = secpref_tracestore::TraceReader::open(file)?;
+        let meta = reader.meta();
+        Ok(JobSpec {
+            cfg,
+            workload: Workload::Stream {
+                name: meta.name.clone(),
+                digest: meta.content_digest,
+                path,
+            },
+            scale,
+        })
+    }
+
     /// The effective (warm-up, measurement) window for this job.
     pub fn window(&self) -> (u64, u64) {
         match self.workload {
-            Workload::Single(_) => self.scale.window(),
+            Workload::Single(_) | Workload::Stream { .. } => self.scale.window(),
             Workload::Mix(_) => self.scale.multicore_window(),
         }
     }
@@ -92,6 +131,9 @@ impl JobSpec {
         let workload = match &self.workload {
             Workload::Single(n) => format!("single:{n}"),
             Workload::Mix(ns) => format!("mix:{}", ns.join(",")),
+            // Content-addressed: the digest covers every instruction and
+            // wrong-path annotation; the on-disk location is irrelevant.
+            Workload::Stream { name, digest, .. } => format!("stream:{name}:{digest:016x}"),
         };
         format!(
             "v1|cfg={:?}|workload={workload}|scale={}|warmup={warmup}|measure={measure}|trace_len={}",
@@ -143,6 +185,12 @@ impl JobSpec {
                     .collect();
                 run_multi_with_window(&self.cfg, traces, warmup, measure)
             }
+            Workload::Stream { path, .. } => {
+                // The store was validated when the spec was built; a
+                // failure here means it vanished or was corrupted since.
+                run_stream_with_window(&self.cfg, path, warmup, measure)
+                    .unwrap_or_else(|e| panic!("chunk store {}: {e}", path.display()))
+            }
         }
     }
 
@@ -164,6 +212,22 @@ impl JobSpec {
                     .map(|n| suite::cached_trace(n, self.scale.trace_len()))
                     .collect();
                 run_multi_with_window_obs(&self.cfg, traces, warmup, measure, obs)
+            }
+            Workload::Stream { path, .. } => {
+                let mut cfg = self.cfg.clone();
+                cfg.cores = 1;
+                cfg.llc = secpref_types::CacheConfig::baseline_llc(1);
+                let feed = secpref_sim::StreamFeed::open_for_core(path, cfg.core.rob_entries)
+                    .unwrap_or_else(|e| panic!("chunk store {}: {e}", path.display()));
+                let mut sys = secpref_sim::System::from_feeds(
+                    cfg,
+                    vec![secpref_sim::TraceFeed::Stream(Box::new(feed))],
+                )
+                .with_window(warmup, measure)
+                .with_obs(obs);
+                sys.run();
+                let capture = sys.take_obs();
+                (sys.report(), capture)
             }
         }
     }
@@ -263,6 +327,29 @@ mod tests {
         let a = mk(["a", "b", "c", "d"]);
         let b = mk(["d", "c", "b", "a"]);
         assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn stream_key_is_content_addressed_not_path_addressed() {
+        let mk = |digest: u64, path: &str| JobSpec {
+            cfg: SystemConfig::baseline(1),
+            workload: Workload::Stream {
+                name: "mcf_like_a".into(),
+                digest,
+                path: PathBuf::from(path),
+            },
+            scale: ExpScale::Quick,
+        };
+        let a = mk(0xDEAD_BEEF, "/tmp/a.sct");
+        let b = mk(0xDEAD_BEEF, "/elsewhere/moved.sct");
+        let c = mk(0xFEED_FACE, "/tmp/a.sct");
+        assert_eq!(a.key(), b.key(), "moving a capture must not change its key");
+        assert_ne!(a.key(), c.key(), "different content must change the key");
+        assert_ne!(a.key(), base_job().key());
+        assert!(
+            a.workload.trace_names().is_empty(),
+            "streams skip pregenerate"
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub use profile::{Phase, ProfileReport, Profiler};
 pub use report::{geomean, mean, weighted_speedup, SimReport};
 pub use secpref_mem::dram::DramStats;
 pub use secpref_obs::{ObsCapture, ObsConfig};
+pub use secpref_tracestore::{FeedStats, StreamFeed, TraceFeed};
 pub use system::{build_prefetcher, System, DEFAULT_MEASURE, DEFAULT_WARMUP};
 
 use secpref_trace::Trace;
@@ -63,6 +64,32 @@ pub fn run_single_with_window(
     let mut sys = System::new(cfg, vec![trace.clone()]).with_window(warmup, measure);
     sys.run();
     sys.report()
+}
+
+/// Runs a single-core simulation streamed from an on-disk chunk store
+/// (`.sct`), with explicit windows (instructions). Peak trace-resident
+/// memory stays bounded by the decode window — one chunk plus the
+/// core-shaped lookback — regardless of trace length; build the
+/// [`System`] by hand via [`System::from_feeds`] when the residency
+/// instrumentation ([`System::feed_stats`]) is needed.
+///
+/// # Errors
+///
+/// Propagates open/validation errors from the chunk-store reader.
+pub fn run_stream_with_window(
+    cfg: &SystemConfig,
+    path: &std::path::Path,
+    warmup: u64,
+    measure: u64,
+) -> std::io::Result<SimReport> {
+    let mut cfg = cfg.clone();
+    cfg.cores = 1;
+    cfg.llc = secpref_types::CacheConfig::baseline_llc(1);
+    let feed = StreamFeed::open_for_core(path, cfg.core.rob_entries)?;
+    let mut sys = System::from_feeds(cfg, vec![TraceFeed::Stream(Box::new(feed))])
+        .with_window(warmup, measure);
+    sys.run();
+    Ok(sys.report())
 }
 
 /// Runs a multi-core simulation (one trace per core) with explicit

@@ -13,6 +13,7 @@ use secpref_mem::dram::DramStats;
 use secpref_obs::{EpochRow, Event, EventKind, LevelEpoch, Obs, ObsCapture, ObsConfig};
 use secpref_prefetch::Prefetcher;
 use secpref_trace::Trace;
+use secpref_tracestore::TraceFeed;
 use secpref_types::{Cycle, LineAddr, PrefetchMode, PrefetcherKind, SystemConfig};
 use std::sync::Arc;
 
@@ -107,7 +108,6 @@ fn level_delta(cur: &LevelMetrics, prev: &LevelMetrics) -> LevelEpoch {
 
 struct CoreState {
     core: Core,
-    trace: Arc<Trace>,
     /// Instructions retired by already-finished replays of the trace.
     retired_base: u64,
     warmup_cycle: Option<Cycle>,
@@ -180,17 +180,27 @@ impl System {
     /// Panics if the configuration is invalid or the trace count does not
     /// match `cfg.cores`.
     pub fn new(cfg: SystemConfig, traces: Vec<Arc<Trace>>) -> Self {
+        Self::from_feeds(cfg, traces.into_iter().map(TraceFeed::Mem).collect())
+    }
+
+    /// Creates a system running `feeds[i]` on core `i` — in-memory
+    /// traces and bounded-memory streamed chunk stores mix freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the feed count does not
+    /// match `cfg.cores`.
+    pub fn from_feeds(cfg: SystemConfig, feeds: Vec<TraceFeed>) -> Self {
         cfg.validate().expect("invalid system configuration");
-        assert_eq!(traces.len(), cfg.cores, "one trace per core");
+        assert_eq!(feeds.len(), cfg.cores, "one feed per core");
         let prefetchers = (0..cfg.cores).map(|_| build_prefetcher(&cfg)).collect();
         let classifiers = (0..cfg.cores).map(|_| build_classifier(&cfg)).collect();
         let hierarchy = Hierarchy::new(cfg.clone(), prefetchers, build_filter(&cfg), classifiers);
-        let cores = traces
+        let cores = feeds
             .into_iter()
             .enumerate()
-            .map(|(i, t)| CoreState {
-                core: Core::new(i, cfg.core.clone(), t.clone()),
-                trace: t,
+            .map(|(i, f)| CoreState {
+                core: Core::from_feed(i, cfg.core.clone(), f),
                 retired_base: 0,
                 warmup_cycle: None,
                 finished_cycle: None,
@@ -341,7 +351,7 @@ impl System {
                 // Trace exhausted but target not reached: replay.
                 if st.core.is_done() {
                     st.retired_base += st.core.retired();
-                    st.core = Core::new(c, self.cfg.core.clone(), st.trace.clone());
+                    st.core.replay();
                     if let Some(t) = self.obs_track.get_mut(c) {
                         t.prev_squashed = 0; // fresh core, fresh counter
                     }
@@ -422,7 +432,7 @@ impl System {
             if fast_forward && !progressed {
                 let mut wake = self.hierarchy.next_due(now);
                 if wake > next_cycle {
-                    for st in &self.cores {
+                    for st in &mut self.cores {
                         if st.finished_cycle.is_some() {
                             continue;
                         }
@@ -533,6 +543,12 @@ impl System {
     /// Core statistics (mispredicts, squashes, …).
     pub fn core_stats(&self, core: usize) -> secpref_cpu::CoreStats {
         self.cores[core].core.stats()
+    }
+
+    /// Streamed-feed residency instrumentation for `core` (`None` when
+    /// that core runs an in-memory trace).
+    pub fn feed_stats(&self, core: usize) -> Option<Arc<secpref_tracestore::FeedStats>> {
+        self.cores[core].core.feed_stats()
     }
 
     /// The cycle the simulation ended at.

@@ -14,6 +14,7 @@
 
 use crate::gen::graph::CsrGraph;
 use crate::instr::{Instr, Trace};
+use crate::sink::{TraceSink, VecSink};
 use secpref_types::rng::Xoshiro256ss;
 
 const OFFSETS_BASE: u64 = 0x10_0000_0000;
@@ -53,40 +54,39 @@ impl GapKernel {
     }
 }
 
-/// Trace emitter that walks a graph kernel and records its memory stream.
-struct Emitter {
-    instrs: Vec<Instr>,
-    target: usize,
+/// Trace emitter that walks a graph kernel and records its memory stream
+/// into a [`TraceSink`] (a `Vec`, a chunked on-disk writer, …).
+struct Emitter<'a> {
+    sink: &'a mut dyn TraceSink,
     ip_base: u64,
     queue_pos: u64,
 }
 
-impl Emitter {
-    fn new(target: usize, ip_base: u64) -> Self {
+impl Emitter<'_> {
+    fn new(sink: &mut dyn TraceSink, ip_base: u64) -> Emitter<'_> {
         Emitter {
-            instrs: Vec::with_capacity(target + 64),
-            target,
+            sink,
             ip_base,
             queue_pos: 0,
         }
     }
 
     fn full(&self) -> bool {
-        self.instrs.len() >= self.target
+        self.sink.full()
     }
 
     fn idx(&self) -> usize {
-        self.instrs.len()
+        self.sink.len()
     }
 
     fn alu(&mut self, n: usize) {
         for _ in 0..n {
-            self.instrs.push(Instr::alu(self.ip_base));
+            self.sink.push(Instr::alu(self.ip_base));
         }
     }
 
     fn branch(&mut self, site: u64, taken: bool) {
-        self.instrs
+        self.sink
             .push(Instr::branch(self.ip_base + 0x100 + site * 4, taken));
     }
 
@@ -95,17 +95,17 @@ impl Emitter {
     fn load_queue(&mut self) {
         let addr = QUEUE_BASE + self.queue_pos * 4;
         self.queue_pos += 1;
-        self.instrs.push(Instr::load(self.ip_base, addr));
+        self.sink.push(Instr::load(self.ip_base, addr));
     }
 
     fn store_queue(&mut self) {
         let addr = QUEUE_BASE + 0x1000_0000 + self.queue_pos * 4;
-        self.instrs.push(Instr::store(self.ip_base + 0x08, addr));
+        self.sink.push(Instr::store(self.ip_base + 0x08, addr));
     }
 
     fn load_offsets(&mut self, v: u32) {
         let addr = OFFSETS_BASE + v as u64 * 4;
-        self.instrs.push(Instr::load(self.ip_base + 0x10, addr));
+        self.sink.push(Instr::load(self.ip_base + 0x10, addr));
     }
 
     /// Streaming edge-array load; returns the instruction index (for
@@ -113,7 +113,7 @@ impl Emitter {
     fn load_edge(&mut self, edge_index: u64, site: u64) -> usize {
         let addr = NEIGHBORS_BASE + edge_index * 4;
         let i = self.idx();
-        self.instrs
+        self.sink
             .push(Instr::load(self.ip_base + 0x18 + site * 8, addr));
         i
     }
@@ -123,30 +123,42 @@ impl Emitter {
     fn load_prop(&mut self, u: u32, dep_idx: usize, site: u64) {
         let addr = PROP_BASE + u as u64 * 8;
         let dep = (self.idx() - dep_idx).min(u16::MAX as usize) as u16;
-        self.instrs
+        self.sink
             .push(Instr::load_dep(self.ip_base + 0x40 + site * 8, addr, dep));
     }
 
     fn load_prop2(&mut self, u: u32, site: u64) {
         let addr = PROP2_BASE + u as u64 * 8;
-        self.instrs
+        self.sink
             .push(Instr::load(self.ip_base + 0x60 + site * 8, addr));
     }
 
     fn store_prop(&mut self, u: u32) {
         let addr = PROP_BASE + u as u64 * 8;
-        self.instrs.push(Instr::store(self.ip_base + 0x70, addr));
+        self.sink.push(Instr::store(self.ip_base + 0x70, addr));
     }
 
     fn store_prop2(&mut self, u: u32) {
         let addr = PROP2_BASE + u as u64 * 8;
-        self.instrs.push(Instr::store(self.ip_base + 0x78, addr));
+        self.sink.push(Instr::store(self.ip_base + 0x78, addr));
     }
 }
 
 /// Generates a GAP kernel trace of exactly `n` instructions.
 pub fn generate(kernel: GapKernel, graph: &CsrGraph, seed: u64, n: usize) -> Trace {
-    let mut e = Emitter::new(n, 0x70_0000 + (kernel as u64) * 0x10_000);
+    let mut sink = VecSink::new(n);
+    generate_into(kernel, graph, seed, &mut sink);
+    Trace::new(
+        format!("{}_{}", kernel.name(), graph.vertex_count()),
+        sink.instrs,
+    )
+}
+
+/// Streams a GAP kernel trace into `sink` until it is full, without
+/// materializing the instruction vector. Emission is prefix-stable: the
+/// first `k` instructions are identical whatever the sink capacity.
+pub fn generate_into(kernel: GapKernel, graph: &CsrGraph, seed: u64, sink: &mut dyn TraceSink) {
+    let mut e = Emitter::new(sink, 0x70_0000 + (kernel as u64) * 0x10_000);
     let mut rng = Xoshiro256ss::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
     while !e.full() {
         match kernel {
@@ -158,14 +170,9 @@ pub fn generate(kernel: GapKernel, graph: &CsrGraph, seed: u64, n: usize) -> Tra
             GapKernel::Tc => run_tc(&mut e, graph),
         }
     }
-    e.instrs.truncate(n);
-    Trace::new(
-        format!("{}_{}", kernel.name(), graph.vertex_count()),
-        e.instrs,
-    )
 }
 
-fn run_bfs(e: &mut Emitter, g: &CsrGraph, rng: &mut Xoshiro256ss) {
+fn run_bfs(e: &mut Emitter<'_>, g: &CsrGraph, rng: &mut Xoshiro256ss) {
     let v_count = g.vertex_count();
     let mut visited = vec![false; v_count];
     let source = rng.gen_u32(v_count as u32);
@@ -202,7 +209,7 @@ fn run_bfs(e: &mut Emitter, g: &CsrGraph, rng: &mut Xoshiro256ss) {
     }
 }
 
-fn run_pr(e: &mut Emitter, g: &CsrGraph) {
+fn run_pr(e: &mut Emitter<'_>, g: &CsrGraph) {
     for v in 0..g.vertex_count() as u32 {
         if e.full() {
             return;
@@ -224,7 +231,7 @@ fn run_pr(e: &mut Emitter, g: &CsrGraph) {
     }
 }
 
-fn run_cc(e: &mut Emitter, g: &CsrGraph) {
+fn run_cc(e: &mut Emitter<'_>, g: &CsrGraph) {
     for v in 0..g.vertex_count() as u32 {
         if e.full() {
             return;
@@ -248,7 +255,7 @@ fn run_cc(e: &mut Emitter, g: &CsrGraph) {
     }
 }
 
-fn run_sssp(e: &mut Emitter, g: &CsrGraph, rng: &mut Xoshiro256ss) {
+fn run_sssp(e: &mut Emitter<'_>, g: &CsrGraph, rng: &mut Xoshiro256ss) {
     // Bellman-Ford over a frontier with re-relaxations: like BFS but
     // vertices can re-enter the frontier, matching sssp's larger traffic.
     let v_count = g.vertex_count();
@@ -291,7 +298,7 @@ fn run_sssp(e: &mut Emitter, g: &CsrGraph, rng: &mut Xoshiro256ss) {
     }
 }
 
-fn run_bc(e: &mut Emitter, g: &CsrGraph, rng: &mut Xoshiro256ss) {
+fn run_bc(e: &mut Emitter<'_>, g: &CsrGraph, rng: &mut Xoshiro256ss) {
     // Forward BFS accumulating path counts, then a backward sweep over the
     // visit order accumulating dependencies.
     let v_count = g.vertex_count();
@@ -346,7 +353,7 @@ fn run_bc(e: &mut Emitter, g: &CsrGraph, rng: &mut Xoshiro256ss) {
     }
 }
 
-fn run_tc(e: &mut Emitter, g: &CsrGraph) {
+fn run_tc(e: &mut Emitter<'_>, g: &CsrGraph) {
     for v in 0..g.vertex_count() as u32 {
         if e.full() {
             return;

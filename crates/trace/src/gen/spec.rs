@@ -16,6 +16,7 @@
 //! * [`Component::StoreStream`] — streaming stores (lbm).
 
 use crate::instr::{Instr, Trace};
+use crate::sink::{TraceSink, VecSink};
 use secpref_types::rng::Xoshiro256ss;
 use secpref_types::LINE_SIZE;
 
@@ -189,6 +190,19 @@ impl SpecKernel {
     ///
     /// Panics if the kernel has no components or all weights are zero.
     pub fn generate(&self, n: usize) -> Trace {
+        let mut sink = VecSink::new(n);
+        self.generate_into(&mut sink);
+        Trace::new(self.name.clone(), sink.instrs)
+    }
+
+    /// Streams this kernel into `sink` until the sink is full, without
+    /// materializing the trace. Emission is prefix-stable: the first `k`
+    /// instructions are identical whatever the sink capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel has no components or all weights are zero.
+    pub fn generate_into(&self, sink: &mut dyn TraceSink) {
         assert!(!self.components.is_empty(), "kernel needs components");
         let total_weight: u32 = self.components.iter().map(|(_, w)| *w).sum();
         assert!(total_weight > 0, "kernel needs nonzero weights");
@@ -202,11 +216,10 @@ impl SpecKernel {
             .collect();
         let weights: Vec<u32> = self.components.iter().map(|(_, w)| *w).collect();
 
-        let mut instrs = Vec::with_capacity(n);
         let mut alu_budget = 0usize;
         let mut since_branch = 0usize;
         let mut branch_phase = 0u64;
-        while instrs.len() < n {
+        while !sink.full() {
             since_branch += 1;
             if self.branch_every > 0 && since_branch >= self.branch_every {
                 since_branch = 0;
@@ -217,12 +230,12 @@ impl SpecKernel {
                     // Loop-style pattern: taken except every 16th.
                     !branch_phase.is_multiple_of(16)
                 };
-                instrs.push(Instr::branch(0x50_0000 + (branch_phase % 8) * 4, taken));
+                sink.push(Instr::branch(0x50_0000 + (branch_phase % 8) * 4, taken));
                 continue;
             }
             if alu_budget > 0 {
                 alu_budget -= 1;
-                instrs.push(Instr::alu(0x60_0000));
+                sink.push(Instr::alu(0x60_0000));
                 continue;
             }
             // Weighted component pick.
@@ -235,12 +248,10 @@ impl SpecKernel {
                 }
                 pick -= *w;
             }
-            let instr = states[idx].emit(instrs.len(), &mut rng);
-            instrs.push(instr);
+            let instr = states[idx].emit(sink.len(), &mut rng);
+            sink.push(instr);
             alu_budget = self.alu_per_mem;
         }
-        instrs.truncate(n);
-        Trace::new(self.name.clone(), instrs)
     }
 }
 

@@ -5,31 +5,48 @@
 //!
 //! ```text
 //! magic   8 B   "SECPREF\0"
-//! version 4 B   u32 (currently 1)
+//! version 4 B   u32 (1 or 2)
 //! n_instr 8 B   u64
 //! n_wp    8 B   u64 — wrong-path entries
 //! name    4 B length + UTF-8 bytes
-//! instrs  n_instr × 12 B records
+//! instrs  n_instr records (layout depends on version, below)
 //! wrong-path entries: (u32 index, u32 count, count × u64 addresses)
 //! ```
 //!
-//! Each instruction record is `(tag: u8, pad: u8, dep: u16, ip_lo: u32,
-//! payload: u64)` where payload is the address for memory ops and the
-//! taken flag for branches. IPs are reconstructed from a 32-bit
-//! compression (sufficient for the synthetic generators, asserted on
-//! write).
+//! **v1** records are fixed 16 B: `(tag: u8, pad: u8, dep: u16,
+//! ip_lo: u32, payload: u64)` — IPs are compressed to 32 bits, which the
+//! synthetic generators satisfied but imported traces do not.
+//!
+//! **v2** records are variable-length: a head byte packing
+//! `tag | taken << 2 | has_dep << 3`, a varint full 64-bit IP, then (for
+//! memory ops) a varint address and (for dependent loads) a varint
+//! dependency distance. v2 is what [`write_trace`] emits; [`read_trace`]
+//! accepts both versions.
+//!
+//! For streaming (record-at-a-time) access without materializing the
+//! instruction vector, use [`StraceReader`] / [`StraceWriter`] — the
+//! chunked trace store (`secpref-tracestore`) imports and exports this
+//! format through them.
 
 use crate::instr::{Instr, InstrKind, Trace};
+use secpref_types::varint;
 use secpref_types::{Addr, Ip};
-use std::io::{self, Read, Write};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Seek, SeekFrom, Write};
 
 const MAGIC: &[u8; 8] = b"SECPREF\0";
-const VERSION: u32 = 1;
+/// Legacy fixed-record version (32-bit IPs).
+pub const VERSION_V1: u32 = 1;
+/// Current varint version (full 64-bit IPs).
+pub const VERSION_V2: u32 = 2;
 
 const TAG_ALU: u8 = 0;
 const TAG_LOAD: u8 = 1;
 const TAG_STORE: u8 = 2;
 const TAG_BRANCH: u8 = 3;
+
+const HEAD_TAKEN: u8 = 1 << 2;
+const HEAD_HAS_DEP: u8 = 1 << 3;
 
 fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -51,8 +68,116 @@ fn get_u64(r: &mut impl Read) -> io::Result<u64> {
     Ok(u64::from_le_bytes(b))
 }
 
-/// Serializes a trace. `writer` can be a `File`, a `Vec<u8>`, or any
-/// `Write` (pass `&mut w` to keep ownership).
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes one v2 variable-length record.
+fn write_record_v2(w: &mut impl Write, i: &Instr) -> io::Result<()> {
+    let (head, addr, dep): (u8, Option<u64>, Option<u16>) = match i.kind {
+        InstrKind::Alu => (TAG_ALU, None, None),
+        InstrKind::Load { addr, dep_dist } => {
+            let head = if dep_dist != 0 {
+                TAG_LOAD | HEAD_HAS_DEP
+            } else {
+                TAG_LOAD
+            };
+            (head, Some(addr.raw()), (dep_dist != 0).then_some(dep_dist))
+        }
+        InstrKind::Store { addr } => (TAG_STORE, Some(addr.raw()), None),
+        InstrKind::Branch { taken } => {
+            (TAG_BRANCH | if taken { HEAD_TAKEN } else { 0 }, None, None)
+        }
+    };
+    w.write_all(&[head])?;
+    varint::write_u64(w, i.ip.raw())?;
+    if let Some(a) = addr {
+        varint::write_u64(w, a)?;
+    }
+    if let Some(d) = dep {
+        varint::write_u64(w, d as u64)?;
+    }
+    Ok(())
+}
+
+/// Reads one v2 variable-length record.
+fn read_record_v2(r: &mut impl Read) -> io::Result<Instr> {
+    let mut head = [0u8; 1];
+    r.read_exact(&mut head)?;
+    let head = head[0];
+    let tag = head & 0b11;
+    let ip = Ip::new(varint::read_u64(r)?);
+    let kind = match tag {
+        TAG_ALU => InstrKind::Alu,
+        TAG_LOAD => {
+            let addr = Addr::new(varint::read_u64(r)?);
+            let dep_dist = if head & HEAD_HAS_DEP != 0 {
+                let d = varint::read_u64(r)?;
+                u16::try_from(d).map_err(|_| bad("dep distance exceeds u16"))?
+            } else {
+                0
+            };
+            InstrKind::Load { addr, dep_dist }
+        }
+        TAG_STORE => InstrKind::Store {
+            addr: Addr::new(varint::read_u64(r)?),
+        },
+        TAG_BRANCH => InstrKind::Branch {
+            taken: head & HEAD_TAKEN != 0,
+        },
+        _ => unreachable!("tag is 2 bits"),
+    };
+    Ok(Instr { ip, kind })
+}
+
+/// Reads one v1 fixed 16-byte record.
+fn read_record_v1(r: &mut impl Read) -> io::Result<Instr> {
+    let mut head = [0u8; 4];
+    r.read_exact(&mut head)?;
+    let tag = head[0];
+    let dep = u16::from_le_bytes([head[2], head[3]]);
+    let ip = Ip::new(get_u32(r)? as u64);
+    let payload = get_u64(r)?;
+    let kind = match tag {
+        TAG_ALU => InstrKind::Alu,
+        TAG_LOAD => InstrKind::Load {
+            addr: Addr::new(payload),
+            dep_dist: dep,
+        },
+        TAG_STORE => InstrKind::Store {
+            addr: Addr::new(payload),
+        },
+        TAG_BRANCH => InstrKind::Branch {
+            taken: payload != 0,
+        },
+        _ => return Err(bad(format!("bad instruction tag {tag}"))),
+    };
+    Ok(Instr { ip, kind })
+}
+
+/// Serializes a trace in the current (v2) format. `writer` can be a
+/// `File`, a `Vec<u8>`, or any `Write` (pass `&mut w` to keep ownership).
+/// v2 records carry full 64-bit IPs; there is no 32-bit restriction.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace(mut writer: impl Write, trace: &Trace) -> io::Result<()> {
+    let w = &mut writer;
+    w.write_all(MAGIC)?;
+    put_u32(w, VERSION_V2)?;
+    put_u64(w, trace.instrs.len() as u64)?;
+    put_u64(w, trace.wrong_path.len() as u64)?;
+    put_u32(w, trace.name.len() as u32)?;
+    w.write_all(trace.name.as_bytes())?;
+    for i in trace.instrs.iter() {
+        write_record_v2(w, i)?;
+    }
+    write_wrong_path(w, &trace.wrong_path)
+}
+
+/// Serializes a trace in the legacy v1 fixed-record format, for
+/// compatibility testing and for tools that still speak v1.
 ///
 /// # Errors
 ///
@@ -60,12 +185,12 @@ fn get_u64(r: &mut impl Read) -> io::Result<u64> {
 ///
 /// # Panics
 ///
-/// Panics if an instruction pointer exceeds 32 bits (the synthetic
-/// generators never produce such IPs).
-pub fn write_trace(mut writer: impl Write, trace: &Trace) -> io::Result<()> {
+/// Panics if an instruction pointer exceeds 32 bits (the v1 record
+/// compresses IPs to 32 bits; use [`write_trace`] for arbitrary IPs).
+pub fn write_trace_v1(mut writer: impl Write, trace: &Trace) -> io::Result<()> {
     let w = &mut writer;
     w.write_all(MAGIC)?;
-    put_u32(w, VERSION)?;
+    put_u32(w, VERSION_V1)?;
     put_u64(w, trace.instrs.len() as u64)?;
     put_u64(w, trace.wrong_path.len() as u64)?;
     put_u32(w, trace.name.len() as u32)?;
@@ -86,7 +211,11 @@ pub fn write_trace(mut writer: impl Write, trace: &Trace) -> io::Result<()> {
         put_u32(w, i.ip.raw() as u32)?;
         put_u64(w, payload)?;
     }
-    for (&idx, addrs) in &trace.wrong_path {
+    write_wrong_path(w, &trace.wrong_path)
+}
+
+fn write_wrong_path(w: &mut impl Write, wp: &BTreeMap<u32, Vec<Addr>>) -> io::Result<()> {
+    for (&idx, addrs) in wp {
         put_u32(w, idx)?;
         put_u32(w, addrs.len() as u32)?;
         for a in addrs {
@@ -96,82 +225,207 @@ pub fn write_trace(mut writer: impl Write, trace: &Trace) -> io::Result<()> {
     Ok(())
 }
 
-/// Deserializes a trace written by [`write_trace`].
-///
-/// # Errors
-///
-/// Returns `InvalidData` on a bad magic/version/tag, and propagates I/O
-/// errors (including truncation) from the reader.
-pub fn read_trace(mut reader: impl Read) -> io::Result<Trace> {
-    let r = &mut reader;
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
-    }
-    let version = get_u32(r)?;
-    if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported trace version {version}"),
-        ));
-    }
-    let n_instr = get_u64(r)? as usize;
-    let n_wp = get_u64(r)? as usize;
-    let name_len = get_u32(r)? as usize;
-    if name_len > 4096 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "name too long"));
-    }
-    let mut name = vec![0u8; name_len];
-    r.read_exact(&mut name)?;
-    let name = String::from_utf8(name)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "name not UTF-8"))?;
-    let mut instrs = Vec::with_capacity(n_instr.min(1 << 28));
-    for _ in 0..n_instr {
-        let mut head = [0u8; 4];
-        r.read_exact(&mut head)?;
-        let tag = head[0];
-        let dep = u16::from_le_bytes([head[2], head[3]]);
-        let ip = Ip::new(get_u32(r)? as u64);
-        let payload = get_u64(r)?;
-        let kind = match tag {
-            TAG_ALU => InstrKind::Alu,
-            TAG_LOAD => InstrKind::Load {
-                addr: Addr::new(payload),
-                dep_dist: dep,
-            },
-            TAG_STORE => InstrKind::Store {
-                addr: Addr::new(payload),
-            },
-            TAG_BRANCH => InstrKind::Branch {
-                taken: payload != 0,
-            },
-            _ => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("bad instruction tag {tag}"),
-                ))
-            }
-        };
-        instrs.push(Instr { ip, kind });
-    }
-    let mut trace = Trace::new(name, instrs);
+fn read_wrong_path_entries(r: &mut impl Read, n_wp: usize) -> io::Result<BTreeMap<u32, Vec<Addr>>> {
+    let mut wp = BTreeMap::new();
     for _ in 0..n_wp {
         let idx = get_u32(r)?;
         let count = get_u32(r)? as usize;
         if count > 1 << 20 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "wrong-path burst too large",
-            ));
+            return Err(bad("wrong-path burst too large"));
         }
         let mut addrs = Vec::with_capacity(count);
         for _ in 0..count {
             addrs.push(Addr::new(get_u64(r)?));
         }
-        trace.wrong_path.insert(idx, addrs);
+        wp.insert(idx, addrs);
     }
+    Ok(wp)
+}
+
+/// Deserializes a trace written by [`write_trace`] (v2) or the legacy
+/// [`write_trace_v1`] format.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic/version/tag, and propagates I/O
+/// errors (including truncation) from the reader.
+pub fn read_trace(reader: impl Read) -> io::Result<Trace> {
+    let mut r = StraceReader::open(reader)?;
+    let mut instrs = Vec::with_capacity(r.n_instr().min(1 << 28));
+    while let Some(i) = r.next_instr()? {
+        instrs.push(i);
+    }
+    let name = r.name().to_string();
+    let wp = r.read_wrong_path()?;
+    let mut trace = Trace::new(name, instrs);
+    trace.wrong_path = wp;
     Ok(trace)
+}
+
+/// Streaming record-at-a-time reader for `.strace` files (v1 and v2).
+///
+/// Call [`StraceReader::next_instr`] until it yields `None`, then
+/// [`StraceReader::read_wrong_path`] for the trailing table. Used by the
+/// chunked trace store to import flat traces without materializing them.
+#[derive(Debug)]
+pub struct StraceReader<R> {
+    r: R,
+    version: u32,
+    name: String,
+    n_instr: usize,
+    n_wp: usize,
+    read: usize,
+}
+
+impl<R: Read> StraceReader<R> {
+    /// Reads and validates the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a bad magic or unsupported version and
+    /// propagates reader errors.
+    pub fn open(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let version = get_u32(&mut r)?;
+        if version != VERSION_V1 && version != VERSION_V2 {
+            return Err(bad(format!("unsupported trace version {version}")));
+        }
+        let n_instr = get_u64(&mut r)? as usize;
+        let n_wp = get_u64(&mut r)? as usize;
+        let name_len = get_u32(&mut r)? as usize;
+        if name_len > 4096 {
+            return Err(bad("name too long"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| bad("name not UTF-8"))?;
+        Ok(StraceReader {
+            r,
+            version,
+            name,
+            n_instr,
+            n_wp,
+            read: 0,
+        })
+    }
+
+    /// The trace name from the header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The file format version (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Declared instruction count.
+    pub fn n_instr(&self) -> usize {
+        self.n_instr
+    }
+
+    /// Reads the next instruction, or `None` once all declared records
+    /// have been read.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a malformed record and propagates reader
+    /// errors (truncation surfaces as `UnexpectedEof`).
+    pub fn next_instr(&mut self) -> io::Result<Option<Instr>> {
+        if self.read >= self.n_instr {
+            return Ok(None);
+        }
+        let i = if self.version == VERSION_V1 {
+            read_record_v1(&mut self.r)?
+        } else {
+            read_record_v2(&mut self.r)?
+        };
+        self.read += 1;
+        Ok(Some(i))
+    }
+
+    /// Reads the trailing wrong-path table. Must be called after
+    /// [`StraceReader::next_instr`] has returned `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed entries, and if instruction
+    /// records remain unread.
+    pub fn read_wrong_path(&mut self) -> io::Result<BTreeMap<u32, Vec<Addr>>> {
+        if self.read < self.n_instr {
+            return Err(bad("wrong-path table read before records exhausted"));
+        }
+        read_wrong_path_entries(&mut self.r, self.n_wp)
+    }
+}
+
+/// Streaming record-at-a-time writer for the current (v2) `.strace`
+/// format. The header's instruction count is back-patched on
+/// [`StraceWriter::finish`], so the writer needs [`Seek`] (a `File` or an
+/// `io::Cursor<Vec<u8>>`).
+#[derive(Debug)]
+pub struct StraceWriter<W> {
+    w: W,
+    n_instr: u64,
+    wrong_path: BTreeMap<u32, Vec<Addr>>,
+}
+
+impl<W: Write + Seek> StraceWriter<W> {
+    /// Writes the header (with a placeholder count) and returns the
+    /// writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn create(mut w: W, name: &str) -> io::Result<Self> {
+        w.write_all(MAGIC)?;
+        put_u32(&mut w, VERSION_V2)?;
+        put_u64(&mut w, 0)?; // n_instr, patched in finish()
+        put_u64(&mut w, 0)?; // n_wp, patched in finish()
+        put_u32(&mut w, name.len() as u32)?;
+        w.write_all(name.as_bytes())?;
+        Ok(StraceWriter {
+            w,
+            n_instr: 0,
+            wrong_path: BTreeMap::new(),
+        })
+    }
+
+    /// Appends one instruction record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn push(&mut self, i: &Instr) -> io::Result<()> {
+        write_record_v2(&mut self.w, i)?;
+        self.n_instr += 1;
+        Ok(())
+    }
+
+    /// Records a wrong-path burst for instruction `idx` (buffered; the
+    /// table is written by [`StraceWriter::finish`]).
+    pub fn push_wrong_path(&mut self, idx: u32, addrs: Vec<Addr>) {
+        self.wrong_path.insert(idx, addrs);
+    }
+
+    /// Writes the wrong-path table, back-patches the header counts, and
+    /// returns the inner writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn finish(mut self) -> io::Result<W> {
+        write_wrong_path(&mut self.w, &self.wrong_path)?;
+        self.w.seek(SeekFrom::Start(12))?;
+        put_u64(&mut self.w, self.n_instr)?;
+        put_u64(&mut self.w, self.wrong_path.len() as u64)?;
+        self.w.seek(SeekFrom::End(0))?;
+        Ok(self.w)
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +458,33 @@ mod tests {
     }
 
     #[test]
+    fn round_trips_64_bit_ips() {
+        // The v1 format asserted IPs fit in 32 bits; v2 must carry the
+        // full width (imported traces have high IPs).
+        let t = Trace::new(
+            "hi_ip",
+            vec![
+                Instr::alu(0xFFFF_FFFF_0000_1234),
+                Instr::load(0x7FFF_8000_0000_0000, 0xDEAD_BEEF_0000),
+                Instr::branch(u64::MAX - 3, true),
+            ],
+        );
+        let u = round_trip(&t);
+        assert_eq!(t.instrs, u.instrs);
+    }
+
+    #[test]
+    fn v1_files_still_readable() {
+        let t = suite::cached_trace("gcc_like", 2_000);
+        let mut buf = Vec::new();
+        write_trace_v1(&mut buf, &t).unwrap();
+        assert_eq!(u32::from_le_bytes(buf[8..12].try_into().unwrap()), 1);
+        let u = read_trace(buf.as_slice()).expect("v1 must stay readable");
+        assert_eq!(t.instrs, u.instrs);
+        assert_eq!(t.name, u.name);
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let err = read_trace(&b"NOTATRACE....."[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
@@ -232,15 +513,49 @@ mod tests {
         let t = suite::cached_trace("bwaves_like", 10_000);
         let mut buf = Vec::new();
         write_trace(&mut buf, &t).unwrap();
-        // 16 B/record budget incl. header.
+        // 16 B/record budget incl. header; v2 varints land well under.
         assert!(buf.len() < 10_000 * 16 + 64, "{} bytes", buf.len());
+    }
+
+    #[test]
+    fn streaming_writer_matches_write_trace() {
+        let t = suite::cached_trace("xz_like", 3_000);
+        let mut flat = Vec::new();
+        write_trace(&mut flat, &t).unwrap();
+        let mut sw = StraceWriter::create(io::Cursor::new(Vec::new()), &t.name).expect("create");
+        for i in t.instrs.iter() {
+            sw.push(i).unwrap();
+        }
+        for (&idx, addrs) in &t.wrong_path {
+            sw.push_wrong_path(idx, addrs.clone());
+        }
+        let streamed = sw.finish().unwrap().into_inner();
+        assert_eq!(flat, streamed, "streamed bytes must match one-shot bytes");
+    }
+
+    #[test]
+    fn streaming_reader_yields_all_records() {
+        let t = suite::cached_trace("mcf_like_a", 2_500);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let mut r = StraceReader::open(buf.as_slice()).unwrap();
+        assert_eq!(r.name(), "mcf_like_a");
+        assert_eq!(r.version(), VERSION_V2);
+        assert_eq!(r.n_instr(), 2_500);
+        let mut got = Vec::new();
+        while let Some(i) = r.next_instr().unwrap() {
+            got.push(i);
+        }
+        assert_eq!(got[..], t.instrs[..]);
+        assert!(r.read_wrong_path().unwrap().is_empty());
     }
 
     mod props {
         use super::*;
         use secpref_types::rng::Xoshiro256ss;
 
-        /// Any syntactically valid trace survives a round trip.
+        /// Any syntactically valid trace survives a round trip, in both
+        /// the current and the legacy format.
         #[test]
         fn arbitrary_traces_round_trip() {
             for seed in 0..64u64 {
@@ -271,6 +586,10 @@ mod tests {
                 let t = Trace::new("prop", instrs);
                 let u = round_trip(&t);
                 assert_eq!(t.instrs, u.instrs);
+                let mut v1 = Vec::new();
+                write_trace_v1(&mut v1, &t).unwrap();
+                let u1 = read_trace(v1.as_slice()).unwrap();
+                assert_eq!(t.instrs, u1.instrs);
             }
         }
     }

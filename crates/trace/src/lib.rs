@@ -30,7 +30,9 @@
 pub mod gen;
 pub mod instr;
 pub mod io;
+pub mod sink;
 pub mod suite;
 
 pub use instr::{Instr, InstrKind, Trace};
+pub use sink::{TraceSink, VecSink};
 pub use suite::TraceGenerator;

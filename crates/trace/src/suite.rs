@@ -7,6 +7,7 @@ use crate::gen::gap::{self, GapKernel};
 use crate::gen::graph::CsrGraph;
 use crate::gen::spec::{self, SpecKernel};
 use crate::instr::Trace;
+use crate::sink::TraceSink;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -16,6 +17,30 @@ pub trait TraceGenerator: Send + Sync {
     fn name(&self) -> &str;
     /// Generates exactly `n` instructions.
     fn generate(&self, n: usize) -> Trace;
+    /// Streams instructions into `sink` until it is full, without
+    /// materializing the trace. The default materializes and replays
+    /// (correct for any generator); the suite generators override it
+    /// with truly streaming emission.
+    fn generate_into(&self, sink: &mut dyn TraceSink) {
+        // Fallback: generate in chunks until the sink stops accepting.
+        // Only correct for prefix-stable generators, which all suite
+        // generators are (see crate::sink docs).
+        let mut want = 1 << 16;
+        while !sink.full() {
+            let t = self.generate(want);
+            let produced = t.instrs.len();
+            for &i in t.instrs.iter().skip(sink.len()) {
+                if sink.full() {
+                    return;
+                }
+                sink.push(i);
+            }
+            if produced < want {
+                return; // generator can't produce more than this
+            }
+            want *= 2;
+        }
+    }
 }
 
 impl TraceGenerator for SpecKernel {
@@ -24,6 +49,9 @@ impl TraceGenerator for SpecKernel {
     }
     fn generate(&self, n: usize) -> Trace {
         SpecKernel::generate(self, n)
+    }
+    fn generate_into(&self, sink: &mut dyn TraceSink) {
+        SpecKernel::generate_into(self, sink);
     }
 }
 
@@ -66,6 +94,10 @@ impl TraceGenerator for GapGenerator {
         let mut t = gap::generate(self.kernel, &graph, self.seed, n);
         t.name = self.name.clone();
         t
+    }
+    fn generate_into(&self, sink: &mut dyn TraceSink) {
+        let graph = cached_graph(self.vertices, self.avg_degree, self.seed);
+        gap::generate_into(self.kernel, &graph, self.seed, sink);
     }
 }
 
@@ -136,8 +168,33 @@ pub fn trace_by_name(name: &str) -> Option<Box<dyn TraceGenerator>> {
     all_traces().into_iter().find(|g| g.name() == name)
 }
 
-/// Cache key for traces: (name, length).
-type TraceCache = Mutex<HashMap<(String, usize), Arc<OnceLock<Arc<Trace>>>>>;
+/// Maximum number of (name, length) trace entries kept resident. Long
+/// sweep processes request many distinct cells; without a cap the cache
+/// would accumulate every trace ever generated.
+const TRACE_CACHE_CAP: usize = 32;
+
+struct TraceEntry {
+    cell: Arc<OnceLock<Arc<Trace>>>,
+    last_used: u64,
+}
+
+struct TraceCacheState {
+    map: HashMap<(String, usize), TraceEntry>,
+    stamp: u64,
+}
+
+/// Cache for traces, keyed by (name, length), LRU-capped.
+type TraceCache = Mutex<TraceCacheState>;
+
+static TRACES: OnceLock<TraceCache> = OnceLock::new();
+
+#[cfg(test)]
+fn trace_cache_len() -> usize {
+    TRACES
+        .get()
+        .map(|l| l.lock().expect("trace cache poisoned").map.len())
+        .unwrap_or(0)
+}
 
 /// Generates (or fetches from the process-wide cache) the trace `name`
 /// truncated/extended to exactly `n` instructions.
@@ -147,17 +204,51 @@ type TraceCache = Mutex<HashMap<(String, usize), Arc<OnceLock<Arc<Trace>>>>>;
 /// distinct traces concurrently without serializing on this map, and
 /// concurrent requests for the same trace still build it exactly once.
 ///
+/// The cache holds at most [`TRACE_CACHE_CAP`] entries; the least
+/// recently used entry is dropped on overflow (outstanding `Arc`s held
+/// by running simulations keep evicted traces alive until released).
+///
 /// # Panics
 ///
 /// Panics if `name` is not registered in the suite.
 pub fn cached_trace(name: &str, n: usize) -> Arc<Trace> {
-    static TRACES: OnceLock<TraceCache> = OnceLock::new();
-    let lock = TRACES.get_or_init(|| Mutex::new(HashMap::new()));
+    let lock = TRACES.get_or_init(|| {
+        Mutex::new(TraceCacheState {
+            map: HashMap::new(),
+            stamp: 0,
+        })
+    });
     let cell = {
-        let mut map = lock.lock().expect("trace cache poisoned");
-        map.entry((name.to_string(), n))
-            .or_insert_with(|| Arc::new(OnceLock::new()))
-            .clone()
+        let mut state = lock.lock().expect("trace cache poisoned");
+        state.stamp += 1;
+        let stamp = state.stamp;
+        let key = (name.to_string(), n);
+        if let Some(e) = state.map.get_mut(&key) {
+            e.last_used = stamp;
+            e.cell.clone()
+        } else {
+            if state.map.len() >= TRACE_CACHE_CAP {
+                // Evict the least recently used entry. O(cap) scan — the
+                // cap is small and requests are rare relative to runs.
+                if let Some(victim) = state
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                {
+                    state.map.remove(&victim);
+                }
+            }
+            let cell = Arc::new(OnceLock::new());
+            state.map.insert(
+                key,
+                TraceEntry {
+                    cell: cell.clone(),
+                    last_used: stamp,
+                },
+            );
+            cell
+        }
     };
     cell.get_or_init(|| {
         let g = trace_by_name(name).unwrap_or_else(|| panic!("trace `{name}` is not in the suite"));
@@ -169,6 +260,7 @@ pub fn cached_trace(name: &str, n: usize) -> Arc<Trace> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::VecSink;
 
     #[test]
     fn registry_has_both_families() {
@@ -211,6 +303,47 @@ mod tests {
             }
             let t = g.generate(500);
             assert_eq!(t.name, g.name());
+        }
+    }
+
+    #[test]
+    fn cache_is_lru_capped() {
+        // Request far more distinct (name, len) cells than the cap; the
+        // map must never exceed TRACE_CACHE_CAP. Use tiny lengths so the
+        // test is cheap (distinct lengths are distinct keys).
+        for i in 0..(TRACE_CACHE_CAP * 2) {
+            let _ = cached_trace("bwaves_like", 16 + i);
+            assert!(trace_cache_len() <= TRACE_CACHE_CAP);
+        }
+        assert!(trace_cache_len() <= TRACE_CACHE_CAP);
+        // A hot entry survives a pass of inserts (true recency, not FIFO):
+        // touch one key between every insert of the second wave.
+        let hot = cached_trace("bwaves_like", 7777);
+        for i in 0..TRACE_CACHE_CAP {
+            let _ = cached_trace("bwaves_like", 9000 + i);
+            let again = cached_trace("bwaves_like", 7777);
+            assert!(Arc::ptr_eq(&hot, &again), "hot entry must not be evicted");
+        }
+    }
+
+    #[test]
+    fn generate_into_matches_generate_for_all_generators() {
+        // Prefix-stability: streaming emission into a sink must produce
+        // the exact instruction sequence the materializing path produces.
+        for g in all_traces() {
+            if g.name().contains("large") {
+                continue; // skip slow big-graph builds in unit tests
+            }
+            let n = 700;
+            let t = g.generate(n);
+            let mut sink = VecSink::new(n);
+            g.generate_into(&mut sink);
+            assert_eq!(
+                t.instrs[..],
+                sink.instrs[..],
+                "streamed != materialized for {}",
+                g.name()
+            );
         }
     }
 }

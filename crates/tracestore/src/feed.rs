@@ -1,0 +1,410 @@
+//! Bounded-memory streaming trace source for the simulator.
+//!
+//! [`StreamFeed`] keeps a sliding window of decoded chunks over a chunk
+//! store. The window is bounded: chunks ahead of the cursor are decoded
+//! on demand, and chunks that fall entirely behind the *lookback window*
+//! are evicted. The lookback window must cover every backward peek the
+//! core makes:
+//!
+//! * ROB-depth rewinds — a squash rewinds the fetch cursor at most
+//!   `rob_entries` instructions;
+//! * dependency peeks — dispatch inspects the producer of a dependent
+//!   load up to `max_dep_dist` instructions back.
+//!
+//! [`StreamFeed::for_core`] sizes the window as
+//! `rob_entries + max_dep_dist + slack`, so streamed execution observes
+//! exactly the same instruction values as whole-trace indexing — the
+//! equivalence argument for bit-identical streamed reports (DESIGN.md
+//! §11).
+//!
+//! [`TraceFeed`] is the enum the core consumes: `Mem` wraps the classic
+//! in-memory `Arc<Trace>` (zero-cost, identical hot path to the
+//! pre-streaming simulator), `Stream` wraps a [`StreamFeed`].
+
+use crate::format::TraceReader;
+use secpref_trace::{Instr, Trace};
+use secpref_types::Addr;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufReader, Read, Seek};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Object-safe `Read + Seek` bound for the boxed store backing.
+pub trait ReadSeek: Read + Seek + Send {}
+impl<T: Read + Seek + Send> ReadSeek for T {}
+
+/// Residency instrumentation, shared out via `Arc` so callers (tests,
+/// the memory-ceiling recipe in EXPERIMENTS.md) can observe the peak
+/// window size even after the feed moves into a core.
+#[derive(Debug, Default)]
+pub struct FeedStats {
+    /// Peak number of simultaneously resident decoded instructions.
+    pub peak_resident: AtomicUsize,
+    /// Total chunk decodes (re-decodes after rewind count again).
+    pub chunks_decoded: AtomicU64,
+}
+
+impl FeedStats {
+    /// Peak resident decoded instructions observed so far.
+    pub fn peak(&self) -> usize {
+        self.peak_resident.load(Ordering::Relaxed)
+    }
+
+    /// Total chunk decodes so far.
+    pub fn decodes(&self) -> u64 {
+        self.chunks_decoded.load(Ordering::Relaxed)
+    }
+}
+
+/// Extra lookback slack beyond `rob_entries + max_dep_dist`, absorbing
+/// off-by-chunk alignment (eviction is whole-chunk).
+const LOOKBACK_SLACK: usize = 64;
+
+/// A sliding-window streaming cursor over a chunk store.
+pub struct StreamFeed {
+    reader: TraceReader<Box<dyn ReadSeek>>,
+    /// Decoded chunks, contiguous, starting at chunk `win_first_chunk`.
+    window: VecDeque<Vec<Instr>>,
+    /// Chunk index of `window.front()`.
+    win_first_chunk: usize,
+    /// Number of decoded instructions resident in `window`.
+    resident: usize,
+    /// Highest record index ever requested (eviction watermark).
+    hi: usize,
+    /// Record indexes `>= hi - lookback` are kept decodable.
+    lookback: usize,
+    stats: Arc<FeedStats>,
+}
+
+impl std::fmt::Debug for StreamFeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamFeed")
+            .field("name", &self.name())
+            .field("len", &self.len())
+            .field("win_first_chunk", &self.win_first_chunk)
+            .field("resident", &self.resident)
+            .field("hi", &self.hi)
+            .field("lookback", &self.lookback)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamFeed {
+    /// Wraps an open reader with the given lookback window (in
+    /// instructions).
+    pub fn new(reader: TraceReader<Box<dyn ReadSeek>>, lookback: usize) -> Self {
+        StreamFeed {
+            reader,
+            window: VecDeque::new(),
+            win_first_chunk: 0,
+            resident: 0,
+            hi: 0,
+            lookback,
+            stats: Arc::new(FeedStats::default()),
+        }
+    }
+
+    /// Opens a chunk-store file with a lookback sized for `cfg`-shaped
+    /// cores: `rob_entries + max_dep_dist + slack`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/validation errors from [`TraceReader::open`].
+    pub fn open_for_core(path: &Path, rob_entries: usize) -> io::Result<Self> {
+        let file = BufReader::new(File::open(path)?);
+        let reader = TraceReader::open(Box::new(file) as Box<dyn ReadSeek>)?;
+        Ok(Self::for_core(reader, rob_entries))
+    }
+
+    /// Wraps `reader` with a lookback window derived from the core shape
+    /// and the store's recorded maximum dependency distance.
+    pub fn for_core(reader: TraceReader<Box<dyn ReadSeek>>, rob_entries: usize) -> Self {
+        let lookback = rob_entries + reader.meta().max_dep_dist as usize + LOOKBACK_SLACK;
+        Self::new(reader, lookback)
+    }
+
+    /// The residency instrumentation handle.
+    pub fn stats(&self) -> Arc<FeedStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The trace name from the store footer.
+    pub fn name(&self) -> &str {
+        &self.reader.meta().name
+    }
+
+    /// Total instruction count.
+    pub fn len(&self) -> usize {
+        self.reader.meta().n_instr as usize
+    }
+
+    /// True for an empty store.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The store's chunking-independent content digest.
+    pub fn content_digest(&self) -> u64 {
+        self.reader.meta().content_digest
+    }
+
+    /// The configured lookback window (instructions).
+    pub fn lookback(&self) -> usize {
+        self.lookback
+    }
+
+    /// The store's recorded maximum dependency distance.
+    pub fn max_dep_dist(&self) -> usize {
+        self.reader.meta().max_dep_dist as usize
+    }
+
+    /// Wrong-path loads attached to the branch at record `idx`.
+    pub fn wrong_path(&self, idx: u64) -> Option<&Vec<Addr>> {
+        self.reader.meta().wrong_path.get(&idx)
+    }
+
+    /// Returns the instruction at `idx`, decoding forward and evicting
+    /// behind the lookback window as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range (like slice indexing), if a chunk
+    /// fails integrity checks mid-run, or if `idx` has already been
+    /// evicted (a lookback window undersized for the consuming core —
+    /// a bug, not an input condition).
+    pub fn get(&mut self, idx: usize) -> Instr {
+        if idx > self.hi {
+            self.hi = idx;
+        }
+        let chunk_size = self.reader.meta().chunk_size as usize;
+        let chunk = idx / chunk_size;
+        assert!(
+            chunk >= self.win_first_chunk || self.window.is_empty(),
+            "record {idx} (chunk {chunk}) evicted: lookback window too small \
+             (window starts at chunk {})",
+            self.win_first_chunk
+        );
+        if self.window.is_empty() {
+            // Fresh or rewound feed: start the window at the requested chunk.
+            self.win_first_chunk = chunk;
+        }
+        // Decode forward until the chunk is resident.
+        while self.win_first_chunk + self.window.len() <= chunk {
+            let next = self.win_first_chunk + self.window.len();
+            let decoded = self
+                .reader
+                .read_chunk(next)
+                .unwrap_or_else(|e| panic!("chunk {next}: {e}"));
+            self.resident += decoded.len();
+            self.window.push_back(decoded);
+            self.stats.chunks_decoded.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats
+            .peak_resident
+            .fetch_max(self.resident, Ordering::Relaxed);
+        // Evict whole chunks that fall entirely behind the lookback.
+        let keep_from = self.hi.saturating_sub(self.lookback);
+        while self.window.len() > 1 {
+            let front_end = (self.win_first_chunk + 1) * chunk_size;
+            if front_end <= keep_from && self.win_first_chunk < chunk {
+                let evicted = self.window.pop_front().expect("len > 1");
+                self.resident -= evicted.len();
+                self.win_first_chunk += 1;
+            } else {
+                break;
+            }
+        }
+        let rec = &self.window[chunk - self.win_first_chunk];
+        rec[idx % chunk_size]
+    }
+
+    /// Resets the cursor for a fresh pass (replay): drops the window and
+    /// the watermark. Chunk decodes start over from the front.
+    pub fn rewind(&mut self) {
+        self.window.clear();
+        self.win_first_chunk = 0;
+        self.resident = 0;
+        self.hi = 0;
+    }
+}
+
+/// The instruction source a core consumes: either the classic shared
+/// in-memory trace or a bounded-memory streaming feed.
+#[derive(Debug)]
+pub enum TraceFeed {
+    /// Whole trace resident in memory (`Arc`-shared, zero decode cost).
+    Mem(Arc<Trace>),
+    /// Sliding-window streamed decode from a chunk store.
+    Stream(Box<StreamFeed>),
+}
+
+impl Default for TraceFeed {
+    fn default() -> Self {
+        TraceFeed::Mem(Arc::new(Trace::default()))
+    }
+}
+
+impl TraceFeed {
+    /// Total instruction count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            TraceFeed::Mem(t) => t.instrs.len(),
+            TraceFeed::Stream(f) => f.len(),
+        }
+    }
+
+    /// True when the feed holds no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The trace name.
+    pub fn name(&self) -> &str {
+        match self {
+            TraceFeed::Mem(t) => &t.name,
+            TraceFeed::Stream(f) => f.name(),
+        }
+    }
+
+    /// The instruction at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range; for streams, also on integrity
+    /// failures or lookback-window violations (see [`StreamFeed::get`]).
+    #[inline]
+    pub fn get(&mut self, idx: usize) -> Instr {
+        match self {
+            TraceFeed::Mem(t) => t.instrs[idx],
+            TraceFeed::Stream(f) => f.get(idx),
+        }
+    }
+
+    /// Wrong-path loads attached to the branch at `idx`, if any.
+    #[inline]
+    pub fn wrong_path(&self, idx: u32) -> Option<&Vec<Addr>> {
+        match self {
+            TraceFeed::Mem(t) => t.wrong_path.get(&idx),
+            TraceFeed::Stream(f) => f.wrong_path(idx as u64),
+        }
+    }
+
+    /// Resets stream cursors for a replay pass (no-op for `Mem`).
+    pub fn rewind(&mut self) {
+        if let TraceFeed::Stream(f) = self {
+            f.rewind();
+        }
+    }
+
+    /// Residency instrumentation, present for streams.
+    pub fn stats(&self) -> Option<Arc<FeedStats>> {
+        match self {
+            TraceFeed::Mem(_) => None,
+            TraceFeed::Stream(f) => Some(f.stats()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{TraceReader, TraceWriter};
+    use std::io::Cursor;
+
+    const CHUNK: u32 = 256;
+
+    fn make_feed(n: usize, lookback: usize) -> StreamFeed {
+        let mut w = TraceWriter::create(Vec::new(), "feed", CHUNK).unwrap();
+        for i in 0..n {
+            w.push(&Instr::alu(0x1000 + i as u64)).unwrap();
+        }
+        let (_, bytes) = w.finish().unwrap();
+        let reader = TraceReader::open(Box::new(Cursor::new(bytes)) as Box<dyn ReadSeek>).unwrap();
+        StreamFeed::new(reader, lookback)
+    }
+
+    #[test]
+    fn sequential_scan_yields_every_record() {
+        let n = 10 * CHUNK as usize + 17;
+        let mut f = make_feed(n, 128);
+        for i in 0..n {
+            assert_eq!(f.get(i).ip.raw(), 0x1000 + i as u64, "record {i}");
+        }
+    }
+
+    #[test]
+    fn window_stays_bounded_on_sequential_scan() {
+        let n = 40 * CHUNK as usize;
+        let mut f = make_feed(n, 128);
+        let stats = f.stats();
+        for i in 0..n {
+            f.get(i);
+        }
+        // Lookback 128 + one decode-ahead chunk: the window never needs
+        // more than 2 resident chunks (lookback < CHUNK).
+        let peak = stats.peak();
+        assert!(
+            peak <= 2 * CHUNK as usize,
+            "peak residency {peak} exceeds 2 chunks"
+        );
+        assert_eq!(stats.decodes(), 40);
+    }
+
+    #[test]
+    fn lookback_boundary_is_exact() {
+        let n = 8 * CHUNK as usize;
+        let lookback = 300; // spans 2 chunk boundaries
+        let mut f = make_feed(n, lookback);
+        // Walk forward; at each step every index within lookback must
+        // stay accessible.
+        for i in (0..n).step_by(97) {
+            f.get(i);
+            let lo = i.saturating_sub(lookback);
+            assert_eq!(f.get(lo).ip.raw(), 0x1000 + lo as u64);
+            let mid = i.saturating_sub(lookback / 2);
+            assert_eq!(f.get(mid).ip.raw(), 0x1000 + mid as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "evicted")]
+    fn panics_past_lookback() {
+        let n = 8 * CHUNK as usize;
+        let mut f = make_feed(n, 64);
+        for i in 0..n {
+            f.get(i);
+        }
+        f.get(0); // chunk 0 evicted long ago
+    }
+
+    #[test]
+    fn rewind_restarts_from_the_front() {
+        let n = 4 * CHUNK as usize;
+        let mut f = make_feed(n, 64);
+        for i in 0..n {
+            f.get(i);
+        }
+        f.rewind();
+        for i in 0..n {
+            assert_eq!(f.get(i).ip.raw(), 0x1000 + i as u64);
+        }
+        assert_eq!(f.stats().decodes(), 8, "both passes decode all chunks");
+    }
+
+    #[test]
+    fn trace_feed_mem_and_stream_agree() {
+        let n = 3 * CHUNK as usize + 5;
+        let instrs: Vec<Instr> = (0..n).map(|i| Instr::alu(0x1000 + i as u64)).collect();
+        let mut mem = TraceFeed::Mem(Arc::new(Trace::new("feed", instrs)));
+        let mut stream = TraceFeed::Stream(Box::new(make_feed(n, 512)));
+        assert_eq!(mem.len(), stream.len());
+        assert_eq!(mem.name(), stream.name());
+        for i in 0..n {
+            assert_eq!(mem.get(i), stream.get(i));
+        }
+    }
+}

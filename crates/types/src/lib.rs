@@ -25,6 +25,7 @@ pub mod config;
 pub mod level;
 pub mod req;
 pub mod rng;
+pub mod varint;
 
 pub use addr::{Addr, Ip, LineAddr, LINE_SIZE, OFFSET_BITS};
 pub use config::{

@@ -53,6 +53,20 @@ echo "== simbench perf guard (vs committed BENCH_simcore.json)"
 SECPREF_BENCH_MS=25 ./target/release/simbench \
     --guard BENCH_simcore.json --out "$(mktemp)"
 
+echo "== sectrace streamed-replay differential"
+# Capture a small trace to a chunk store, verify its integrity, replay
+# it streamed, and diff the canonical report digest against the same
+# workload regenerated in memory. Any divergence between bounded-memory
+# streaming and whole-trace indexing fails the gate (DESIGN.md §11).
+cargo build --release -p secpref-bench --bin sectrace
+sct_file="$(mktemp -u).sct"
+trap 'rm -f "$stderr_file" "$sct_file"' EXIT
+./target/release/sectrace capture --trace mcf_like_a --n 120000 \
+    --out "$sct_file" --chunk 4096 >/dev/null
+./target/release/sectrace verify "$sct_file" >/dev/null
+./target/release/sectrace replay "$sct_file" \
+    --warmup 10000 --measure 80000 --compare-mem
+
 echo "== secpref-check fuzz (pinned seed, 2k-iteration budget)"
 # Deterministic fast check: differential golden models + invariant audit
 # over every (mode, prefetcher) cell. The seed is pinned inside the
