@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--quick] [--workers N] [--serial] [--quiet] [--timings]
-//!       [--trace TARGET] [--check] [--check-iters N] [--check-replay FILE]
+//!       [--trace TARGET] [--telemetry TARGET] [--validate-trace FILE]
+//!       [--check] [--check-iters N] [--check-replay FILE]
 //!       [all | table1 | table2 | table3 | fig1 | fig3 | fig4 | fig5 |
 //!        fig6 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | stats |
 //!        ablations]
@@ -34,6 +35,19 @@
 //! earlier run already persisted. With `--trace` and no positional
 //! targets, repro skips figure rendering entirely.
 //!
+//! `--telemetry TARGET` (repeatable) is the distribution-level analogue:
+//! it re-simulates the target's jobs with the telemetry recorder on and
+//! writes per-job latency/timeliness histograms (`<key>.hist.csv`) plus
+//! the run's engine span trace (`trace-<run_id>.json`, Chrome
+//! trace-event format — load it in Perfetto) under `target/exp/
+//! telemetry/`. The histogram artifacts obey the same byte-determinism
+//! contract as `--trace` artifacts; the span trace embeds wall-clock
+//! and is validated structurally instead.
+//!
+//! `--validate-trace FILE` parses a trace-event JSON file and checks the
+//! structural invariants Perfetto needs (balanced `B`/`E` spans,
+//! monotonic per-track timestamps), then exits; nonzero on violation.
+//!
 //! The run proceeds in two phases: the requested figures' job sweeps are
 //! pushed through the parallel, resumable experiment engine (progress and
 //! ETA on stderr; results persisted under `target/exp/` so a killed run
@@ -61,6 +75,8 @@ fn main() {
     let mut check_replay: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut trace_targets: Vec<String> = Vec::new();
+    let mut telemetry_targets: Vec<String> = Vec::new();
+    let mut validate_traces: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -101,6 +117,24 @@ fn main() {
                 }
                 trace_targets.push(target.clone());
             }
+            "--telemetry" => {
+                let target = it
+                    .next()
+                    .unwrap_or_else(|| die("--telemetry needs a target name"));
+                if !sweep::SIM_TARGETS.contains(&target.as_str()) {
+                    die(&format!(
+                        "--telemetry target `{target}` has no simulation jobs (expected one of: {})",
+                        sweep::SIM_TARGETS.join(", ")
+                    ));
+                }
+                telemetry_targets.push(target.clone());
+            }
+            "--validate-trace" => {
+                let file = it
+                    .next()
+                    .unwrap_or_else(|| die("--validate-trace needs a JSON file"));
+                validate_traces.push(file.clone());
+            }
             flag if flag.starts_with("--") => die(&format!("unknown flag `{flag}`")),
             target => targets.push(target.to_string()),
         }
@@ -115,6 +149,26 @@ fn main() {
     if quiet {
         // The engine reads this when it is first constructed.
         std::env::set_var("SECPREF_EXP_QUIET", "1");
+    }
+
+    // Trace-event validation runs instead of the figure pipeline.
+    if !validate_traces.is_empty() {
+        let mut failed = false;
+        for file in &validate_traces {
+            let text = std::fs::read_to_string(file)
+                .unwrap_or_else(|e| die(&format!("cannot read `{file}`: {e}")));
+            match secpref_exp::validate_trace_json(&text) {
+                Ok(stats) => println!(
+                    "{file}: ok ({} events, {} tracks)",
+                    stats.events, stats.tracks
+                ),
+                Err(msg) => {
+                    failed = true;
+                    println!("{file}: INVALID: {msg}");
+                }
+            }
+        }
+        std::process::exit(i32::from(failed));
     }
 
     // Correctness modes run instead of the figure pipeline.
@@ -199,7 +253,36 @@ fn main() {
             );
         }
         phases.push(("trace", t0.elapsed()));
-        // `--trace` alone is a diagnostic run: skip figure rendering.
+    }
+
+    // Telemetry runs: re-simulate with the histogram recorder on.
+    if !telemetry_targets.is_empty() {
+        let t_tel = Instant::now();
+        let jobs = sweep::jobs_for_targets(
+            telemetry_targets.iter().map(String::as_str),
+            scale,
+            mix_count,
+        );
+        let (_, summary) =
+            runner::engine().run_telemetry(&jobs, &secpref_exp::TelConfig::enabled());
+        if !quiet {
+            eprintln!(
+                "[repro] telemetry for {}: {} job(s); histograms under {}/telemetry, span trace {}",
+                telemetry_targets.join("+"),
+                summary.jobs_unique,
+                runner::engine().store_dir().display(),
+                summary
+                    .trace_path
+                    .as_deref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_else(|| "(not written)".into()),
+            );
+        }
+        phases.push(("telemetry", t_tel.elapsed()));
+    }
+
+    if !trace_targets.is_empty() || !telemetry_targets.is_empty() {
+        // Diagnostic-only invocation: skip figure rendering.
         if targets.is_empty() {
             if !quiet {
                 eprintln!("[total {:.1?}]", t0.elapsed());

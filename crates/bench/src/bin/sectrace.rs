@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! sectrace capture --trace NAME --n N --out PATH [--chunk RECORDS]
-//! sectrace info PATH
+//! sectrace info PATH [--json]
 //! sectrace verify PATH
 //! sectrace replay PATH [--warmup N] [--measure N] [--compare-mem]
 //! sectrace import SRC.strace DST.sct [--chunk RECORDS]
@@ -15,6 +15,9 @@
 //! - `capture`: stream a suite generator to disk chunk-by-chunk — the
 //!   whole trace is never materialized, so `--n` far beyond RAM works.
 //! - `info`: print the store footer (name, length, chunking, digest).
+//!   With `--json`, print the pinned machine-readable schema instead
+//!   (`secpref_bench::traceinfo::info_json`), including a per-chunk
+//!   compression-ratio histogram summary.
 //! - `verify`: full integrity pass — every chunk checksum plus the
 //!   whole-file content digest. Exits non-zero on corruption.
 //! - `replay`: simulate the store streamed under the baseline config and
@@ -105,9 +108,20 @@ fn cmd_capture(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_info(path: &str) -> ExitCode {
+fn cmd_info(path: &str, args: &[String]) -> ExitCode {
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            other => die(&format!("info: unknown flag `{other}`")),
+        }
+    }
     let r = open_reader(path);
     let m = r.meta();
+    if json {
+        println!("{}", secpref_bench::traceinfo::info_json(m));
+        return ExitCode::SUCCESS;
+    }
     let comp: u64 = m.chunks.iter().map(|c| c.comp_len as u64).sum();
     let raw: u64 = m.chunks.iter().map(|c| c.raw_len as u64).sum();
     println!("name:        {}", m.name);
@@ -246,7 +260,7 @@ fn main() -> ExitCode {
     match args.split_first() {
         Some((cmd, rest)) => match (cmd.as_str(), rest) {
             ("capture", rest) => cmd_capture(rest),
-            ("info", [path]) => cmd_info(path),
+            ("info", [path, rest @ ..]) => cmd_info(path, rest),
             ("verify", [path]) => cmd_verify(path),
             ("replay", [path, rest @ ..]) => cmd_replay(path, rest),
             ("import", [src, dst, rest @ ..]) => cmd_import(src, dst, rest),

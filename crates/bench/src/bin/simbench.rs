@@ -12,7 +12,12 @@
 //!   stage. Exits non-zero on any validation failure.
 //! - `--profile`: run the matrix once with the built-in phase profiler
 //!   and print the ranked wall-time-per-phase table instead of
-//!   benchmarking (see EXPERIMENTS.md, "Profiling the simulator").
+//!   benchmarking (see EXPERIMENTS.md, "Profiling the simulator"). The
+//!   phase attribution is also exported as Chrome trace-event JSON
+//!   (loadable in Perfetto, same exporter as the experiment engine's
+//!   sweep span traces) to `--out` if given, else
+//!   `target/exp/telemetry/profile-trace.json`; the export is
+//!   structurally validated before simbench exits.
 //! - `--guard PATH`: after measuring, compare the geomean against the
 //!   committed artifact at `PATH` and exit non-zero on a regression
 //!   beyond the guard band (the tier-1 perf tripwire). Set
@@ -64,6 +69,18 @@ fn main() {
         let report = simcore::run_profile();
         println!("simbench: phase profile over the full matrix");
         println!("{report}");
+        let trace_out = out.unwrap_or_else(|| "target/exp/telemetry/profile-trace.json".into());
+        let json = simcore::profile_trace_json(&report);
+        if let Err(e) = secpref_exp::validate_trace_json(&json) {
+            die(&format!("profile trace failed validation: {e}"));
+        }
+        if let Some(dir) = std::path::Path::new(&trace_out).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&trace_out, json + "\n") {
+            die(&format!("writing {trace_out}: {e}"));
+        }
+        println!("simbench: phase trace (Perfetto-compatible) -> {trace_out}");
         return;
     }
 

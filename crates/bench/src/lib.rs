@@ -16,6 +16,7 @@ pub mod runner;
 pub mod simcore;
 pub mod sweep;
 pub mod table;
+pub mod traceinfo;
 
 pub use runner::{run_cached, ExpScale};
 pub use table::Table;

@@ -209,6 +209,24 @@ pub fn run_profile() -> secpref_sim::ProfileReport {
     agg
 }
 
+/// Renders an aggregated phase profile as Chrome trace-event JSON — the
+/// same exporter the experiment engine uses for sweep span traces, so
+/// `simbench --profile` output loads in Perfetto alongside them. Phases
+/// are laid end to end on one track as complete (`ph: "X"`) spans, in
+/// report order, each annotated with its enter count.
+pub fn profile_trace_json(report: &secpref_sim::ProfileReport) -> String {
+    let mut tb = secpref_telemetry::TraceBuilder::new();
+    tb.thread_name(0, "phases");
+    let mut at_us = 0u64;
+    for row in &report.rows {
+        let dur = row.time.as_micros() as u64;
+        let enters = row.enters.to_string();
+        tb.complete(0, row.phase.name(), at_us, dur, &[("enters", &enters)]);
+        at_us += dur;
+    }
+    tb.finish()
+}
+
 /// Geometric mean of a positive sequence (0.0 when empty).
 pub fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
     let (mut log_sum, mut n) = (0.0f64, 0u32);
@@ -297,6 +315,46 @@ pub fn parse_json(text: &str) -> Result<(f64, f64, f64), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn profile_trace_export_is_valid_and_ordered() {
+        use secpref_sim::{Phase, ProfileReport, ProfileRow};
+        use std::time::Duration;
+        let report = ProfileReport {
+            rows: vec![
+                ProfileRow {
+                    phase: Phase::Core,
+                    time: Duration::from_micros(120),
+                    enters: 7,
+                },
+                ProfileRow {
+                    phase: Phase::Dram,
+                    time: Duration::from_micros(30),
+                    enters: 2,
+                },
+            ],
+        };
+        let json = profile_trace_json(&report);
+        let stats = secpref_exp::validate_trace_json(&json).expect("profile trace must validate");
+        // thread_name metadata + one X span per row.
+        assert_eq!(stats.events, 3);
+        assert_eq!(stats.tracks, 1);
+        // Spans are laid end to end: second starts where the first ends.
+        assert!(json.contains("\"ts\":0,\"dur\":120"), "{json}");
+        assert!(json.contains("\"ts\":120,\"dur\":30"), "{json}");
+        assert!(json.contains("\"enters\":\"7\""), "{json}");
+    }
+
+    #[test]
+    fn empty_profile_trace_is_a_valid_shell() {
+        use secpref_sim::ProfileReport;
+        // An all-zero aggregation seed still carries one zero-length span
+        // per phase (plus the track-name metadata record).
+        let json = profile_trace_json(&ProfileReport::empty());
+        let stats = secpref_exp::validate_trace_json(&json).expect("empty profile trace validates");
+        assert_eq!(stats.tracks, 1);
+        assert_eq!(stats.events, 1 + secpref_sim::PHASES);
+    }
 
     #[test]
     fn geomean_basics() {

@@ -1,0 +1,159 @@
+//! `sectrace info --json` rendering: chunk-store stats as a pinned JSON
+//! schema, with a per-chunk compression-ratio histogram summary.
+//!
+//! Kept out of the `sectrace` binary so the schema is unit-testable: the
+//! JSON layout is a contract for scripting (`sectrace info x.sct --json |
+//! jq ...`), so [`info_json`]'s field set is pinned by a test — adding a
+//! field is fine, renaming or removing one is a breaking change.
+
+use secpref_exp::json::{obj, Json};
+use secpref_tracestore::StoreMeta;
+use secpref_types::Hist;
+
+/// Per-chunk compression ratios (percent, `comp_len * 100 / raw_len`)
+/// folded into a histogram.
+fn ratio_hist(meta: &StoreMeta) -> Hist {
+    let mut h = Hist::new();
+    for c in &meta.chunks {
+        if c.raw_len > 0 {
+            h.record(c.comp_len as u64 * 100 / c.raw_len as u64);
+        }
+    }
+    h
+}
+
+/// Summarizes a histogram as a JSON object (count plus exact min/max/mean
+/// and the p50/p90 bucket upper bounds when non-empty).
+fn hist_summary(h: &Hist) -> Json {
+    let mut fields = vec![("count", Json::UInt(h.count()))];
+    if let (Some(min), Some(max), Some(mean)) = (h.min(), h.max(), h.mean()) {
+        fields.push(("min", Json::UInt(min)));
+        fields.push(("max", Json::UInt(max)));
+        fields.push(("mean", Json::Float(mean)));
+        for (name, q) in [("p50", 0.5), ("p90", 0.9)] {
+            if let Some((_, hi)) = h.quantile_bounds(q) {
+                fields.push((name, Json::UInt(hi)));
+            }
+        }
+    }
+    obj(fields)
+}
+
+/// Renders a store footer as the pinned `sectrace info --json` document.
+pub fn info_json(meta: &StoreMeta) -> Json {
+    let comp: u64 = meta.chunks.iter().map(|c| c.comp_len as u64).sum();
+    let raw: u64 = meta.chunks.iter().map(|c| c.raw_len as u64).sum();
+    let ratio_pct = if raw == 0 {
+        0.0
+    } else {
+        100.0 * comp as f64 / raw as f64
+    };
+    obj(vec![
+        ("name", Json::Str(meta.name.clone())),
+        ("instrs", Json::UInt(meta.n_instr)),
+        ("chunk_size", Json::UInt(meta.chunk_size as u64)),
+        ("chunks", Json::UInt(meta.chunks.len() as u64)),
+        ("max_dep_dist", Json::UInt(meta.max_dep_dist)),
+        (
+            "content_digest",
+            Json::Str(format!("{:016x}", meta.content_digest)),
+        ),
+        (
+            "wrong_path_branches",
+            Json::UInt(meta.wrong_path.len() as u64),
+        ),
+        ("compressed_bytes", Json::UInt(comp)),
+        ("raw_bytes", Json::UInt(raw)),
+        ("compression_pct", Json::Float(ratio_pct)),
+        ("chunk_compression_pct", hist_summary(&ratio_hist(meta))),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secpref_tracestore::format::ChunkInfo;
+    use std::collections::BTreeMap;
+
+    fn meta() -> StoreMeta {
+        let chunk = |raw_len: u32, comp_len: u32| ChunkInfo {
+            offset: 0,
+            n_records: 1000,
+            raw_len,
+            comp_len,
+            checksum: 0,
+        };
+        StoreMeta {
+            name: "gcc_like".into(),
+            n_instr: 3000,
+            chunk_size: 1000,
+            max_dep_dist: 17,
+            content_digest: 0xdead_beef_cafe_f00d,
+            chunks: vec![chunk(1000, 250), chunk(1000, 500), chunk(400, 300)],
+            wrong_path: BTreeMap::new(),
+        }
+    }
+
+    /// The JSON field set is a scripting contract: this test pins it.
+    /// Renaming or removing a field must fail here first.
+    #[test]
+    fn schema_is_pinned() {
+        let json = info_json(&meta());
+        for field in [
+            "name",
+            "instrs",
+            "chunk_size",
+            "chunks",
+            "max_dep_dist",
+            "content_digest",
+            "wrong_path_branches",
+            "compressed_bytes",
+            "raw_bytes",
+            "compression_pct",
+            "chunk_compression_pct",
+        ] {
+            assert!(json.get(field).is_some(), "missing pinned field `{field}`");
+        }
+        let hist = json.get("chunk_compression_pct").unwrap();
+        for field in ["count", "min", "max", "mean", "p50", "p90"] {
+            assert!(
+                hist.get(field).is_some(),
+                "missing pinned histogram field `{field}`"
+            );
+        }
+        // The document round-trips through the workspace JSON parser.
+        let text = json.to_string();
+        let parsed = secpref_exp::json::parse(&text).unwrap();
+        assert_eq!(parsed.get("instrs").unwrap().as_u64(), Some(3000));
+    }
+
+    #[test]
+    fn values_are_exact() {
+        let json = info_json(&meta());
+        assert_eq!(json.get("name").unwrap().as_str(), Some("gcc_like"));
+        assert_eq!(json.get("chunks").unwrap().as_u64(), Some(3));
+        assert_eq!(json.get("compressed_bytes").unwrap().as_u64(), Some(1050));
+        assert_eq!(json.get("raw_bytes").unwrap().as_u64(), Some(2400));
+        assert_eq!(
+            json.get("content_digest").unwrap().as_str(),
+            Some("deadbeefcafef00d")
+        );
+        let hist = json.get("chunk_compression_pct").unwrap();
+        // Ratios: 25%, 50%, 75% — exact min/max, three samples.
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(3));
+        assert_eq!(hist.get("min").unwrap().as_u64(), Some(25));
+        assert_eq!(hist.get("max").unwrap().as_u64(), Some(75));
+        assert_eq!(hist.get("mean").unwrap().as_f64(), Some(50.0));
+    }
+
+    #[test]
+    fn empty_store_degrades_cleanly() {
+        let mut m = meta();
+        m.chunks.clear();
+        let json = info_json(&m);
+        assert_eq!(json.get("compression_pct").unwrap().as_f64(), Some(0.0));
+        let hist = json.get("chunk_compression_pct").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(0));
+        assert!(hist.get("min").is_none());
+    }
+}

@@ -22,9 +22,15 @@
 //!    demand accesses and useless evictions never exceed prefetch fills.
 //! 6. **Mode hygiene**: a non-secure run performs no GM accesses and no
 //!    commit-path work at all.
+//!
+//! [`audit_telemetry`] extends the audit to a [`TelCapture`]: histogram
+//! counts must reconcile *exactly* with the report counters (timeliness
+//! histograms with the prefetch useful/late/useless counters, and the
+//! load-latency histograms plus in-flight remainder with the L1D
+//! demand-access counter).
 
 use secpref_obs::EventKind;
-use secpref_sim::{ObsCapture, SimReport};
+use secpref_sim::{ObsCapture, SimReport, TelCapture};
 use secpref_types::SystemConfig;
 
 /// One failed invariant.
@@ -274,6 +280,46 @@ pub fn audit_run(
     out
 }
 
+/// Audits a telemetry capture against the report it was taken with.
+///
+/// Telemetry records at the exact program points that increment the
+/// report counters and arms at the same warm-up boundary, so the
+/// equalities are exact, not bounds:
+///
+/// - `pf_useful/late/useless` histogram counts equal the prefetch
+///   `useful`/`late`/`useless` counters;
+/// - `demand_accesses` (telemetry's mirror of the L1D counter) equals
+///   the sum of all load-latency histogram counts plus the demand
+///   accesses still in flight when the capture was taken;
+/// - the mirrored demand counter equals the report's own.
+pub fn audit_telemetry(report: &SimReport, cap: &TelCapture) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut demand_accesses = 0u64;
+    for m in &report.cores {
+        demand_accesses += m.l1d.demand_accesses;
+    }
+    let useful: u64 = report.cores.iter().map(|m| m.prefetch.useful).sum();
+    let late: u64 = report.cores.iter().map(|m| m.prefetch.late).sum();
+    let useless: u64 = report.cores.iter().map(|m| m.prefetch.useless).sum();
+    check_eq!(out, "tel-useful-count", cap.pf_useful.count(), useful);
+    check_eq!(out, "tel-late-count", cap.pf_late.count(), late);
+    check_eq!(out, "tel-useless-count", cap.pf_useless.count(), useless);
+    let completed: u64 = cap.load_latency.iter().map(|h| h.count()).sum();
+    check_eq!(
+        out,
+        "tel-demand-conservation",
+        cap.demand_accesses,
+        completed + cap.unfinished_demands
+    );
+    check_eq!(
+        out,
+        "tel-demand-mirror",
+        cap.demand_accesses,
+        demand_accesses
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,5 +400,33 @@ mod tests {
         let names: Vec<_> = violations.iter().map(|v| v.invariant).collect();
         assert!(names.contains(&"commit-reconciliation"), "{names:?}");
         assert!(names.contains(&"suf-drop-events"), "{names:?}");
+    }
+
+    #[test]
+    fn telemetry_audit_passes_and_flags_injected_skew() {
+        let cfg = SystemConfig::baseline(1)
+            .with_secure(SecureMode::GhostMinion)
+            .with_suf(true)
+            .with_prefetcher(PrefetcherKind::IpStride)
+            .with_mode(PrefetchMode::OnCommit);
+        let trace = small_trace();
+        let n = trace.instrs.len() as u64;
+        let mut sys = System::new(cfg, vec![trace])
+            .with_window(0, n)
+            .with_telemetry(&secpref_sim::TelConfig::enabled());
+        sys.run();
+        let cap = sys.take_telemetry().expect("telemetry enabled");
+        let mut report = sys.report();
+        assert!(cap.demand_accesses > 0, "vacuous meta-test");
+        assert!(audit_telemetry(&report, &cap).is_empty());
+        // Falsify a counter: the auditor must notice the skew.
+        report.cores[0].prefetch.useful += 1;
+        report.cores[0].l1d.demand_accesses += 1;
+        let names: Vec<_> = audit_telemetry(&report, &cap)
+            .iter()
+            .map(|v| v.invariant)
+            .collect();
+        assert!(names.contains(&"tel-useful-count"), "{names:?}");
+        assert!(names.contains(&"tel-demand-mirror"), "{names:?}");
     }
 }

@@ -40,4 +40,4 @@ pub use golden::{
     golden_commit_action, golden_wb_bits, CheckedFilter, GoldenCache, GoldenGm, GoldenLine,
     SkipOneDropMutant,
 };
-pub use invariants::{audit_run, Violation};
+pub use invariants::{audit_run, audit_telemetry, Violation};

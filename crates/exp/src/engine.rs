@@ -22,7 +22,8 @@ use crate::json::{obj, Json};
 use crate::pool;
 use crate::store::{ResultStore, StoredResult};
 use secpref_obs::ObsSummary;
-use secpref_sim::{ObsConfig, SimReport};
+use secpref_sim::{ObsConfig, SimReport, TelConfig};
+use secpref_telemetry::{progress::stderr_is_tty, Progress, TraceBuilder};
 use secpref_trace::suite;
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Write};
@@ -65,6 +66,8 @@ pub struct JobRecord {
     pub wall: Duration,
     /// Observability summary (traced runs only).
     pub obs: Option<ObsSummary>,
+    /// Total histogram samples (telemetry runs only).
+    pub tel_samples: Option<u64>,
 }
 
 /// Summary of one [`Engine::run_all`] invocation.
@@ -88,6 +91,15 @@ pub struct RunSummary {
     pub manifest_path: PathBuf,
     /// Path of the per-job timing CSV.
     pub timings_path: PathBuf,
+    /// Worker utilization over the execute phase: simulated wall-clock
+    /// divided by `workers × phase duration` (0 when nothing ran).
+    pub utilization: f64,
+    /// Fraction of requested jobs served without fresh simulation
+    /// (request-level duplicates plus memory/store hits).
+    pub dedup_hit_rate: f64,
+    /// Path of the span-trace JSON exported for this run (engine spans on
+    /// per-worker tracks, loadable in Perfetto), when one was written.
+    pub trace_path: Option<PathBuf>,
     /// One record per unique job.
     pub jobs: Vec<JobRecord>,
 }
@@ -174,6 +186,9 @@ impl Engine {
     pub fn run_all_with_summary(&self, jobs: &[JobSpec]) -> (Vec<SimReport>, RunSummary) {
         let t0 = Instant::now();
         let run_id = self.next_run_id();
+        let us = |d: Duration| d.as_micros() as u64;
+        let mut tb = TraceBuilder::new();
+        tb.thread_name(0, "engine");
 
         // Phase 1: dedupe, preserving first-occurrence order.
         let keyed: Vec<(String, String)> = jobs.iter().map(|j| (j.key(), j.canonical())).collect();
@@ -184,8 +199,15 @@ impl Engine {
                 unique.push(i);
             }
         }
+        let n_req = jobs.len().to_string();
+        tb.complete(0, "dedup", 0, us(t0.elapsed()), &[("requested", &n_req)]);
 
-        // Phase 2: resolve from memory, then from the on-disk store.
+        // Phase 2: resolve from memory, then from the on-disk store. The
+        // per-job dedup-hit/miss events below carry later timestamps, so
+        // this span must OPEN before them (a trailing `X` with the phase's
+        // start time would regress the engine track's event order, which
+        // the validator rejects).
+        tb.begin(0, "resolve", us(t0.elapsed()), &[]);
         let mut records: HashMap<String, JobRecord> = HashMap::new();
         let mut to_run: Vec<usize> = Vec::new();
         {
@@ -210,6 +232,13 @@ impl Engine {
                 };
                 match source {
                     Some(src) => {
+                        tb.complete(
+                            0,
+                            "dedup-hit",
+                            us(t0.elapsed()),
+                            0,
+                            &[("key", key), ("source", src.name())],
+                        );
                         records.insert(
                             key.clone(),
                             JobRecord {
@@ -218,10 +247,14 @@ impl Engine {
                                 source: src,
                                 wall: Duration::ZERO,
                                 obs: None,
+                                tel_samples: None,
                             },
                         );
                     }
-                    None => to_run.push(i),
+                    None => {
+                        tb.complete(0, "dedup-miss", us(t0.elapsed()), 0, &[("key", key)]);
+                        to_run.push(i);
+                    }
                 }
             }
             drop(mem);
@@ -230,6 +263,7 @@ impl Engine {
                 mem.insert(k, r);
             }
         }
+        tb.end(0, us(t0.elapsed()));
 
         let from_memory = records
             .values()
@@ -252,56 +286,120 @@ impl Engine {
         // Phase 3: pre-generate traces so workers hit a warm trace cache
         // instead of serializing on generation.
         let run_specs: Vec<JobSpec> = to_run.iter().map(|&i| jobs[i].clone()).collect();
+        let pregen_start = t0.elapsed();
         self.pregenerate_traces(&run_specs);
+        tb.complete(
+            0,
+            "trace-acquire",
+            us(pregen_start),
+            us(t0.elapsed().saturating_sub(pregen_start)),
+            &[],
+        );
 
         // Phase 4: execute, persisting and reporting each completion.
+        // Span layout: one track per worker (simulate spans), with dedup,
+        // store-append, and phase spans on the engine track.
         let total = run_specs.len();
-        let done = AtomicUsize::new(0);
-        let outcomes = pool::run_jobs(&run_specs, self.workers, |idx, job, report, wall| {
-            let (key, canonical) = &keyed[to_run[idx]];
-            if let Err(e) = self.store.append(key, canonical, report) {
-                self.say(&format!("[exp] warning: store append failed: {e}"));
+        for w in 0..self.workers.clamp(1, total.max(1)) {
+            tb.thread_name(w as u32 + 1, &format!("worker-{w}"));
+        }
+        let n_total = total.to_string();
+        tb.begin(0, "execute", us(t0.elapsed()), &[("jobs", &n_total)]);
+        let exec_base = t0.elapsed();
+        let mut progress = Progress::new(unique.len() as u64, self.verbose && stderr_is_tty());
+        progress.set_dedup_hits((unique.len() - total) as u64);
+        for _ in 0..unique.len() - total {
+            if let Some(line) = progress.tick(0) {
+                eprint!(
+                    "
+{line}"
+                );
             }
-            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-            let elapsed = t0.elapsed();
-            let eta = if n > 0 {
-                elapsed.mul_f64((total - n) as f64 / n as f64)
-            } else {
-                Duration::ZERO
-            };
-            self.say(&format!(
-                "[exp] {n}/{total} ({:.0}%) elapsed {} eta {} — {} in {}",
-                n as f64 * 100.0 / total.max(1) as f64,
-                fmt_secs(elapsed),
-                fmt_secs(eta),
-                job.label(),
-                fmt_secs(wall),
-            ));
-        });
+        }
+        let done = AtomicUsize::new(0);
+        let outcomes = pool::run_items_timed(
+            &run_specs,
+            self.workers,
+            JobSpec::run,
+            |idx, job, report, timing| {
+                let (key, canonical) = &keyed[to_run[idx]];
+                let append_start = t0.elapsed();
+                if let Err(e) = self.store.append(key, canonical, report) {
+                    self.say(&format!("[exp] warning: store append failed: {e}"));
+                }
+                tb.complete(
+                    timing.worker as u32 + 1,
+                    "simulate",
+                    us(exec_base + timing.start),
+                    us(timing.wall),
+                    &[("key", key), ("label", &job.label())],
+                );
+                tb.complete(
+                    0,
+                    "store-append",
+                    us(append_start),
+                    us(t0.elapsed().saturating_sub(append_start)),
+                    &[("key", key)],
+                );
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                tb.counter(0, "cells", us(t0.elapsed()), "done", n as u64);
+                let instr: u64 = report.cores.iter().map(|m| m.instructions).sum();
+                if let Some(line) = progress.tick(instr) {
+                    eprint!(
+                        "
+{line}"
+                    );
+                } else if !progress.is_enabled() {
+                    let elapsed = t0.elapsed();
+                    let eta = if n > 0 {
+                        elapsed.mul_f64((total - n) as f64 / n as f64)
+                    } else {
+                        Duration::ZERO
+                    };
+                    self.say(&format!(
+                        "[exp] {n}/{total} ({:.0}%) elapsed {} eta {} — {} in {}",
+                        n as f64 * 100.0 / total.max(1) as f64,
+                        fmt_secs(elapsed),
+                        fmt_secs(eta),
+                        job.label(),
+                        fmt_secs(timing.wall),
+                    ));
+                }
+            },
+        );
+        if progress.needs_newline() {
+            eprintln!();
+        }
+        let exec_wall = t0.elapsed().saturating_sub(exec_base);
+        tb.end(0, us(t0.elapsed()));
         {
             let mut mem = self.mem.lock().expect("engine mem cache");
-            for (idx, outcome) in outcomes.iter().enumerate() {
+            for (idx, (report, wall)) in outcomes.iter().enumerate() {
                 let (key, _) = &keyed[to_run[idx]];
-                mem.insert(key.clone(), outcome.report.clone());
+                mem.insert(key.clone(), report.clone());
                 records.insert(
                     key.clone(),
                     JobRecord {
                         key: key.clone(),
                         label: run_specs[idx].label(),
                         source: ResultSource::Ran,
-                        wall: outcome.wall,
+                        wall: *wall,
                         obs: None,
+                        tel_samples: None,
                     },
                 );
             }
         }
 
-        // Phase 5: manifest + timings, then assemble request-order output.
+        // Phase 5: manifest + timings + span trace, then assemble
+        // request-order output.
         let job_records: Vec<JobRecord> = unique
             .iter()
             .map(|&i| records[&keyed[i].0].clone())
             .collect();
         let wall = t0.elapsed();
+        let sim_wall: Duration = outcomes.iter().map(|(_, w)| *w).sum();
+        let trace_path = self.write_span_trace(&run_id, tb);
         let summary = self.write_observability(RunSummary {
             run_id: run_id.clone(),
             jobs_requested: jobs.len(),
@@ -312,6 +410,9 @@ impl Engine {
             wall,
             manifest_path: PathBuf::new(),
             timings_path: PathBuf::new(),
+            utilization: utilization(sim_wall, exec_wall, self.workers, total),
+            dedup_hit_rate: dedup_hit_rate(jobs.len(), total),
+            trace_path,
             jobs: job_records,
         });
 
@@ -386,6 +487,7 @@ impl Engine {
                     source: ResultSource::Ran,
                     wall,
                     obs: summary,
+                    tel_samples: None,
                 });
                 let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                 self.say(&format!(
@@ -405,6 +507,7 @@ impl Engine {
         });
 
         let wall = t0.elapsed();
+        let sim_wall: Duration = outcomes.iter().map(|(_, w)| *w).sum();
         let summary = self.write_observability(RunSummary {
             run_id: run_id.clone(),
             jobs_requested: jobs.len(),
@@ -415,6 +518,9 @@ impl Engine {
             wall,
             manifest_path: PathBuf::new(),
             timings_path: PathBuf::new(),
+            utilization: utilization(sim_wall, wall, self.workers, total),
+            dedup_hit_rate: dedup_hit_rate(jobs.len(), total),
+            trace_path: None,
             jobs: job_records,
         });
 
@@ -432,6 +538,183 @@ impl Engine {
             summary.manifest_path.display(),
         ));
         (reports, summary)
+    }
+
+    /// Runs every unique job with a telemetry recorder attached, exports
+    /// `<key>.hist.csv` histogram artifacts under
+    /// `<store_dir>/telemetry/`, and writes the run's engine span trace
+    /// (`trace-<run_id>.json`, Chrome trace-event format) next to them.
+    ///
+    /// Like [`Engine::run_traced`], telemetry runs are a diagnostic mode:
+    /// they always re-simulate and never touch the result store or the
+    /// in-process cache, which keeps the histogram artifacts a pure
+    /// function of the job — byte-identical across worker counts and
+    /// across cold/resumed engines. The span-trace JSON embeds wall-clock
+    /// durations, so it is validated structurally (balanced `B`/`E`,
+    /// monotonic per-track timestamps), never byte-compared.
+    pub fn run_telemetry(&self, jobs: &[JobSpec], tel: &TelConfig) -> (Vec<SimReport>, RunSummary) {
+        let t0 = Instant::now();
+        let run_id = self.next_run_id();
+        let tel_dir = self.store.dir().join("telemetry");
+        let us = |d: Duration| d.as_micros() as u64;
+        let mut tb = TraceBuilder::new();
+        tb.thread_name(0, "engine");
+
+        // Dedupe, preserving first-occurrence order (same as run_all).
+        let keyed: Vec<String> = jobs.iter().map(JobSpec::key).collect();
+        let mut seen = HashSet::new();
+        let mut unique: Vec<usize> = Vec::new();
+        for (i, key) in keyed.iter().enumerate() {
+            if seen.insert(key.clone()) {
+                unique.push(i);
+            }
+        }
+        let run_specs: Vec<JobSpec> = unique.iter().map(|&i| jobs[i].clone()).collect();
+        self.say(&format!(
+            "[exp] telemetry run {run_id}: {} jobs requested, {} unique, artifacts under {}",
+            jobs.len(),
+            unique.len(),
+            tel_dir.display(),
+        ));
+        let pregen_start = t0.elapsed();
+        self.pregenerate_traces(&run_specs);
+        tb.complete(
+            0,
+            "trace-acquire",
+            us(pregen_start),
+            us(t0.elapsed().saturating_sub(pregen_start)),
+            &[],
+        );
+
+        let total = run_specs.len();
+        for w in 0..self.workers.clamp(1, total.max(1)) {
+            tb.thread_name(w as u32 + 1, &format!("worker-{w}"));
+        }
+        let n_total = total.to_string();
+        tb.begin(0, "execute", us(t0.elapsed()), &[("jobs", &n_total)]);
+        let exec_base = t0.elapsed();
+        let mut progress = Progress::new(total as u64, self.verbose && stderr_is_tty());
+        let done = AtomicUsize::new(0);
+        let mut job_records: Vec<JobRecord> = Vec::with_capacity(total);
+        let outcomes = pool::run_items_timed(
+            &run_specs,
+            self.workers,
+            |job| job.run_telemetry(tel),
+            |idx, job, (report, capture), timing| {
+                let key = &keyed[unique[idx]];
+                let samples = capture.as_ref().map(|cap| {
+                    let export_start = t0.elapsed();
+                    match crate::telemetry::write_tel_artifacts(&tel_dir, key, cap) {
+                        Ok(p) => self.say(&format!("[exp] wrote {}", p.display())),
+                        Err(e) => self.say(&format!("[exp] warning: artifact write failed: {e}")),
+                    }
+                    tb.complete(
+                        0,
+                        "hist-export",
+                        us(export_start),
+                        us(t0.elapsed().saturating_sub(export_start)),
+                        &[("key", key)],
+                    );
+                    cap.total_samples()
+                });
+                tb.complete(
+                    timing.worker as u32 + 1,
+                    "simulate",
+                    us(exec_base + timing.start),
+                    us(timing.wall),
+                    &[("key", key), ("label", &job.label())],
+                );
+                job_records.push(JobRecord {
+                    key: key.clone(),
+                    label: job.label(),
+                    source: ResultSource::Ran,
+                    wall: timing.wall,
+                    obs: None,
+                    tel_samples: samples,
+                });
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                tb.counter(0, "cells", us(t0.elapsed()), "done", n as u64);
+                let instr: u64 = report.cores.iter().map(|m| m.instructions).sum();
+                if let Some(line) = progress.tick(instr) {
+                    eprint!(
+                        "
+{line}"
+                    );
+                } else if !progress.is_enabled() {
+                    self.say(&format!(
+                        "[exp] {n}/{total} telemetry — {} in {}",
+                        job.label(),
+                        fmt_secs(timing.wall),
+                    ));
+                }
+            },
+        );
+        if progress.needs_newline() {
+            eprintln!();
+        }
+        let exec_wall = t0.elapsed().saturating_sub(exec_base);
+        tb.end(0, us(t0.elapsed()));
+        // on_done fires in completion order; the manifest lists jobs in
+        // request order, so sort the records back by key position.
+        job_records.sort_by_key(|r| {
+            unique
+                .iter()
+                .position(|&i| keyed[i] == r.key)
+                .unwrap_or(usize::MAX)
+        });
+
+        let wall = t0.elapsed();
+        let sim_wall: Duration = outcomes.iter().map(|(_, w)| *w).sum();
+        let trace_path = self.write_span_trace(&run_id, tb);
+        let summary = self.write_observability(RunSummary {
+            run_id: run_id.clone(),
+            jobs_requested: jobs.len(),
+            jobs_unique: unique.len(),
+            from_memory: 0,
+            from_store: 0,
+            executed: total,
+            wall,
+            manifest_path: PathBuf::new(),
+            timings_path: PathBuf::new(),
+            utilization: utilization(sim_wall, exec_wall, self.workers, total),
+            dedup_hit_rate: dedup_hit_rate(jobs.len(), total),
+            trace_path,
+            jobs: job_records,
+        });
+
+        // Request-order reports (duplicates share the unique job's run).
+        let by_key: HashMap<&String, &SimReport> = unique
+            .iter()
+            .zip(&outcomes)
+            .map(|(&i, ((report, _), _))| (&keyed[i], report))
+            .collect();
+        let reports = keyed.iter().map(|key| by_key[key].clone()).collect();
+        self.say(&format!(
+            "[exp] telemetry run {run_id} done in {} ({} simulated); manifest {}",
+            fmt_secs(wall),
+            total,
+            summary.manifest_path.display(),
+        ));
+        (reports, summary)
+    }
+
+    /// Writes the run's span trace as Chrome trace-event JSON under
+    /// `<store_dir>/telemetry/trace-<run_id>.json`. I/O failures degrade
+    /// to a warning and `None` — span export must never kill a run.
+    fn write_span_trace(&self, run_id: &str, tb: TraceBuilder) -> Option<PathBuf> {
+        let dir = self.store.dir().join("telemetry");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            self.say(&format!("[exp] warning: trace dir failed: {e}"));
+            return None;
+        }
+        let path = dir.join(format!("trace-{run_id}.json"));
+        match std::fs::write(&path, tb.finish() + "\n") {
+            Ok(()) => Some(path),
+            Err(e) => {
+                self.say(&format!("[exp] warning: trace write failed: {e}"));
+                None
+            }
+        }
     }
 
     /// Runs (or fetches) a single job: memory → store → simulate inline.
@@ -538,6 +821,9 @@ impl Engine {
                         ]),
                     ));
                 }
+                if let Some(samples) = r.tel_samples {
+                    fields.push(("tel", obj(vec![("samples", Json::UInt(samples))])));
+                }
                 obj(fields)
             })
             .collect();
@@ -552,9 +838,21 @@ impl Engine {
             ("jobs_from_memory", Json::UInt(summary.from_memory as u64)),
             ("jobs_from_store", Json::UInt(summary.from_store as u64)),
             ("jobs_executed", Json::UInt(summary.executed as u64)),
+            ("utilization", Json::Float(summary.utilization)),
+            ("dedup_hit_rate", Json::Float(summary.dedup_hit_rate)),
             (
                 "results_file",
                 Json::Str(self.store.results_path().display().to_string()),
+            ),
+            (
+                "trace_file",
+                Json::Str(
+                    summary
+                        .trace_path
+                        .as_ref()
+                        .map(|p| p.display().to_string())
+                        .unwrap_or_default(),
+                ),
             ),
             ("jobs", Json::Arr(jobs_json)),
         ]);
@@ -620,6 +918,24 @@ fn git_describe() -> String {
         .and_then(|o| String::from_utf8(o.stdout).ok())
         .map(|s| s.trim().to_string())
         .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Worker utilization: total simulated wall-clock over the capacity the
+/// execute phase had (`workers × phase duration`), clamped to [0, 1].
+fn utilization(sim_wall: Duration, exec_wall: Duration, workers: usize, jobs: usize) -> f64 {
+    if jobs == 0 || exec_wall.is_zero() {
+        return 0.0;
+    }
+    let capacity = exec_wall.as_secs_f64() * workers.clamp(1, jobs) as f64;
+    (sim_wall.as_secs_f64() / capacity).clamp(0.0, 1.0)
+}
+
+/// Fraction of requested jobs that did not need fresh simulation.
+fn dedup_hit_rate(requested: usize, executed: usize) -> f64 {
+    if requested == 0 {
+        return 0.0;
+    }
+    (requested.saturating_sub(executed)) as f64 / requested as f64
 }
 
 fn fmt_secs(d: Duration) -> String {

@@ -11,8 +11,9 @@
 
 use crate::scale::ExpScale;
 use secpref_sim::{
-    run_multi_with_window, run_multi_with_window_obs, run_single_with_window,
-    run_single_with_window_obs, run_stream_with_window, ObsCapture, ObsConfig, SimReport,
+    run_multi_with_window, run_multi_with_window_obs, run_multi_with_window_tel,
+    run_single_with_window, run_single_with_window_obs, run_single_with_window_tel,
+    run_stream_with_window, ObsCapture, ObsConfig, SimReport, TelCapture, TelConfig,
 };
 use secpref_trace::suite;
 use secpref_types::SystemConfig;
@@ -227,6 +228,47 @@ impl JobSpec {
                 .with_obs(obs);
                 sys.run();
                 let capture = sys.take_obs();
+                (sys.report(), capture)
+            }
+        }
+    }
+}
+
+impl JobSpec {
+    /// Executes the job with a telemetry recorder attached.
+    ///
+    /// Like [`JobSpec::run_traced`], the telemetry configuration is *not*
+    /// part of the job key — telemetry cannot change the simulation
+    /// outcome (it records at existing event sites), and telemetry runs
+    /// bypass the result store (see `Engine::run_telemetry`).
+    pub fn run_telemetry(&self, tel: &TelConfig) -> (SimReport, Option<TelCapture>) {
+        let (warmup, measure) = self.window();
+        match &self.workload {
+            Workload::Single(name) => {
+                let trace = suite::cached_trace(name, self.scale.trace_len());
+                run_single_with_window_tel(&self.cfg, &trace, warmup, measure, tel)
+            }
+            Workload::Mix(names) => {
+                let traces = names
+                    .iter()
+                    .map(|n| suite::cached_trace(n, self.scale.trace_len()))
+                    .collect();
+                run_multi_with_window_tel(&self.cfg, traces, warmup, measure, tel)
+            }
+            Workload::Stream { path, .. } => {
+                let mut cfg = self.cfg.clone();
+                cfg.cores = 1;
+                cfg.llc = secpref_types::CacheConfig::baseline_llc(1);
+                let feed = secpref_sim::StreamFeed::open_for_core(path, cfg.core.rob_entries)
+                    .unwrap_or_else(|e| panic!("chunk store {}: {e}", path.display()));
+                let mut sys = secpref_sim::System::from_feeds(
+                    cfg,
+                    vec![secpref_sim::TraceFeed::Stream(Box::new(feed))],
+                )
+                .with_window(warmup, measure)
+                .with_telemetry(tel);
+                sys.run();
+                let capture = sys.take_telemetry();
                 (sys.report(), capture)
             }
         }

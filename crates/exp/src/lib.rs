@@ -25,6 +25,9 @@
 //!   execute → persist → manifest.
 //! - [`obs`] — deterministic trace-artifact exporters (events JSONL,
 //!   epochs CSV) for [`Engine::run_traced`] diagnostic runs.
+//! - [`telemetry`] — deterministic histogram-artifact exporter
+//!   (`<key>.hist.csv`) for [`Engine::run_telemetry`] runs, plus the
+//!   structural validator for exported span-trace JSON.
 //!
 //! # Examples
 //!
@@ -54,11 +57,13 @@ pub mod obs;
 pub mod pool;
 pub mod scale;
 pub mod store;
+pub mod telemetry;
 
 pub use engine::{default_workers, Engine, JobRecord, ResultSource, RunSummary};
 pub use job::{JobSpec, Workload};
 pub use obs::write_trace_artifacts;
-pub use pool::JobOutcome;
+pub use pool::{ItemTiming, JobOutcome};
 pub use scale::ExpScale;
-pub use secpref_sim::{ObsCapture, ObsConfig};
+pub use secpref_sim::{ObsCapture, ObsConfig, TelCapture, TelConfig};
 pub use store::{ResultStore, StoredResult};
+pub use telemetry::{hist_csv, validate_trace_json, write_tel_artifacts, TraceStats};

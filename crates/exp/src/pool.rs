@@ -13,6 +13,19 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
+/// Wall-clock placement of one completed item: which worker ran it and
+/// when it ran relative to the pool launch. This is what the engine's
+/// span exporter turns into one Chrome trace-event track per worker.
+#[derive(Clone, Copy, Debug)]
+pub struct ItemTiming {
+    /// Index of the worker thread that ran the item (`0..workers`).
+    pub worker: usize,
+    /// Offset of the item's start from the pool launch.
+    pub start: Duration,
+    /// How long the item ran.
+    pub wall: Duration,
+}
+
 /// One completed job: the report plus how long the simulation took on
 /// its worker thread.
 #[derive(Clone, Debug)]
@@ -79,18 +92,38 @@ pub fn run_items_with<T: Sync, R: Send>(
     run: impl Fn(&T) -> R + Sync,
     mut on_done: impl FnMut(usize, &T, &R, Duration),
 ) -> Vec<(R, Duration)> {
+    run_items_timed(items, workers, run, |idx, item, result, t| {
+        on_done(idx, item, result, t.wall)
+    })
+}
+
+/// Like [`run_items_with`], but `on_done` additionally learns *where*
+/// each item ran ([`ItemTiming`]: worker index plus start offset), which
+/// is what the engine's span tracer needs to lay jobs out on per-worker
+/// tracks.
+///
+/// # Panics
+///
+/// Propagates a panic from any item once all workers have drained.
+pub fn run_items_timed<T: Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    run: impl Fn(&T) -> R + Sync,
+    mut on_done: impl FnMut(usize, &T, &R, ItemTiming),
+) -> Vec<(R, Duration)> {
     if items.is_empty() {
         return Vec::new();
     }
     let workers = workers.clamp(1, items.len());
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R, Duration)>();
+    let launch = Instant::now();
+    let (tx, rx) = mpsc::channel::<(usize, R, ItemTiming)>();
 
     let mut slots: Vec<Option<(R, Duration)>> = Vec::new();
     slots.resize_with(items.len(), || None);
     std::thread::scope(|scope| {
         let run = &run;
-        for _ in 0..workers {
+        for worker in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
             scope.spawn(move || loop {
@@ -98,7 +131,12 @@ pub fn run_items_with<T: Sync, R: Send>(
                 let Some(item) = items.get(idx) else { break };
                 let start = Instant::now();
                 let result = run(item);
-                if tx.send((idx, result, start.elapsed())).is_err() {
+                let timing = ItemTiming {
+                    worker,
+                    start: start.duration_since(launch),
+                    wall: start.elapsed(),
+                };
+                if tx.send((idx, result, timing)).is_err() {
                     break;
                 }
             });
@@ -106,9 +144,9 @@ pub fn run_items_with<T: Sync, R: Send>(
         drop(tx);
         // `rx` closes when every worker exits; if one panicked mid-item we
         // fall out of the loop early and `scope` re-raises the panic.
-        for (idx, result, wall) in rx {
-            on_done(idx, &items[idx], &result, wall);
-            slots[idx] = Some((result, wall));
+        for (idx, result, timing) in rx {
+            on_done(idx, &items[idx], &result, timing);
+            slots[idx] = Some((result, timing.wall));
         }
     });
     slots

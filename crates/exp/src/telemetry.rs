@@ -1,0 +1,263 @@
+//! Telemetry-artifact exporter and trace-event validator.
+//!
+//! A telemetry run's [`TelCapture`] is exported as one flat CSV under the
+//! store's `telemetry/` directory, named by the job's content key:
+//!
+//! - `<key>.hist.csv` — every histogram's non-empty buckets
+//!   (`hist,lo,hi,count` rows), each histogram's exact `total`/`sum`/
+//!   `min`/`max` summary rows, and the demand-conservation scalars
+//!   (`meta/demand_accesses`, `meta/unfinished_demands`).
+//!
+//! The artifact is **deterministic**: its bytes are a pure function of
+//! the job. No timestamps, worker counts, or host details appear, which
+//! is what makes the telemetry-determinism test (byte-identical across
+//! `--workers` values and resume-vs-cold) hold trivially.
+//!
+//! [`validate_trace_json`] is the counterpart of
+//! `secpref_telemetry::TraceBuilder`: it parses an exported Chrome
+//! trace-event document with this crate's hand-rolled JSON parser and
+//! checks the structural invariants Perfetto needs — every `B` has a
+//! matching `E` on its track, and per-track timestamps never go
+//! backwards. Span-trace files embed wall-clock durations, so they are
+//! validated structurally instead of byte-compared.
+
+use secpref_sim::TelCapture;
+use secpref_types::Hist;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Renders one histogram's rows: non-empty buckets, then exact summary
+/// rows (`total`, `sum`, `min`, `max` — the latter two only when the
+/// histogram has samples).
+fn hist_rows(out: &mut String, name: &str, h: &Hist) {
+    for (lo, hi, count) in h.buckets() {
+        if count > 0 {
+            let _ = writeln!(out, "{name},{lo},{hi},{count}");
+        }
+    }
+    let _ = writeln!(out, "{name},total,,{}", h.count());
+    let _ = writeln!(out, "{name},sum,,{}", h.sum());
+    if let (Some(min), Some(max)) = (h.min(), h.max()) {
+        let _ = writeln!(out, "{name},min,,{min}");
+        let _ = writeln!(out, "{name},max,,{max}");
+    }
+}
+
+/// Renders the full `<key>.hist.csv` artifact for a capture.
+pub fn hist_csv(cap: &TelCapture) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("hist,lo,hi,count\n");
+    for (name, h) in cap.named() {
+        hist_rows(&mut out, &name, h);
+    }
+    let _ = writeln!(out, "meta/demand_accesses,total,,{}", cap.demand_accesses);
+    let _ = writeln!(
+        out,
+        "meta/unfinished_demands,total,,{}",
+        cap.unfinished_demands
+    );
+    out
+}
+
+/// Writes `<key>.hist.csv` under `dir`, creating it if needed. Returns
+/// the written path.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write failures.
+pub fn write_tel_artifacts(dir: &Path, key: &str, cap: &TelCapture) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{key}.hist.csv"));
+    std::fs::write(&path, hist_csv(cap))?;
+    Ok(path)
+}
+
+/// Structural statistics of a validated trace-event document.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events in the `traceEvents` array (metadata included).
+    pub events: usize,
+    /// Distinct `(pid, tid)` tracks carrying timed events.
+    pub tracks: usize,
+}
+
+/// Validates an exported Chrome trace-event JSON document.
+///
+/// Checks that the document parses, that every event carries the
+/// required fields for its phase, that every `B` (span begin) has a
+/// matching `E` (span end) on the same `(pid, tid)` track with a
+/// non-decreasing timestamp, and that per-track timestamps are monotone
+/// (Perfetto tolerates little else). Returns the document's stats.
+///
+/// # Errors
+///
+/// Returns a description of the first structural violation found.
+pub fn validate_trace_json(text: &str) -> Result<TraceStats, String> {
+    let doc = crate::json::parse(text.trim()).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+    // Per-track open-span stack (B timestamps) and last-seen timestamp.
+    let mut open: HashMap<(u64, u64), Vec<u64>> = HashMap::new();
+    let mut last_ts: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut tracks: HashMap<(u64, u64), ()> = HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|p| p.as_str())
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(|p| p.as_u64())
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(|t| t.as_u64())
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        let track = (pid, tid);
+        if ph == "M" {
+            continue; // metadata carries no timestamp
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(|t| t.as_u64())
+            .ok_or_else(|| format!("event {i}: ph {ph} missing ts"))?;
+        let prev = last_ts.entry(track).or_insert(ts);
+        if ts < *prev {
+            return Err(format!(
+                "event {i}: track {track:?} timestamp regresses ({ts} < {prev})"
+            ));
+        }
+        *prev = ts;
+        tracks.insert(track, ());
+        match ph {
+            "B" => open.entry(track).or_default().push(ts),
+            "E" => {
+                let begin = open
+                    .get_mut(&track)
+                    .and_then(Vec::pop)
+                    .ok_or_else(|| format!("event {i}: E without open B on track {track:?}"))?;
+                if ts < begin {
+                    return Err(format!(
+                        "event {i}: span ends ({ts}) before it begins ({begin})"
+                    ));
+                }
+            }
+            "X" => {
+                ev.get("dur")
+                    .and_then(|d| d.as_u64())
+                    .ok_or_else(|| format!("event {i}: X missing dur"))?;
+            }
+            "C" => {}
+            other => return Err(format!("event {i}: unsupported phase {other:?}")),
+        }
+    }
+    for (track, stack) in &open {
+        if !stack.is_empty() {
+            return Err(format!(
+                "track {track:?} has {} unclosed B span(s)",
+                stack.len()
+            ));
+        }
+    }
+    Ok(TraceStats {
+        events: events.len(),
+        tracks: tracks.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secpref_telemetry::TraceBuilder;
+
+    fn capture() -> TelCapture {
+        let mut cap = TelCapture::default();
+        cap.load_latency[1].record(4);
+        cap.load_latency[1].record(900);
+        cap.pf_useful.record(12);
+        cap.demand_accesses = 3;
+        cap.unfinished_demands = 1;
+        cap
+    }
+
+    #[test]
+    fn hist_csv_is_deterministic_and_reconcilable() {
+        let a = hist_csv(&capture());
+        let b = hist_csv(&capture());
+        assert_eq!(a, b, "export must be a pure function of the capture");
+        assert!(a.starts_with("hist,lo,hi,count\n"));
+        assert!(a.contains("load_latency/l1d,total,,2\n"), "{a}");
+        assert!(a.contains("load_latency/l1d,min,,4\n"), "{a}");
+        assert!(a.contains("load_latency/l1d,max,,900\n"), "{a}");
+        assert!(a.contains("pf_timeliness/useful,total,,1\n"), "{a}");
+        assert!(a.contains("meta/demand_accesses,total,,3\n"), "{a}");
+        assert!(a.contains("meta/unfinished_demands,total,,1\n"), "{a}");
+        // Empty histograms export a zero total and no min/max rows.
+        assert!(a.contains("dram_queue_delay,total,,0\n"), "{a}");
+        assert!(!a.contains("dram_queue_delay,min"), "{a}");
+    }
+
+    #[test]
+    fn artifacts_land_under_the_requested_dir() {
+        let dir = std::env::temp_dir().join(format!("secpref-tel-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = write_tel_artifacts(&dir, "deadbeef", &capture()).unwrap();
+        assert!(path.ends_with("deadbeef.hist.csv"));
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            hist_csv(&capture())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validator_accepts_builder_output() {
+        let mut t = TraceBuilder::new();
+        t.thread_name(0, "engine");
+        t.thread_name(1, "worker-0");
+        t.begin(0, "execute", 10, &[("jobs", "2")]);
+        t.complete(1, "simulate", 12, 30, &[("key", "abc")]);
+        t.counter(0, "cells", 42, "done", 1);
+        t.end(0, 50);
+        let stats = validate_trace_json(&t.finish()).expect("builder output is valid");
+        assert_eq!(stats.events, 6);
+        assert_eq!(stats.tracks, 2);
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_and_regressing_traces() {
+        // Unbalanced: B without E.
+        let mut t = TraceBuilder::new();
+        t.begin(0, "open", 1, &[]);
+        let err = validate_trace_json(&t.finish()).unwrap_err();
+        assert!(err.contains("unclosed"), "{err}");
+
+        // E without B.
+        let mut t = TraceBuilder::new();
+        t.end(0, 5);
+        let err = validate_trace_json(&t.finish()).unwrap_err();
+        assert!(err.contains("E without open B"), "{err}");
+
+        // Per-track timestamp regression.
+        let mut t = TraceBuilder::new();
+        t.complete(0, "a", 100, 1, &[]);
+        t.complete(0, "b", 50, 1, &[]);
+        let err = validate_trace_json(&t.finish()).unwrap_err();
+        assert!(err.contains("regresses"), "{err}");
+
+        // Different tracks keep independent clocks.
+        let mut t = TraceBuilder::new();
+        t.complete(0, "a", 100, 1, &[]);
+        t.complete(1, "b", 50, 1, &[]);
+        assert!(validate_trace_json(&t.finish()).is_ok());
+
+        // Garbage in, error out.
+        assert!(validate_trace_json("not json").is_err());
+        assert!(validate_trace_json("{}").is_err());
+    }
+}

@@ -105,6 +105,17 @@ fn resumed_run_matches_cold_run_without_resimulating() {
     assert_eq!(get(&cold_manifest, "jobs_executed"), 5);
     assert_eq!(get(&warm_manifest, "jobs_executed"), 0);
     assert_eq!(get(&warm_manifest, "jobs_from_store"), 5);
+
+    // Both sweep span traces must validate: the cold run exercises the
+    // execute/simulate/store-append spans, the warm run the all-dedup-hit
+    // resolve path (whose events trail the phase start — a trailing `X`
+    // there once regressed the engine track's timestamp order).
+    for summary in [&cold, &warm] {
+        let path = summary.trace_path.as_ref().expect("span trace written");
+        let text = std::fs::read_to_string(path).unwrap();
+        secpref_exp::validate_trace_json(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
     let _ = std::fs::remove_dir_all(dir);
 }
 
@@ -188,6 +199,103 @@ fn trace_artifacts_are_byte_identical_across_workers_and_resume() {
             .any(|r| r.obs.is_some_and(|o| o.events_recorded > 0)),
         "the sweep's secure jobs must record events"
     );
+
+    let _ = std::fs::remove_dir_all(dir1);
+    let _ = std::fs::remove_dir_all(dir4);
+}
+
+#[test]
+fn telemetry_artifacts_are_byte_identical_across_workers_and_resume() {
+    // Telemetry runs inherit the artifact-byte contract: `<key>.hist.csv`
+    // is a pure function of the job — worker count, completion
+    // interleaving, and pre-existing store contents are invisible. The
+    // span trace (`trace-<run_id>.json`) embeds wall-clock durations, so
+    // it is validated structurally instead of byte-compared.
+    let jobs = sweep();
+    let tel = secpref_exp::TelConfig::enabled();
+    let dir1 = tmp_dir("tel-w1");
+    let dir4 = tmp_dir("tel-w4");
+
+    let serial = Engine::new(&dir1, 1).unwrap();
+    let (serial_reports, serial_summary) = serial.run_telemetry(&jobs, &tel);
+    let parallel = Engine::new(&dir4, 4).unwrap();
+    let (parallel_reports, parallel_summary) = parallel.run_telemetry(&jobs, &tel);
+
+    // Reports are worker-count independent, as in plain sweeps.
+    assert_eq!(
+        serialize_all(&serial_reports),
+        serialize_all(&parallel_reports)
+    );
+
+    let artifact = |dir: &PathBuf, key: &str| {
+        std::fs::read(dir.join("telemetry").join(format!("{key}.hist.csv"))).unwrap()
+    };
+    let keys: Vec<String> = {
+        let mut seen = std::collections::HashSet::new();
+        jobs.iter()
+            .map(JobSpec::key)
+            .filter(|k| seen.insert(k.clone()))
+            .collect()
+    };
+    assert_eq!(keys.len(), serial_summary.jobs_unique);
+    for key in &keys {
+        let hist = artifact(&dir1, key);
+        assert!(!hist.is_empty());
+        assert_eq!(
+            hist,
+            artifact(&dir4, key),
+            "hist CSV for {key} must not depend on the worker count"
+        );
+    }
+
+    // A "resumed" telemetry run (same store, fresh engine) reproduces the
+    // artifacts bit for bit: telemetry runs bypass the store.
+    let cold_bytes: Vec<Vec<u8>> = keys.iter().map(|k| artifact(&dir1, k)).collect();
+    let (_, warm_summary) = Engine::new(&dir1, 4).unwrap().run_telemetry(&jobs, &tel);
+    assert_eq!(
+        warm_summary.executed, warm_summary.jobs_unique,
+        "telemetry runs always re-simulate"
+    );
+    for (key, cold) in keys.iter().zip(&cold_bytes) {
+        assert_eq!(
+            &artifact(&dir1, key),
+            cold,
+            "resumed telemetry of {key} must be byte-identical to the cold one"
+        );
+    }
+
+    // Both runs exported a structurally valid span trace with one track
+    // per active worker plus the engine track.
+    for (summary, min_tracks) in [(&serial_summary, 2), (&parallel_summary, 3)] {
+        let path = summary.trace_path.as_ref().expect("span trace written");
+        let text = std::fs::read_to_string(path).unwrap();
+        let stats = secpref_exp::validate_trace_json(&text)
+            .unwrap_or_else(|e| panic!("invalid span trace {}: {e}", path.display()));
+        assert!(stats.events > 0);
+        assert!(
+            stats.tracks >= min_tracks,
+            "expected ≥{min_tracks} tracks in {}",
+            path.display()
+        );
+    }
+
+    // Every telemetry job's manifest record carries a sample total, and
+    // the manifest exposes the run's utilization and dedup hit rate.
+    for record in &serial_summary.jobs {
+        assert!(
+            record.tel_samples.is_some_and(|s| s > 0),
+            "{} recorded no samples",
+            record.label
+        );
+    }
+    assert!(serial_summary.utilization > 0.0 && serial_summary.utilization <= 1.0);
+    let manifest = std::fs::read_to_string(&serial_summary.manifest_path).unwrap();
+    let json = secpref_exp::json::parse(manifest.trim()).unwrap();
+    assert!(json.get("utilization").and_then(|j| j.as_f64()).is_some());
+    assert!(json
+        .get("dedup_hit_rate")
+        .and_then(|j| j.as_f64())
+        .is_some());
 
     let _ = std::fs::remove_dir_all(dir1);
     let _ = std::fs::remove_dir_all(dir4);

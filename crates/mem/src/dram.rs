@@ -20,6 +20,10 @@ pub struct DramRequest {
     pub arrival: Cycle,
 }
 
+/// A completed DRAM read as reported by [`DramModel::tick`]:
+/// `(token, completion_cycle, arrival_cycle)`.
+pub type DramCompletion = (u64, Cycle, Cycle);
+
 #[derive(Clone, Copy, Debug, Default)]
 struct Bank {
     open_row: Option<u64>,
@@ -123,7 +127,7 @@ pub struct DramModel {
     write_idx: Vec<BankIndex>,
     next_seq: u64,
     bus_free_at: Cycle,
-    completions: BinaryHeap<Reverse<(Cycle, u64)>>,
+    completions: BinaryHeap<Reverse<(Cycle, u64, Cycle)>>,
     draining_writes: bool,
     stats: DramStats,
 }
@@ -195,8 +199,11 @@ impl DramModel {
             let raw = req.line.raw();
             if self.write_lines.iter().any(|&l| l == raw) {
                 self.stats.wq_forwards += 1;
-                self.completions
-                    .push(Reverse((req.arrival + self.cfg.t_cas, req.token)));
+                self.completions.push(Reverse((
+                    req.arrival + self.cfg.t_cas,
+                    req.token,
+                    req.arrival,
+                )));
                 return Ok(());
             }
             if self.read_q.len() >= self.cfg.queue_depth {
@@ -328,14 +335,16 @@ impl DramModel {
             self.stats.writes += 1;
         } else {
             self.stats.reads += 1;
-            self.completions.push(Reverse((done, req.token)));
+            self.completions
+                .push(Reverse((done, req.token, req.arrival)));
         }
     }
 
     /// Advances the controller to `now`: schedules at most one command and
-    /// pushes `(token, completion_cycle)` for every read that finished at
-    /// or before `now`.
-    pub fn tick(&mut self, now: Cycle, completed: &mut Vec<(u64, Cycle)>) {
+    /// pushes `(token, completion_cycle, arrival_cycle)` for every read
+    /// that finished at or before `now` (arrival rides along so callers
+    /// can attribute the controller delay without tracking it per token).
+    pub fn tick(&mut self, now: Cycle, completed: &mut Vec<DramCompletion>) {
         // Write-drain mode hysteresis around the high watermark.
         let (num, den) = self.cfg.write_watermark;
         let high = (self.cfg.queue_depth * num / den).max(1);
@@ -384,12 +393,12 @@ impl DramModel {
             self.service(req, b, row, now);
         }
 
-        while let Some(&Reverse((c, tok))) = self.completions.peek() {
+        while let Some(&Reverse((c, tok, arr))) = self.completions.peek() {
             if c > now {
                 break;
             }
             self.completions.pop();
-            completed.push((tok, c));
+            completed.push((tok, c, arr));
         }
     }
 
@@ -401,7 +410,7 @@ impl DramModel {
     /// when nothing is pickable or completable.
     pub fn next_event(&self, now: Cycle) -> Cycle {
         let mut at = Cycle::MAX;
-        if let Some(&Reverse((c, _))) = self.completions.peek() {
+        if let Some(&Reverse((c, _, _))) = self.completions.peek() {
             at = c.max(now + 1);
         }
         if self.pending() > 0 {
@@ -424,7 +433,7 @@ impl DramModel {
 mod tests {
     use super::*;
 
-    fn run(dram: &mut DramModel, cycles: Cycle) -> Vec<(u64, Cycle)> {
+    fn run(dram: &mut DramModel, cycles: Cycle) -> Vec<DramCompletion> {
         let mut out = Vec::new();
         for now in 0..cycles {
             dram.tick(now, &mut out);
@@ -448,8 +457,9 @@ mod tests {
         dram.enqueue(read(0, 7, 0)).unwrap();
         let done = run(&mut dram, 400);
         assert_eq!(done.len(), 1);
-        let (tok, cycle) = done[0];
+        let (tok, cycle, arrival) = done[0];
         assert_eq!(tok, 7);
+        assert_eq!(arrival, 0);
         // Empty bank: t_rcd + t_cas + bus.
         assert_eq!(cycle, cfg.t_rcd + cfg.t_cas + cfg.bus_cycles_per_line);
     }
@@ -498,7 +508,9 @@ mod tests {
         dram.enqueue(read(5, 9, 3)).unwrap();
         // Forwarded read completes at arrival + t_cas regardless of banks.
         let done = run(&mut dram, 200);
-        assert!(done.iter().any(|&(t, c)| t == 9 && c == 3 + cfg.t_cas));
+        assert!(done
+            .iter()
+            .any(|&(t, c, a)| t == 9 && c == 3 + cfg.t_cas && a == 3));
         assert_eq!(dram.stats().wq_forwards, 1);
     }
 
@@ -524,15 +536,15 @@ mod tests {
         dram.enqueue(read(5, 2, 2)).unwrap();
         assert_eq!(dram.stats().wq_forwards, 1);
         let done = run(&mut dram, 2000);
-        assert!(done.iter().any(|&(t, c)| t == 2 && c == 2 + cfg.t_cas));
-        assert!(done.iter().any(|&(t, _)| t == 1));
+        assert!(done.iter().any(|&(t, c, _)| t == 2 && c == 2 + cfg.t_cas));
+        assert!(done.iter().any(|&(t, _, _)| t == 1));
         // The write has drained (queues idle → drain mode picks it up).
         assert_eq!(dram.stats().writes, 1);
         // Same line again: the index entry must be gone with the write.
         dram.enqueue(read(5, 3, 2000)).unwrap();
         let done = run_from(&mut dram, 2000, 2000);
         assert_eq!(dram.stats().wq_forwards, 1, "no forward after drain");
-        assert!(done.iter().any(|&(t, _)| t == 3), "read served by banks");
+        assert!(done.iter().any(|&(t, _, _)| t == 3), "read served by banks");
     }
 
     #[test]
@@ -587,7 +599,7 @@ mod tests {
     }
 
     /// Ticks `dram` over `[start, start + cycles)`, collecting completions.
-    fn run_from(dram: &mut DramModel, start: Cycle, cycles: Cycle) -> Vec<(u64, Cycle)> {
+    fn run_from(dram: &mut DramModel, start: Cycle, cycles: Cycle) -> Vec<DramCompletion> {
         let mut out = Vec::new();
         for now in start..start + cycles {
             dram.tick(now, &mut out);
@@ -608,7 +620,7 @@ mod tests {
         dram.enqueue(read(rows_gap, 10, 400)).unwrap();
         dram.enqueue(read(1, 11, 401)).unwrap();
         let done = run_from(&mut dram, 400, 2000);
-        let pos = |tok| done.iter().position(|&(t, _)| t == tok).unwrap();
+        let pos = |tok| done.iter().position(|&(t, _, _)| t == tok).unwrap();
         assert!(
             pos(11) < pos(10),
             "row hit must leapfrog the older row miss: {done:?}"
@@ -645,14 +657,17 @@ mod tests {
         let done = run_from(&mut dram, 0, 1000);
         assert_eq!(
             done,
-            vec![(1, cfg.t_rcd + cfg.t_cas + cfg.bus_cycles_per_line)]
+            vec![(1, cfg.t_rcd + cfg.t_cas + cfg.bus_cycles_per_line, 0)]
         );
         assert_eq!((dram.stats().row_hits, dram.stats().row_misses), (0, 1));
 
         // Open row, same row: hit.
         dram.enqueue(read(1, 2, 1000)).unwrap();
         let done = run_from(&mut dram, 1000, 1000);
-        assert_eq!(done, vec![(2, 1000 + cfg.t_cas + cfg.bus_cycles_per_line)]);
+        assert_eq!(
+            done,
+            vec![(2, 1000 + cfg.t_cas + cfg.bus_cycles_per_line, 1000)]
+        );
         assert_eq!((dram.stats().row_hits, dram.stats().row_misses), (1, 1));
 
         // Open row, different row: conflict pays the full precharge.
@@ -662,7 +677,8 @@ mod tests {
             done,
             vec![(
                 3,
-                2000 + cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.bus_cycles_per_line
+                2000 + cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.bus_cycles_per_line,
+                2000
             )]
         );
         assert_eq!((dram.stats().row_hits, dram.stats().row_misses), (1, 2));
@@ -670,7 +686,10 @@ mod tests {
         // And back to a hit on the newly opened row.
         dram.enqueue(read(rows_gap + 1, 4, 3000)).unwrap();
         let done = run_from(&mut dram, 3000, 1000);
-        assert_eq!(done, vec![(4, 3000 + cfg.t_cas + cfg.bus_cycles_per_line)]);
+        assert_eq!(
+            done,
+            vec![(4, 3000 + cfg.t_cas + cfg.bus_cycles_per_line, 3000)]
+        );
         assert_eq!((dram.stats().row_hits, dram.stats().row_misses), (2, 2));
     }
 
@@ -727,12 +746,13 @@ mod tests {
                     }
                 }
                 let done = run(&mut dram, 100_000);
-                let mut tokens: Vec<u64> = done.iter().map(|&(t, _)| t).collect();
+                let mut tokens: Vec<u64> = done.iter().map(|&(t, _, _)| t).collect();
                 tokens.sort_unstable();
                 expected.sort_unstable();
                 assert_eq!(tokens, expected);
-                for &(_, c) in &done {
+                for &(_, c, a) in &done {
                     assert!(c > 0);
+                    assert!(c >= a, "completion before arrival");
                 }
             }
         }

@@ -29,7 +29,7 @@ pub mod port;
 pub mod tlb;
 
 pub use cache::{EvictedLine, FillAttrs, LineMeta, ReplacementKind, SetAssocCache};
-pub use dram::{DramModel, DramRequest};
+pub use dram::{DramCompletion, DramModel, DramRequest};
 pub use mshr::{AllocError, MshrEntry, MshrFile, MshrToken};
 pub use port::PortScheduler;
 pub use tlb::{Tlb, TlbOutcome};

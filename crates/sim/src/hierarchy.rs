@@ -30,6 +30,7 @@ use secpref_mem::{
 };
 use secpref_obs::{Event, EventKind, Obs};
 use secpref_prefetch::{AccessEvent, Feedback, FillEvent, PfBuf, Prefetcher};
+use secpref_telemetry::{LoadLevel, Tel, TelCapture};
 use secpref_types::{
     AccessKind, CacheConfig, CacheLevel, CoreId, Cycle, FillInfo, HitLevel, Ip, LineAddr,
     PrefetchMode, PrefetchRequest, PrefetcherKind, SystemConfig,
@@ -88,6 +89,12 @@ struct Req {
     counted: bool,
     /// Parked waiting for MSHR space (retries skip the port).
     waiting_mshr: bool,
+    /// Telemetry counted this request as a demand access (set only while
+    /// armed, so histogram totals reconcile with the report counters).
+    tel_counted: bool,
+    /// A GhostMinion hit served this load (splits the GM population out
+    /// of the L1D load-latency histogram).
+    served_by_gm: bool,
     alive: bool,
 }
 
@@ -155,13 +162,17 @@ pub struct Hierarchy {
     pf_recent: Vec<[LineAddr; PF_RECENT]>,
     pf_recent_head: Vec<usize>,
     /// Reusable DRAM-completion buffer for `tick` (no per-cycle allocs).
-    dram_done: Vec<(u64, Cycle)>,
+    dram_done: Vec<secpref_mem::DramCompletion>,
     /// Per-core `("l1d[c]", "l2[c]")` labels, built once at construction
     /// so the capture path never formats strings.
     mshr_labels: Vec<(String, String)>,
     /// Observability recorder; `Obs::disabled()` unless tracing was
     /// requested, in which case every hook below feeds it.
     obs: Obs,
+    /// Distribution recorder (latency/timeliness histograms);
+    /// `Tel::disabled()` unless telemetry was requested. Every hook is
+    /// event-driven, so telemetry runs keep the idle fast-forward.
+    tel: Tel,
     /// Wall-time phase profiler; disabled (one branch per hook) unless
     /// `simbench --profile` style runs request it.
     prof: Profiler,
@@ -253,6 +264,7 @@ impl Hierarchy {
                 .map(|c| (format!("l1d[{c}]"), format!("l2[{c}]")))
                 .collect(),
             obs: Obs::disabled(),
+            tel: Tel::disabled(),
             prof: Profiler::disabled(),
             cfg,
             now: 0,
@@ -297,6 +309,37 @@ impl Hierarchy {
     /// The configured epoch interval, when observability is on.
     pub fn obs_epoch_interval(&self) -> Option<u64> {
         self.obs.epoch_interval()
+    }
+
+    /// Installs a telemetry recorder (replaces the disabled default).
+    pub fn set_tel(&mut self, tel: Tel) {
+        self.tel = tel;
+    }
+
+    /// Whether a telemetry recorder is active.
+    pub fn tel_enabled(&self) -> bool {
+        self.tel.is_enabled()
+    }
+
+    /// Arms telemetry recording for `core` (its warm-up boundary passed).
+    pub fn arm_tel(&mut self, core: CoreId) {
+        self.tel.arm(core);
+    }
+
+    /// Consumes the telemetry recorder into its capture (`None` when
+    /// telemetry was off). Counted demand accesses still in flight are
+    /// folded into `unfinished_demands` so the reconciliation equation
+    /// `demand_accesses == Σ load_latency + unfinished_demands` is exact.
+    pub fn take_tel_capture(&mut self) -> Option<TelCapture> {
+        if self.tel.is_enabled() {
+            for i in 0..self.reqs.len() {
+                let r = self.reqs[i];
+                if r.alive && r.tel_counted {
+                    self.tel.unfinished_demand(r.core);
+                }
+            }
+        }
+        std::mem::take(&mut self.tel).finish()
     }
 
     /// Records an externally-observed event (e.g. pipeline squashes seen
@@ -401,6 +444,8 @@ impl Hierarchy {
             holds_l1_slot: false,
             counted: false,
             waiting_mshr: false,
+            tel_counted: false,
+            served_by_gm: false,
             alive: true,
         }
     }
@@ -459,10 +504,12 @@ impl Hierarchy {
         self.prof.enter(Phase::Dram);
         self.dram.tick(now, &mut done);
         self.prof.exit();
-        for &(rid, _) in &done {
+        for &(rid, completed_at, arrival) in &done {
             let rid = rid as u32;
             let req = &mut self.reqs[rid as usize];
             req.hit_level = HitLevel::Dram;
+            let core = req.core;
+            self.tel.dram_done(core, completed_at - arrival);
             self.schedule(now, rid, EV_RESPONSE);
         }
         self.dram_done = done;
@@ -605,6 +652,16 @@ impl Hierarchy {
             self.level_metrics(core, lvl)
                 .record_access(Self::access_kind(req.kind));
             self.reqs[rid as usize].counted = true;
+            // Telemetry mirrors the L1D demand-access counter at exactly
+            // this site; the returned flag gates the completion-side
+            // histogram record so the two reconcile across the warm-up
+            // boundary.
+            if lvl == 0
+                && matches!(req.kind, ReqKind::Load | ReqKind::Store)
+                && self.tel.demand_access(core)
+            {
+                self.reqs[rid as usize].tel_counted = true;
+            }
         }
 
         match req.kind {
@@ -669,6 +726,7 @@ impl Hierarchy {
                 self.observe_demand_l1(now, rid, true, false, 0);
                 let r = &mut self.reqs[rid as usize];
                 r.hit_level = HitLevel::L1d;
+                r.served_by_gm = true;
                 self.schedule(now + 1, rid, EV_RESPONSE); // 1-cycle GM
                 return;
             }
@@ -713,6 +771,7 @@ impl Hierarchy {
         if hit && is_demand && was_prefetched && pf_here {
             self.metrics[core].prefetch.useful += 1;
             self.obs_ev(now, core, EventKind::PrefetchUseful, req.line, pf_latency);
+            self.tel.pf_useful(core, req.line.raw(), now);
             self.feedback(core, Feedback::Useful { line: req.line });
         }
         // Demand observation for on-access prefetchers and the shadow.
@@ -760,9 +819,12 @@ impl Hierarchy {
                 1 => &mut self.l2[core],
                 _ => &mut self.llc,
             };
-            level.mshr.find(req.line).map(|(t, e)| (t, e.is_prefetch))
+            level
+                .mshr
+                .find(req.line)
+                .map(|(t, e)| (t, e.is_prefetch, e.alloc_cycle))
         };
-        if let Some((token, in_flight_is_pf)) = merge_result {
+        if let Some((token, in_flight_is_pf, in_flight_since)) = merge_result {
             if matches!(req.kind, ReqKind::Prefetch) && !committed {
                 self.metrics[core].prefetch.dropped_duplicate += 1;
                 self.free_req(rid);
@@ -802,6 +864,7 @@ impl Hierarchy {
             if in_flight_is_pf && is_demand && pf_here {
                 self.metrics[core].prefetch.late += 1;
                 self.obs_ev(now, core, EventKind::PrefetchLate, req.line, 0);
+                self.tel.pf_late(core, now - in_flight_since);
                 self.reqs[rid as usize].merged_prefetch = true;
                 self.feedback(core, Feedback::Late { line: req.line });
             }
@@ -1072,6 +1135,7 @@ impl Hierarchy {
         if ev.prefetched && pf_here && lvl <= 1 {
             self.metrics[core].prefetch.useless += 1;
             self.obs_ev(now, core, EventKind::PrefetchUseless, ev.line, 0);
+            self.tel.pf_useless(core, ev.line.raw(), now);
             self.feedback(core, Feedback::Useless { line: ev.line });
         }
         match lvl {
@@ -1137,18 +1201,21 @@ impl Hierarchy {
             let Some(token) = req.path[lvl as usize] else {
                 continue;
             };
-            let mut waiters = {
+            let (mut waiters, allocated_at) = {
                 let level = match lvl {
                     0 => &mut self.l1d[core],
                     1 => &mut self.l2[core],
                     _ => &mut self.llc,
                 };
-                level.mshr.complete(token);
-                match level.waiting.iter().position(|(t, _)| *t == token) {
+                let entry = level.mshr.complete(token);
+                let waiters = match level.waiting.iter().position(|(t, _)| *t == token) {
                     Some(i) => level.waiting.swap_remove(i).1,
                     None => Vec::new(),
-                }
+                };
+                (waiters, entry.alloc_cycle)
             };
+            self.tel
+                .mshr_complete(core, lvl as usize, now - allocated_at);
             self.fill_on_path(now, rid, lvl);
             for &w in &waiters {
                 let hl = req.hit_level;
@@ -1233,6 +1300,8 @@ impl Hierarchy {
                     self.gm[core].insert(req.line, req.ts, latency);
                     self.prof.exit();
                     self.obs_ev(now, core, EventKind::GmSpecFill, req.line, latency);
+                    let occ = self.gm[core].occupancy() as u64;
+                    self.tel.gm_fill(core, occ);
                 }
                 if req.hit_level != HitLevel::L1d {
                     let m = &mut self.metrics[core].l1d;
@@ -1276,8 +1345,24 @@ impl Hierarchy {
                 }
             ReqKind::Prefetch => {
                 self.obs_ev(now, core, EventKind::PrefetchFill, req.line, latency);
+                // Starts the fill-to-first-demand-use clock of the
+                // timeliness histograms.
+                self.tel.pf_fill(core, req.line.raw(), now);
             }
             _ => {}
+        }
+        if req.tel_counted {
+            let level = if req.served_by_gm {
+                LoadLevel::Gm
+            } else {
+                match req.hit_level {
+                    HitLevel::L1d => LoadLevel::L1d,
+                    HitLevel::L2 => LoadLevel::L2,
+                    HitLevel::Llc => LoadLevel::Llc,
+                    HitLevel::Dram => LoadLevel::Dram,
+                }
+            };
+            self.tel.load_complete(core, level, latency as u64);
         }
         self.free_req(rid);
     }

@@ -34,10 +34,13 @@ mod wheel;
 pub use classify::Classifier;
 pub use energy::EnergyModel;
 pub use metrics::{CommitMetrics, CoreMetrics, LevelMetrics, MissClassCounts, PrefetchMetrics};
-pub use profile::{Phase, ProfileReport, Profiler};
+pub use profile::{Phase, ProfileReport, ProfileRow, Profiler, PHASES};
 pub use report::{geomean, mean, weighted_speedup, SimReport};
 pub use secpref_mem::dram::DramStats;
 pub use secpref_obs::{ObsCapture, ObsConfig};
+pub use secpref_telemetry::{
+    LoadLevel, Tel, TelCapture, TelConfig, LOAD_LEVELS, LOAD_LEVEL_NAMES, MSHR_LEVEL_NAMES,
+};
 pub use secpref_tracestore::{FeedStats, StreamFeed, TraceFeed};
 pub use system::{build_prefetcher, System, DEFAULT_MEASURE, DEFAULT_WARMUP};
 
@@ -146,5 +149,48 @@ pub fn run_multi_with_window_obs(
         .with_obs(obs);
     sys.run();
     let capture = sys.take_obs();
+    (sys.report(), capture)
+}
+
+/// Like [`run_single_with_window`], with a telemetry recorder attached:
+/// returns the report together with the histogram capture (`None` when
+/// `tel` is disabled). Telemetry never perturbs the report — it is
+/// recorded at the same event sites that already increment the
+/// counters, so `demand_accesses == Σ load-latency histogram counts +
+/// unfinished_demands` holds exactly (audited by `secpref-check`).
+pub fn run_single_with_window_tel(
+    cfg: &SystemConfig,
+    trace: &Arc<Trace>,
+    warmup: u64,
+    measure: u64,
+    tel: &TelConfig,
+) -> (SimReport, Option<TelCapture>) {
+    let mut cfg = cfg.clone();
+    cfg.cores = 1;
+    cfg.llc = secpref_types::CacheConfig::baseline_llc(1);
+    let mut sys = System::new(cfg, vec![trace.clone()])
+        .with_window(warmup, measure)
+        .with_telemetry(tel);
+    sys.run();
+    let capture = sys.take_telemetry();
+    (sys.report(), capture)
+}
+
+/// Like [`run_multi_with_window`], with a telemetry recorder attached.
+pub fn run_multi_with_window_tel(
+    cfg: &SystemConfig,
+    traces: Vec<Arc<Trace>>,
+    warmup: u64,
+    measure: u64,
+    tel: &TelConfig,
+) -> (SimReport, Option<TelCapture>) {
+    let mut cfg = cfg.clone();
+    cfg.cores = traces.len();
+    cfg.llc = secpref_types::CacheConfig::baseline_llc(cfg.cores);
+    let mut sys = System::new(cfg, traces)
+        .with_window(warmup, measure)
+        .with_telemetry(tel);
+    sys.run();
+    let capture = sys.take_telemetry();
     (sys.report(), capture)
 }

@@ -12,6 +12,7 @@ use secpref_ghostminion::{AlwaysUpdate, UpdateFilter};
 use secpref_mem::dram::DramStats;
 use secpref_obs::{EpochRow, Event, EventKind, LevelEpoch, Obs, ObsCapture, ObsConfig};
 use secpref_prefetch::Prefetcher;
+use secpref_telemetry::{Tel, TelCapture, TelConfig};
 use secpref_trace::Trace;
 use secpref_tracestore::TraceFeed;
 use secpref_types::{Cycle, LineAddr, PrefetchMode, PrefetcherKind, SystemConfig};
@@ -246,6 +247,23 @@ impl System {
         self.hierarchy.take_obs_capture()
     }
 
+    /// Enables in-run telemetry (latency/timeliness histograms). A
+    /// disabled config is a no-op, keeping the default fast path; an
+    /// enabled one stays event-driven, so the idle fast-forward is
+    /// unaffected and results are bit-identical either way.
+    pub fn with_telemetry(mut self, tel: &TelConfig) -> Self {
+        if tel.enabled {
+            self.hierarchy.set_tel(Tel::new(tel, self.cfg.cores));
+        }
+        self
+    }
+
+    /// Extracts the telemetry capture after [`System::run`] (`None` when
+    /// telemetry was off).
+    pub fn take_telemetry(&mut self) -> Option<TelCapture> {
+        self.hierarchy.take_tel_capture()
+    }
+
     /// Enables the built-in wall-time phase profiler (`simbench
     /// --profile`). Never changes simulation outputs; fetch the result
     /// with [`System::profile_report`] after [`System::run`].
@@ -344,6 +362,7 @@ impl System {
                     // Event recording starts here, so per-kind event
                     // totals reconcile with the measurement window.
                     self.hierarchy.arm_obs(c);
+                    self.hierarchy.arm_tel(c);
                     if let Some(t) = self.obs_track.get_mut(c) {
                         t.begin(now, self.warmup, self.hierarchy.dram_stats());
                     }

@@ -1,0 +1,118 @@
+//! Telemetry contract tests: histogram totals reconcile *exactly* with
+//! the report counters, telemetry is inert when disabled, and an
+//! enabled recorder never perturbs simulation results (it is purely
+//! event-driven, so the idle fast-forward stays on).
+
+use secpref_sim::{run_single_with_window_tel, SimReport, TelCapture, TelConfig, LOAD_LEVEL_NAMES};
+use secpref_trace::suite;
+use secpref_types::{PrefetchMode, PrefetcherKind, SecureMode, SystemConfig};
+
+const WARMUP: u64 = 5_000;
+const MEASURE: u64 = 30_000;
+
+/// The paper's headline configuration: Berti, on-commit issue,
+/// GhostMinion with the Secure Update Filter.
+fn traced_cfg() -> SystemConfig {
+    SystemConfig::baseline(1)
+        .with_secure(SecureMode::GhostMinion)
+        .with_prefetcher(PrefetcherKind::Berti)
+        .with_mode(PrefetchMode::OnCommit)
+        .with_suf(true)
+}
+
+fn traced_run(tel: &TelConfig) -> (SimReport, Option<TelCapture>) {
+    let trace = suite::cached_trace("gcc_like", 40_000);
+    run_single_with_window_tel(&traced_cfg(), &trace, WARMUP, MEASURE, tel)
+}
+
+#[test]
+fn histograms_reconcile_exactly_with_report_counters() {
+    let (report, capture) = traced_run(&TelConfig::enabled());
+    let cap = capture.expect("telemetry was enabled");
+    let m = &report.cores[0];
+
+    // Demand-access equation: every counted L1D demand access either
+    // completed (one load-latency histogram sample at some level) or was
+    // still in flight at capture time.
+    let completed: u64 = cap.load_latency.iter().map(|h| h.count()).sum();
+    assert_eq!(
+        cap.demand_accesses,
+        completed + cap.unfinished_demands,
+        "demand accesses must equal completed + unfinished"
+    );
+    assert_eq!(
+        cap.demand_accesses, m.l1d.demand_accesses,
+        "telemetry mirrors the L1D demand-access counter site"
+    );
+
+    // Timeliness histograms record at the exact counter-increment sites.
+    assert_eq!(cap.pf_useful.count(), m.prefetch.useful);
+    assert_eq!(cap.pf_late.count(), m.prefetch.late);
+    assert_eq!(cap.pf_useless.count(), m.prefetch.useless);
+
+    // The workload must exercise the instrumented paths, or the
+    // reconciliation above is vacuous.
+    assert!(cap.demand_accesses > 0, "no demand accesses recorded");
+    assert!(
+        m.prefetch.useful > 0,
+        "no useful prefetches: {:?}",
+        m.prefetch
+    );
+    assert!(
+        cap.gm_occupancy.count() > 0,
+        "GhostMinion fills must sample occupancy"
+    );
+    assert!(
+        cap.dram_queue_delay.count() > 0,
+        "DRAM traffic must sample queue delay"
+    );
+    assert!(
+        cap.mshr_residency.iter().any(|h| h.count() > 0),
+        "MSHR completions must sample residency"
+    );
+    // GM-hit loads are split out of L1D (the secure config must hit GM).
+    let gm_idx = LOAD_LEVEL_NAMES.iter().position(|&n| n == "gm").unwrap();
+    assert!(
+        cap.load_latency[gm_idx].count() > 0,
+        "secure config must serve some loads from the GhostMinion"
+    );
+}
+
+#[test]
+fn latency_histograms_are_plausible() {
+    let (_, capture) = traced_run(&TelConfig::enabled());
+    let cap = capture.unwrap();
+    // GM/L1 hits are short; DRAM completions are long. The histograms
+    // must reflect the hierarchy's latency ordering.
+    let gm = &cap.load_latency[0];
+    let dram = &cap.load_latency[4];
+    if let (Some(gm_max), Some(dram_min)) = (gm.max(), dram.min()) {
+        assert!(
+            gm_max < dram_min || dram.mean().unwrap() > gm.mean().unwrap(),
+            "DRAM loads must be slower than GM hits on average"
+        );
+    }
+    // Named export covers every histogram in a fixed order.
+    let named = cap.named();
+    assert_eq!(named[0].0, "load_latency/gm");
+    assert!(named.iter().any(|(n, _)| n == "pf_timeliness/useful"));
+    let total: u64 = named.iter().map(|(_, h)| h.count()).sum();
+    assert_eq!(total, cap.total_samples());
+}
+
+#[test]
+fn disabled_tel_yields_no_capture_and_same_results() {
+    let (traced, capture) = traced_run(&TelConfig::enabled());
+    assert!(capture.is_some());
+    let (plain, none) = traced_run(&TelConfig::default());
+    assert!(none.is_none(), "disabled telemetry must not capture");
+    // Telemetry must not perturb the simulation itself: it records at
+    // existing event sites and never adds events or cycles.
+    assert_eq!(plain.cores[0].instructions, traced.cores[0].instructions);
+    assert_eq!(plain.cores[0].cycles, traced.cores[0].cycles);
+    assert_eq!(
+        plain.cores[0].prefetch.issued,
+        traced.cores[0].prefetch.issued
+    );
+    assert_eq!(plain.dram, traced.dram);
+}

@@ -1,0 +1,207 @@
+//! Chrome trace-event JSON builder (DESIGN.md §12).
+//!
+//! Emits the [Trace Event Format] subset that Perfetto and
+//! `chrome://tracing` load: duration begin/end pairs (`ph: "B"`/`"E"`),
+//! complete events (`ph: "X"`), counters (`ph: "C"`), and thread-name
+//! metadata (`ph: "M"`). Timestamps are microseconds; one *track* is one
+//! `(pid, tid)` pair — the exporters here use a single pid and one tid
+//! per worker/engine thread.
+//!
+//! The builder only concatenates strings, so it stays std-only; the
+//! matching parser/validator lives in `secpref-exp` next to the
+//! workspace's hand-rolled JSON.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! # Examples
+//!
+//! ```
+//! use secpref_telemetry::TraceBuilder;
+//!
+//! let mut t = TraceBuilder::new();
+//! t.thread_name(1, "worker-0");
+//! t.begin(1, "job", 10, &[("key", "abc")]);
+//! t.end(1, 42);
+//! let json = t.finish();
+//! assert!(json.starts_with("{\"traceEvents\":["));
+//! ```
+
+use std::fmt::Write as _;
+
+/// Process id used for every emitted event: the exporters model one
+/// process with one track per thread.
+pub const TRACE_PID: u32 = 1;
+
+/// Incremental builder for a trace-event JSON document.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<String>,
+}
+
+/// Escapes `s` into a JSON string body (quotes not included).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn args_json(args: &[(&str, &str)]) -> String {
+    let mut s = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('"');
+        escape_into(&mut s, k);
+        s.push_str("\":\"");
+        escape_into(&mut s, v);
+        s.push('"');
+    }
+    s.push('}');
+    s
+}
+
+impl TraceBuilder {
+    /// An empty trace.
+    pub fn new() -> Self {
+        TraceBuilder { events: Vec::new() }
+    }
+
+    /// Number of events emitted so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn push(&mut self, ph: char, tid: u32, ts_us: u64, body: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"{ph}\",\"pid\":{TRACE_PID},\"tid\":{tid},\"ts\":{ts_us}{body}}}"
+        ));
+    }
+
+    /// Names track `tid` (Perfetto shows this as the lane label).
+    pub fn thread_name(&mut self, tid: u32, name: &str) {
+        let mut n = String::new();
+        escape_into(&mut n, name);
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{TRACE_PID},\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{n}\"}}}}"
+        ));
+    }
+
+    /// Opens a duration span on track `tid` (`ph: "B"`).
+    pub fn begin(&mut self, tid: u32, name: &str, ts_us: u64, args: &[(&str, &str)]) {
+        let mut n = String::new();
+        escape_into(&mut n, name);
+        let body = format!(",\"name\":\"{n}\",\"args\":{}", args_json(args));
+        self.push('B', tid, ts_us, &body);
+    }
+
+    /// Closes the innermost open span on track `tid` (`ph: "E"`).
+    pub fn end(&mut self, tid: u32, ts_us: u64) {
+        self.push('E', tid, ts_us, "");
+    }
+
+    /// A complete span (`ph: "X"`) of `dur_us` microseconds.
+    pub fn complete(
+        &mut self,
+        tid: u32,
+        name: &str,
+        ts_us: u64,
+        dur_us: u64,
+        args: &[(&str, &str)],
+    ) {
+        let mut n = String::new();
+        escape_into(&mut n, name);
+        let body = format!(
+            ",\"dur\":{dur_us},\"name\":\"{n}\",\"args\":{}",
+            args_json(args)
+        );
+        self.push('X', tid, ts_us, &body);
+    }
+
+    /// A counter sample (`ph: "C"`): series `series` of counter `name`
+    /// takes `value` at `ts_us`.
+    pub fn counter(&mut self, tid: u32, name: &str, ts_us: u64, series: &str, value: u64) {
+        let mut n = String::new();
+        escape_into(&mut n, name);
+        let mut s = String::new();
+        escape_into(&mut s, series);
+        let body = format!(",\"name\":\"{n}\",\"args\":{{\"{s}\":{value}}}");
+        self.push('C', tid, ts_us, &body);
+    }
+
+    /// Renders the finished `{"traceEvents": [...]}` document.
+    pub fn finish(self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(e);
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_all_phase_kinds() {
+        let mut t = TraceBuilder::new();
+        t.thread_name(0, "engine");
+        t.begin(0, "sweep", 0, &[("jobs", "6")]);
+        t.complete(0, "dedup", 1, 5, &[]);
+        t.counter(0, "cells", 7, "done", 3);
+        t.end(0, 100);
+        assert_eq!(t.len(), 5);
+        let json = t.finish();
+        for ph in [
+            "\"ph\":\"M\"",
+            "\"ph\":\"B\"",
+            "\"ph\":\"X\"",
+            "\"ph\":\"C\"",
+            "\"ph\":\"E\"",
+        ] {
+            assert!(json.contains(ph), "missing {ph} in {json}");
+        }
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let mut t = TraceBuilder::new();
+        t.begin(0, "a\"b\\c\nd", 0, &[("k\t", "v\u{1}")]);
+        let json = t.finish();
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+        assert!(json.contains("k\\t"));
+        assert!(json.contains("\\u0001"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_shell() {
+        let t = TraceBuilder::new();
+        assert!(t.is_empty());
+        assert_eq!(
+            t.finish(),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
+        );
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod hist;
 pub mod level;
 pub mod req;
 pub mod rng;
@@ -32,6 +33,7 @@ pub use config::{
     CacheConfig, CoreConfig, DramConfig, PrefetchMode, PrefetcherKind, SecureMode, SystemConfig,
     TlbConfig,
 };
+pub use hist::Hist;
 pub use level::{CacheLevel, HitLevel};
 pub use req::{AccessKind, CoreId, FillInfo, PrefetchRequest};
 

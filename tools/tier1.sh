@@ -14,6 +14,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings -D clippy::perf
 echo "== cargo clippy secpref-obs (deny warnings)"
 cargo clippy --offline -p secpref-obs --all-targets -- -D warnings
 
+echo "== cargo clippy secpref-telemetry (deny warnings)"
+cargo clippy --offline -p secpref-telemetry --all-targets -- -D warnings
+
 echo "== cargo build --release"
 cargo build --release
 
@@ -35,6 +38,41 @@ if [ -s "$stderr_file" ]; then
     cat "$stderr_file" >&2
     exit 1
 fi
+
+echo "== telemetry sweep: quiet stays silent, artifacts worker-invariant, trace valid"
+# Three telemetry contracts (DESIGN.md §12):
+#  1. a telemetry-enabled sweep under --quiet writes ZERO stderr bytes
+#     (the live progress line must be provably absent from result bytes);
+#  2. the content-keyed histogram CSVs are byte-identical across worker
+#     counts (they are pure functions of the job, never of the host);
+#  3. the span trace is structurally valid trace-event JSON (balanced
+#     B/E per track, monotone per-track timestamps) — wall-clock content
+#     makes byte comparison meaningless, so it is validated instead.
+tel_a="$(mktemp -d)"
+tel_b="$(mktemp -d)"
+sct_file=""
+trap 'rm -f "$stderr_file"; rm -rf "$tel_a" "$tel_b"; if [ -n "$sct_file" ]; then rm -f "$sct_file"; fi' EXIT
+SECPREF_EXP_DIR="$tel_a" SECPREF_EXP_WORKERS=1 \
+    ./target/release/repro --quick --quiet --telemetry fig1 \
+    >/dev/null 2>"$stderr_file"
+if [ -s "$stderr_file" ]; then
+    echo "tier1: repro --quiet --telemetry wrote to stderr:" >&2
+    cat "$stderr_file" >&2
+    exit 1
+fi
+SECPREF_EXP_DIR="$tel_b" SECPREF_EXP_WORKERS=4 \
+    ./target/release/repro --quick --quiet --telemetry fig1 \
+    >/dev/null 2>"$stderr_file"
+if [ -s "$stderr_file" ]; then
+    echo "tier1: second --quiet --telemetry run wrote to stderr:" >&2
+    cat "$stderr_file" >&2
+    exit 1
+fi
+# Span-trace filenames embed the run id; everything else must byte-match.
+diff -r --exclude 'trace-*.json' "$tel_a/telemetry" "$tel_b/telemetry"
+ls "$tel_a"/telemetry/*.hist.csv >/dev/null  # the diff must not be vacuous
+./target/release/repro --validate-trace "$tel_a"/telemetry/trace-*.json
+./target/release/repro --validate-trace "$tel_b"/telemetry/trace-*.json
 
 echo "== simbench smoke (benchmark harness stays runnable)"
 # One tiny iteration per cell: validates that the benchmark matrix still
@@ -60,7 +98,6 @@ echo "== sectrace streamed-replay differential"
 # streaming and whole-trace indexing fails the gate (DESIGN.md §11).
 cargo build --release -p secpref-bench --bin sectrace
 sct_file="$(mktemp -u).sct"
-trap 'rm -f "$stderr_file" "$sct_file"' EXIT
 ./target/release/sectrace capture --trace mcf_like_a --n 120000 \
     --out "$sct_file" --chunk 4096 >/dev/null
 ./target/release/sectrace verify "$sct_file" >/dev/null
