@@ -5,8 +5,8 @@
 //!       [--trace TARGET] [--telemetry TARGET] [--validate-trace FILE]
 //!       [--check] [--check-iters N] [--check-replay FILE]
 //!       [all | table1 | table2 | table3 | fig1 | fig3 | fig4 | fig5 |
-//!        fig6 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | stats |
-//!        ablations]
+//!        fig6 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | fig16 |
+//!        stats | ablations]
 //! ```
 //!
 //! `--quick` shrinks the simulation windows and the Fig. 15 mix count so
@@ -225,6 +225,7 @@ fn main() {
         "fig13",
         "fig14",
         "fig15",
+        "fig16",
         "stats",
         "ablations",
     ];
@@ -360,6 +361,13 @@ fn main() {
         println!("{}", figures::fig15(scale, mix_count));
         if !quiet {
             eprintln!("[fig15 took {:.1?}]", t.elapsed());
+        }
+    }
+    if want("fig16") {
+        let t = Instant::now();
+        println!("{}", figures::fig16(scale));
+        if !quiet {
+            eprintln!("[fig16 took {:.1?}]", t.elapsed());
         }
     }
     if want("stats") {

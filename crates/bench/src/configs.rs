@@ -89,13 +89,32 @@ pub fn mcf_trace() -> String {
 
 /// Deterministic 4-core mixes drawn from the full suite (the paper uses
 /// 150 random SPEC+GAP mixes; we scale the count down).
-pub fn multicore_mixes(count: usize) -> Vec<[String; 4]> {
+pub fn multicore_mixes(count: usize) -> Vec<Vec<String>> {
+    multicore_mixes_n(count, 4)
+}
+
+/// Deterministic `width`-core mixes drawn from the full suite. For
+/// `width == 4` the draw sequence matches [`multicore_mixes`] exactly,
+/// so historic mixes (and their store keys) are unchanged.
+pub fn multicore_mixes_n(count: usize, width: usize) -> Vec<Vec<String>> {
     use secpref_types::rng::Xoshiro256ss;
     let names = full_suite();
     let mut rng = Xoshiro256ss::seed_from_u64(0x4D49_5845);
     (0..count)
-        .map(|_| std::array::from_fn(|_| names[rng.gen_index(names.len())].clone()))
+        .map(|_| {
+            (0..width)
+                .map(|_| names[rng.gen_index(names.len())].clone())
+                .collect()
+        })
         .collect()
+}
+
+/// The deterministic co-runner mix for the mix-pressure sweep: `n`
+/// cores cycling through the full suite, so every pressure level shares
+/// a workload prefix with the smaller ones.
+pub fn pressure_mix(n: usize) -> Vec<String> {
+    let names = full_suite();
+    (0..n).map(|i| names[i % names.len()].clone()).collect()
 }
 
 #[cfg(test)]
@@ -135,5 +154,27 @@ mod tests {
         let b = multicore_mixes(4);
         assert_eq!(a, b);
         assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|m| m.len() == 4));
+        // Width-4 generalized mixes reproduce the historic draw.
+        assert_eq!(multicore_mixes_n(4, 4), a);
+    }
+
+    #[test]
+    fn wide_mixes_and_pressure_mixes() {
+        let m = multicore_mixes_n(2, 32);
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|mix| mix.len() == 32));
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let p = pressure_mix(n);
+            assert_eq!(p.len(), n);
+            for name in &p {
+                assert!(
+                    secpref_trace::suite::trace_by_name(name).is_some(),
+                    "{name}"
+                );
+            }
+        }
+        // Pressure mixes share prefixes across widths.
+        assert_eq!(pressure_mix(32)[..8], pressure_mix(8)[..]);
     }
 }

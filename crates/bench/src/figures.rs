@@ -478,6 +478,55 @@ pub fn fig15(scale: ExpScale, mix_count: usize) -> Table {
     t
 }
 
+/// Co-runner counts the mix-pressure sweep (Fig. 16) covers.
+pub const MIX_PRESSURE_CORES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Fig. 16 — mix pressure vs secure-prefetch overhead: the deterministic
+/// `pressure_mix(n)` co-runner mixes for n = 1..32, comparing insecure
+/// on-access Berti against the secure stacks at each pressure level.
+/// "Overhead" is how much weighted speedup the secure configuration
+/// gives up relative to insecure on-access prefetching with the *same*
+/// co-runners — the cross-core cost of security as LLC/DRAM contention
+/// grows.
+pub fn fig16(scale: ExpScale) -> Table {
+    use crate::configs::pressure_mix;
+    let mut t = Table::new(
+        "Fig. 16 — Mix pressure (co-runners) vs secure-prefetch overhead (Berti)",
+        &[
+            "co-runners",
+            "insecure WS",
+            "on-commit+SUF WS",
+            "overhead %",
+            "TSB+SUF WS",
+            "overhead %",
+            "No-Pref secure WS",
+        ],
+    );
+    for n in MIX_PRESSURE_CORES {
+        let mix = pressure_mix(n);
+        let alone: Vec<f64> = mix.iter().map(|name| baseline_ipc(name, scale)).collect();
+        let ws = |cfg: &secpref_types::SystemConfig| {
+            let shared = runner::run_mix(cfg, &mix, scale);
+            weighted_speedup(&shared.ipcs(), &alone)
+        };
+        let insecure = ws(&on_access_nonsecure(PrefetcherKind::Berti));
+        let suf = ws(&on_commit_suf(PrefetcherKind::Berti));
+        let tsb = ws(&timely_secure_suf(PrefetcherKind::Berti));
+        let nopref = ws(&secure_nopref());
+        let ovh = |secure: f64| 100.0 * (1.0 - secure / insecure.max(1e-9));
+        t.row(vec![
+            n.to_string(),
+            f3(insecure),
+            f3(suf),
+            format!("{:.1}", ovh(suf)),
+            f3(tsb),
+            format!("{:.1}", ovh(tsb)),
+            f3(nopref),
+        ]);
+    }
+    t
+}
+
 /// Table I — the literature summary (static content from the paper).
 pub fn table1() -> Table {
     let mut t = Table::new(

@@ -41,8 +41,8 @@ pub fn run_cached(cfg: &SystemConfig, trace_name: &str, scale: ExpScale) -> SimR
     engine().run_one(&JobSpec::single(cfg.clone(), trace_name, scale))
 }
 
-/// Runs (or fetches) a 4-core mix.
-pub fn run_mix(cfg: &SystemConfig, mix: &[String; 4], scale: ExpScale) -> SimReport {
+/// Runs (or fetches) a multi-core mix (one core per entry).
+pub fn run_mix(cfg: &SystemConfig, mix: &[String], scale: ExpScale) -> SimReport {
     engine().run_one(&JobSpec::mix(cfg.clone(), mix, scale))
 }
 

@@ -16,7 +16,7 @@ use secpref_types::{PrefetcherKind, SystemConfig};
 /// rendered directly and need no jobs).
 pub const SIM_TARGETS: &[&str] = &[
     "fig1", "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-    "stats",
+    "fig16", "stats",
 ];
 
 /// Jobs for one target. Unknown and static targets yield no jobs.
@@ -124,6 +124,24 @@ pub fn jobs_for(target: &str, scale: ExpScale, mix_count: usize) -> Vec<JobSpec>
                 }
             }
         }
+        "fig16" => {
+            let cfgs = [
+                on_access_nonsecure(PrefetcherKind::Berti),
+                on_commit_suf(PrefetcherKind::Berti),
+                timely_secure_suf(PrefetcherKind::Berti),
+                secure_nopref(),
+            ];
+            for n in crate::figures::MIX_PRESSURE_CORES {
+                let mix = pressure_mix(n);
+                for cfg in &cfgs {
+                    jobs.push(JobSpec::mix(cfg.clone(), &mix, scale));
+                }
+                // Alone-runs for the weighted-speedup denominators.
+                for name in &mix {
+                    jobs.push(JobSpec::single(nonsecure_nopref(), name, scale));
+                }
+            }
+        }
         "stats" => {
             let berti = PrefetcherKind::Berti;
             let cfgs = [
@@ -208,6 +226,25 @@ mod tests {
         let singles = jobs.len() - mixes;
         assert_eq!(mixes, 3 * 7);
         assert_eq!(singles, 3 * 4);
+    }
+
+    #[test]
+    fn fig16_sweeps_every_pressure_level() {
+        let jobs = jobs_for("fig16", ExpScale::Quick, 2);
+        let mix_widths: Vec<usize> = jobs
+            .iter()
+            .filter_map(|j| match &j.workload {
+                secpref_exp::Workload::Mix(ns) => Some(ns.len()),
+                _ => None,
+            })
+            .collect();
+        for n in crate::figures::MIX_PRESSURE_CORES {
+            assert_eq!(
+                mix_widths.iter().filter(|&&w| w == n).count(),
+                4,
+                "expected 4 configs at pressure {n}"
+            );
+        }
     }
 
     #[test]

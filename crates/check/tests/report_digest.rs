@@ -100,6 +100,81 @@ fn report_digests_are_pinned() {
     );
 }
 
+/// Expected FNV-1a-64 digest per multi-core cell. Each cell runs one
+/// pinned adversarial trace per core through a *heterogeneous* per-core
+/// policy mix ([`secpref_types::CorePolicy`]), so these pins guard the
+/// shared-LLC/DRAM interleaving, the per-core filter/prefetcher wiring,
+/// and the per-core-context scheduling order all at once.
+const PINNED_MC: [(usize, u64); 3] = [
+    (2, 0xB6F5DBD0934F3DEE),
+    (4, 0xE2F8F7C5C97384BD),
+    (8, 0xF9C686FB8CC31BC5),
+];
+
+/// The rotating per-core policy mix for the multi-core pins.
+fn mc_policy(core: usize) -> secpref_types::CorePolicy {
+    use secpref_types::{CorePolicy, PrefetchMode, PrefetcherKind, SecureMode, SystemConfig};
+    let base = CorePolicy::of(&SystemConfig::baseline(1));
+    match core % 4 {
+        0 => base, // non-secure, no prefetcher
+        1 => CorePolicy {
+            secure: SecureMode::GhostMinion,
+            prefetcher: PrefetcherKind::Berti,
+            prefetch_mode: PrefetchMode::OnCommit,
+            suf: true,
+            ..base
+        },
+        2 => CorePolicy {
+            secure: SecureMode::GhostMinion,
+            prefetcher: PrefetcherKind::IpStride,
+            prefetch_mode: PrefetchMode::OnAccess,
+            ..base
+        },
+        _ => CorePolicy {
+            secure: SecureMode::GhostMinion,
+            prefetcher: PrefetcherKind::Berti,
+            prefetch_mode: PrefetchMode::OnCommit,
+            suf: true,
+            timely_secure: true,
+        },
+    }
+}
+
+fn mc_digest(cores: usize) -> u64 {
+    use secpref_types::SystemConfig;
+    let cfg = SystemConfig::baseline(cores).with_core_policies((0..cores).map(mc_policy).collect());
+    cfg.validate().expect("multi-core pin config must be valid");
+    let traces: Vec<_> = (0..cores)
+        .map(|c| Arc::new(gen_trace(PINNED_SEED + 7 * c as u64)))
+        .collect();
+    let n = traces.iter().map(|t| t.instrs.len()).min().unwrap() as u64;
+    let mut sys = System::new(cfg, traces).with_window(0, n);
+    sys.run();
+    fnv1a64(
+        report_to_string(&sys.report()).as_bytes(),
+        0xCBF2_9CE4_8422_2325,
+    )
+}
+
+#[test]
+fn multicore_report_digests_are_pinned() {
+    let mut mismatches = Vec::new();
+    for &(cores, expected) in PINNED_MC.iter() {
+        let actual = mc_digest(cores);
+        if actual != expected {
+            mismatches.push(format!(
+                "    ({cores}, {actual:#018X}), // was {expected:#018X}"
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "multi-core report digests moved — simulator behavior changed.\n\
+         If intentional, re-pin:\n{}",
+        mismatches.join("\n")
+    );
+}
+
 #[test]
 fn timely_secure_report_digests_are_pinned() {
     use secpref_types::{PrefetchMode, PrefetcherKind, SecureMode, SystemConfig};

@@ -19,14 +19,17 @@ use secpref_trace::suite;
 use secpref_types::SystemConfig;
 use std::path::PathBuf;
 
-/// What a job simulates: one trace on one core, a 4-core mix, or a
+/// What a job simulates: one trace on one core, a multi-core mix, or a
 /// streamed on-disk chunk store.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Workload {
     /// Single-core run of one named suite trace.
     Single(String),
-    /// 4-core multiprogrammed mix of named suite traces.
-    Mix([String; 4]),
+    /// Multiprogrammed mix of named suite traces, one per core (the
+    /// length sets the core count; 1–64 in practice). The canonical
+    /// string is identical to the historic fixed-width-4 form for
+    /// 4-entry mixes, so existing store keys are preserved.
+    Mix(Vec<String>),
     /// Single-core bounded-memory replay of a captured `.sct` chunk
     /// store. Keyed by the store's chunking-independent content digest,
     /// *not* by `path` — the same capture moved elsewhere on disk
@@ -83,11 +86,16 @@ impl JobSpec {
         }
     }
 
-    /// 4-core mix job.
-    pub fn mix(cfg: SystemConfig, mix: &[String; 4], scale: ExpScale) -> Self {
+    /// Multi-core mix job: one core per entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty mix.
+    pub fn mix(cfg: SystemConfig, mix: &[String], scale: ExpScale) -> Self {
+        assert!(!mix.is_empty(), "a mix needs at least one trace");
         JobSpec {
             cfg,
-            workload: Workload::Mix(mix.clone()),
+            workload: Workload::Mix(mix.to_vec()),
             scale,
         }
     }

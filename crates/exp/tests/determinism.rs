@@ -302,6 +302,59 @@ fn telemetry_artifacts_are_byte_identical_across_workers_and_resume() {
 }
 
 #[test]
+fn many_core_mix_resume_matches_cold_run() {
+    // Scale-out cell: one 32-core heterogeneous mix (every suite trace,
+    // cycled to 32 slots, with a rotating per-core policy wheel) must
+    // satisfy the same resume contract as the small sweep — the cold run
+    // simulates it once, a fresh engine over the same store returns the
+    // bit-identical report without re-simulating.
+    use secpref_types::CorePolicy;
+    const CORES: usize = 32;
+    let names = secpref_trace::suite::spec_names();
+    let mix: Vec<String> = (0..CORES).map(|c| names[c % names.len()].clone()).collect();
+    let base = CorePolicy::of(&SystemConfig::baseline(1));
+    let policies: Vec<CorePolicy> = (0..CORES)
+        .map(|c| match c % 4 {
+            0 => base,
+            1 => CorePolicy {
+                secure: SecureMode::GhostMinion,
+                prefetcher: PrefetcherKind::Berti,
+                prefetch_mode: PrefetchMode::OnCommit,
+                suf: true,
+                ..base
+            },
+            2 => CorePolicy {
+                secure: SecureMode::GhostMinion,
+                prefetcher: PrefetcherKind::IpStride,
+                prefetch_mode: PrefetchMode::OnAccess,
+                ..base
+            },
+            _ => CorePolicy {
+                secure: SecureMode::GhostMinion,
+                prefetcher: PrefetcherKind::Berti,
+                prefetch_mode: PrefetchMode::OnCommit,
+                suf: true,
+                timely_secure: true,
+            },
+        })
+        .collect();
+    let cfg = SystemConfig::baseline(CORES).with_core_policies(policies);
+    cfg.validate().expect("32-core mix config must be valid");
+    let jobs = vec![JobSpec::mix(cfg, &mix, ExpScale::Quick)];
+    let dir = tmp_dir("manycore");
+
+    let (cold_reports, cold) = Engine::new(&dir, 2).unwrap().run_all_with_summary(&jobs);
+    assert_eq!(cold.executed, 1);
+    assert_eq!(cold_reports[0].cores.len(), CORES);
+
+    let (warm_reports, warm) = Engine::new(&dir, 2).unwrap().run_all_with_summary(&jobs);
+    assert_eq!(warm.executed, 0, "resume must not re-simulate the mix");
+    assert_eq!(warm.from_store, 1);
+    assert_eq!(serialize_all(&cold_reports), serialize_all(&warm_reports));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn partial_store_resumes_the_rest() {
     // Simulate a killed run: only part of the sweep made it to disk.
     let jobs = sweep();

@@ -134,14 +134,19 @@ impl LevelState {
 /// The simulated memory system shared by all cores.
 pub struct Hierarchy {
     cfg: SystemConfig,
-    secure: bool,
-    on_commit: bool,
+    /// Per-core policy bits, resolved once from `cfg.policy(c)` so the
+    /// hot paths index a flat vec instead of re-deriving from the config.
+    sec: Vec<bool>,
+    oc: Vec<bool>,
+    pf_l1: Vec<bool>,
+    pf_none: Vec<bool>,
+    suf_on: Vec<bool>,
     gm: Vec<GmCache>,
     l1d: Vec<LevelState>,
     l2: Vec<LevelState>,
     llc: LevelState,
     dram: DramModel,
-    filter: Box<dyn UpdateFilter>,
+    filters: Vec<Box<dyn UpdateFilter>>,
     prefetchers: Vec<Box<dyn Prefetcher>>,
     classifiers: Vec<Option<Classifier>>,
     reqs: Vec<Req>,
@@ -203,7 +208,7 @@ impl std::fmt::Debug for Hierarchy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Hierarchy")
             .field("cores", &self.cfg.cores)
-            .field("secure", &self.secure)
+            .field("secure", &self.sec)
             .field("now", &self.now)
             .finish()
     }
@@ -211,25 +216,41 @@ impl std::fmt::Debug for Hierarchy {
 
 impl Hierarchy {
     /// Builds the memory system for `cfg`, with the given per-core
-    /// prefetchers, update filter, and optional classifiers.
+    /// prefetchers, update filters, and optional classifiers. The
+    /// policy vectors come from `cfg.policy(c)`, so heterogeneous
+    /// mixes get per-core secure-mode/prefetcher behaviour.
     pub fn new(
         cfg: SystemConfig,
         prefetchers: Vec<Box<dyn Prefetcher>>,
-        filter: Box<dyn UpdateFilter>,
+        filters: Vec<Box<dyn UpdateFilter>>,
         classifiers: Vec<Option<Classifier>>,
     ) -> Self {
         assert_eq!(prefetchers.len(), cfg.cores);
+        assert_eq!(filters.len(), cfg.cores);
         assert_eq!(classifiers.len(), cfg.cores);
         let cores = cfg.cores;
+        let pol: Vec<_> = (0..cores).map(|c| cfg.policy(c)).collect();
         Hierarchy {
-            secure: cfg.secure.is_secure(),
-            on_commit: cfg.prefetch_mode == PrefetchMode::OnCommit,
+            sec: pol.iter().map(|p| p.secure.is_secure()).collect(),
+            oc: pol
+                .iter()
+                .map(|p| p.prefetch_mode == PrefetchMode::OnCommit)
+                .collect(),
+            pf_l1: pol
+                .iter()
+                .map(|p| p.prefetcher.is_l1_prefetcher())
+                .collect(),
+            pf_none: pol
+                .iter()
+                .map(|p| p.prefetcher == PrefetcherKind::None)
+                .collect(),
+            suf_on: pol.iter().map(|p| p.suf).collect(),
             gm: (0..cores).map(|_| GmCache::new(cfg.gm.lines())).collect(),
             l1d: (0..cores).map(|_| LevelState::new(&cfg.l1d)).collect(),
             l2: (0..cores).map(|_| LevelState::new(&cfg.l2)).collect(),
             llc: LevelState::new(&cfg.llc),
             dram: DramModel::new(cfg.dram.clone()),
-            filter,
+            filters,
             prefetchers,
             classifiers,
             reqs: Vec::with_capacity(4096),
@@ -374,7 +395,7 @@ impl Hierarchy {
         }
         cap.mshr_high_water
             .push(("llc".to_string(), self.llc.mshr.high_water() as u64));
-        cap.filter = self.filter.describe().to_string();
+        cap.filter = self.filters[0].describe().to_string();
         Some(cap)
     }
 
@@ -391,9 +412,9 @@ impl Hierarchy {
         });
     }
 
-    /// Whether this system has an L1 prefetcher (vs an L2 one).
-    fn pf_is_l1(&self) -> bool {
-        self.cfg.prefetcher.is_l1_prefetcher()
+    /// Whether `core` runs an L1 prefetcher (vs an L2 one).
+    fn pf_is_l1(&self, core: CoreId) -> bool {
+        self.pf_l1[core]
     }
 
     fn alloc_req(&mut self, req: Req) -> u32 {
@@ -714,7 +735,7 @@ impl Hierarchy {
         let core = req.core;
         let lvl = req.cur_level;
         let is_demand = matches!(req.kind, ReqKind::Load | ReqKind::Store);
-        let speculative = self.secure && matches!(req.kind, ReqKind::Load);
+        let speculative = self.sec[core] && matches!(req.kind, ReqKind::Load);
 
         // GhostMinion: speculative loads probe the GM in parallel with L1D.
         if lvl == 0 && speculative {
@@ -767,7 +788,7 @@ impl Hierarchy {
         }
 
         // Prefetcher useful-feedback on demand hit to a prefetched line.
-        let pf_here = (lvl == 0) == self.pf_is_l1();
+        let pf_here = (lvl == 0) == self.pf_is_l1(core);
         if hit && is_demand && was_prefetched && pf_here {
             self.metrics[core].prefetch.useful += 1;
             self.obs_ev(now, core, EventKind::PrefetchUseful, req.line, pf_latency);
@@ -948,7 +969,7 @@ impl Hierarchy {
     fn count_demand_miss(&mut self, now: Cycle, rid: u32, lvl: u8, merged_onto_pf: bool) {
         let req = self.reqs[rid as usize];
         self.level_metrics(req.core, lvl).demand_misses += 1;
-        let pf_here = (lvl == 0) == self.pf_is_l1();
+        let pf_here = (lvl == 0) == self.pf_is_l1(req.core);
         if pf_here {
             self.feedback(req.core, Feedback::DemandMiss { line: req.line });
             if let Some(c) = self.classifiers[req.core].as_mut() {
@@ -969,7 +990,8 @@ impl Hierarchy {
         hit_prefetched: bool,
         pf_latency: u32,
     ) {
-        if !self.pf_is_l1() || self.cfg.prefetcher == PrefetcherKind::None {
+        let core = self.reqs[rid as usize].core;
+        if !self.pf_is_l1(core) || self.pf_none[core] {
             return;
         }
         let req = self.reqs[rid as usize];
@@ -988,13 +1010,14 @@ impl Hierarchy {
             c.shadow_access(&ev);
             self.prof.exit();
         }
-        if !self.on_commit {
+        if !self.oc[core] {
             self.train_and_inject(now, req.core, &ev);
         }
     }
 
     fn observe_demand_l2(&mut self, now: Cycle, rid: u32, hit: bool) {
-        if self.pf_is_l1() || self.cfg.prefetcher == PrefetcherKind::None {
+        let core = self.reqs[rid as usize].core;
+        if self.pf_is_l1(core) || self.pf_none[core] {
             return;
         }
         let req = self.reqs[rid as usize];
@@ -1013,7 +1036,7 @@ impl Hierarchy {
             c.shadow_access(&ev);
             self.prof.exit();
         }
-        if !self.on_commit {
+        if !self.oc[core] {
             self.train_and_inject(now, req.core, &ev);
         }
     }
@@ -1057,7 +1080,7 @@ impl Hierarchy {
         self.pf_outstanding[core] += 1;
         let mut req = Self::blank_req(core, pf.line, pf.trigger_ip, ReqKind::Prefetch, now);
         req.pf_fill_l1 = pf.fill_level == CacheLevel::L1d;
-        req.cur_level = if self.pf_is_l1() && req.pf_fill_l1 {
+        req.cur_level = if self.pf_is_l1(core) && req.pf_fill_l1 {
             0
         } else {
             1
@@ -1085,7 +1108,7 @@ impl Hierarchy {
         latency: u32,
         by_prefetch: bool,
     ) {
-        if !self.pf_is_l1() || self.cfg.prefetcher == PrefetcherKind::None {
+        if !self.pf_is_l1(core) || self.pf_none[core] {
             return;
         }
         let ev = FillEvent {
@@ -1096,7 +1119,7 @@ impl Hierarchy {
             by_prefetch,
         };
         if commit_path {
-            if self.on_commit {
+            if self.oc[core] {
                 self.prof.enter(Phase::Prefetcher);
                 self.prefetchers[core].observe_fill(&ev);
                 self.prof.exit();
@@ -1107,7 +1130,7 @@ impl Hierarchy {
                 c.shadow_fill(&ev);
                 self.prof.exit();
             }
-            if !self.on_commit {
+            if !self.oc[core] {
                 self.prof.enter(Phase::Prefetcher);
                 self.prefetchers[core].observe_fill(&ev);
                 self.prof.exit();
@@ -1131,7 +1154,7 @@ impl Hierarchy {
 
     fn handle_eviction(&mut self, now: Cycle, core: CoreId, lvl: u8, ev: secpref_mem::EvictedLine) {
         // Useless-prefetch accounting at the prefetcher's level.
-        let pf_here = (lvl == 0) == self.pf_is_l1();
+        let pf_here = (lvl == 0) == self.pf_is_l1(core);
         if ev.prefetched && pf_here && lvl <= 1 {
             self.metrics[core].prefetch.useless += 1;
             self.obs_ev(now, core, EventKind::PrefetchUseless, ev.line, 0);
@@ -1146,7 +1169,7 @@ impl Hierarchy {
                     req.cur_level = target;
                     let rid = self.alloc_req(req);
                     self.schedule(now + 1, rid, EV_ACCESS);
-                } else if self.secure && ev.wb_bit {
+                } else if self.sec[core] && ev.wb_bit {
                     // GhostMinion clean-line commit propagation.
                     self.metrics[core].commit.propagations += 1;
                     self.obs_ev(now, core, EventKind::CleanProp, ev.line, lvl as u32);
@@ -1156,7 +1179,7 @@ impl Hierarchy {
                     req.wb_next_fill = if lvl == 0 { ev.wb_next } else { false };
                     let rid = self.alloc_req(req);
                     self.schedule(now + 1, rid, EV_ACCESS);
-                } else if self.secure && self.cfg.suf {
+                } else if self.sec[core] && self.suf_on[core] {
                     // SUF skipped a propagation: score its accuracy.
                     self.metrics[core].commit.propagation_skipped += 1;
                     let present = if lvl == 0 {
@@ -1237,7 +1260,7 @@ impl Hierarchy {
         let core = req.core;
         let latency = (now - req.issued_at) as u32;
         match req.kind {
-            ReqKind::Load if !self.secure => {
+            ReqKind::Load if !self.sec[core] => {
                 self.fill_cache(now, core, lvl, req.line, FillAttrs::default());
             }
             // GhostMinion: speculative fills go to the GM only (at
@@ -1254,7 +1277,7 @@ impl Hierarchy {
                             ..FillAttrs::default()
                         },
                     );
-                } else if !self.secure {
+                } else if !self.sec[core] {
                     self.fill_cache(now, core, lvl, req.line, FillAttrs::default());
                 }
             }
@@ -1293,7 +1316,7 @@ impl Hierarchy {
         let latency = (now - req.issued_at) as u32;
         match req.kind {
             ReqKind::Load => {
-                if self.secure && req.hit_level != HitLevel::L1d {
+                if self.sec[core] && req.hit_level != HitLevel::L1d {
                     // Speculative fill into the GM, timestamped with the
                     // oldest waiting instruction.
                     self.prof.enter(Phase::Gm);
@@ -1378,12 +1401,12 @@ impl Hierarchy {
         ts: u64,
         fill: &FillInfo,
     ) {
-        if self.secure {
+        if self.sec[core] {
             // The whole commit engine (GM lookup, SUF decision, action
             // dispatch, GM expiry) is GhostMinion work.
             self.prof.enter(Phase::Gm);
             let gm_hit = self.gm[core].lookup_commit(line, ts).is_some();
-            let action = self.filter.commit_action(fill.hit_level, gm_hit);
+            let action = self.filters[core].commit_action(fill.hit_level, gm_hit);
             match action {
                 CommitAction::Drop => {
                     self.metrics[core].commit.suf_dropped += 1;
@@ -1401,7 +1424,7 @@ impl Hierarchy {
                     self.metrics[core].commit.commit_writes += 1;
                     self.obs_ev(now, core, EventKind::CommitWrite, line, 0);
                     let mut req = Self::blank_req(core, line, ip, ReqKind::CommitWrite, now);
-                    req.wb = self.filter.wb_bits(fill.hit_level);
+                    req.wb = self.filters[core].wb_bits(fill.hit_level);
                     let rid = self.alloc_req(req);
                     self.schedule(now, rid, EV_ACCESS);
                 }
@@ -1410,7 +1433,7 @@ impl Hierarchy {
                     self.obs_ev(now, core, EventKind::Refetch, line, 0);
                     let mut req = Self::blank_req(core, line, ip, ReqKind::Refetch, now);
                     req.ts = ts;
-                    req.wb = self.filter.wb_bits(fill.hit_level);
+                    req.wb = self.filters[core].wb_bits(fill.hit_level);
                     let rid = self.alloc_req(req);
                     self.schedule(now, rid, EV_ACCESS);
                 }
@@ -1423,8 +1446,8 @@ impl Hierarchy {
             self.prof.exit();
         }
         // On-commit prefetcher training/triggering.
-        if self.on_commit && self.cfg.prefetcher != PrefetcherKind::None {
-            if self.pf_is_l1() {
+        if self.oc[core] && !self.pf_none[core] {
+            if self.pf_is_l1(core) {
                 let ev = AccessEvent {
                     ip,
                     line,
@@ -1471,9 +1494,9 @@ impl Hierarchy {
         self.metrics[core] = CoreMetrics::default();
     }
 
-    /// Replaces the commit-path update filter (ablation studies).
-    pub fn set_filter(&mut self, filter: Box<dyn UpdateFilter>) {
-        self.filter = filter;
+    /// Replaces one core's commit-path update filter (ablation studies).
+    pub fn set_filter(&mut self, core: CoreId, filter: Box<dyn UpdateFilter>) {
+        self.filters[core] = filter;
     }
 
     /// Sets a core's prefetcher timeliness knob (ablation studies).

@@ -37,8 +37,19 @@ pub fn build_prefetcher(cfg: &SystemConfig) -> Box<dyn Prefetcher> {
     }
 }
 
-fn build_filter(cfg: &SystemConfig) -> Box<dyn UpdateFilter> {
-    if cfg.suf {
+/// Builds core `c`'s prefetcher from its effective policy (identical to
+/// [`build_prefetcher`] for homogeneous configs).
+fn build_prefetcher_for(cfg: &SystemConfig, c: usize) -> Box<dyn Prefetcher> {
+    let p = cfg.policy(c);
+    if p.timely_secure {
+        secpref_core::build_timely_secure(p.prefetcher)
+    } else {
+        secpref_prefetch::build(p.prefetcher)
+    }
+}
+
+fn build_filter_for(cfg: &SystemConfig, c: usize) -> Box<dyn UpdateFilter> {
+    if cfg.policy(c).suf {
         Box::new(SecureUpdateFilter::with_sizes(
             cfg.core.lq_entries as u64,
             cfg.l1d.lines() as u64,
@@ -48,10 +59,11 @@ fn build_filter(cfg: &SystemConfig) -> Box<dyn UpdateFilter> {
     }
 }
 
-fn build_classifier(cfg: &SystemConfig) -> Option<Classifier> {
-    if cfg.prefetch_mode == PrefetchMode::OnCommit && cfg.prefetcher != PrefetcherKind::None {
+fn build_classifier_for(cfg: &SystemConfig, c: usize) -> Option<Classifier> {
+    let p = cfg.policy(c);
+    if p.prefetch_mode == PrefetchMode::OnCommit && p.prefetcher != PrefetcherKind::None {
         // The shadow is the *base* on-access prefetcher of the same kind.
-        Some(Classifier::new(secpref_prefetch::build(cfg.prefetcher)))
+        Some(Classifier::new(secpref_prefetch::build(p.prefetcher)))
     } else {
         None
     }
@@ -107,15 +119,24 @@ fn level_delta(cur: &LevelMetrics, prev: &LevelMetrics) -> LevelEpoch {
     }
 }
 
-struct CoreState {
+/// One core's complete private simulation state: the core model plus its
+/// replay/warm-up bookkeeping and (when observability is on) its epoch
+/// sampler. [`System`] holds a slice of these identical contexts — the
+/// shape an intra-run parallel tick would shard over: everything not in
+/// a `CoreCtx` is shared (LLC, DRAM, event wheel) and everything in one
+/// is touched only by its own core's tick.
+struct CoreCtx {
     core: Core,
     /// Instructions retired by already-finished replays of the trace.
     retired_base: u64,
     warmup_cycle: Option<Cycle>,
     finished_cycle: Option<Cycle>,
+    /// Epoch-sampling / squash-polling state, present only while an
+    /// observability recorder is installed.
+    obs: Option<ObsTrack>,
 }
 
-impl CoreState {
+impl CoreCtx {
     fn total_retired(&self) -> u64 {
         self.retired_base + self.core.retired()
     }
@@ -140,13 +161,13 @@ impl CoreState {
 #[derive(Debug)]
 pub struct System {
     cfg: SystemConfig,
-    cores: Vec<CoreState>,
+    cores: Vec<CoreCtx>,
     hierarchy: Hierarchy,
     warmup: u64,
     measure: u64,
-    /// One tracker per core while observability is on; empty otherwise,
-    /// which is also the run loop's fast-path guard.
-    obs_track: Vec<ObsTrack>,
+    /// True when per-core `ObsTrack`s are installed; false is the run
+    /// loop's fast-path guard.
+    obs_on: bool,
     now: Cycle,
     finished: bool,
     /// Master switch for the run loop's idle-cycle fast-forward (on by
@@ -155,9 +176,9 @@ pub struct System {
     allow_skip: bool,
 }
 
-impl std::fmt::Debug for CoreState {
+impl std::fmt::Debug for CoreCtx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CoreState")
+        f.debug_struct("CoreCtx")
             .field("retired", &self.total_retired())
             .finish()
     }
@@ -194,17 +215,23 @@ impl System {
     pub fn from_feeds(cfg: SystemConfig, feeds: Vec<TraceFeed>) -> Self {
         cfg.validate().expect("invalid system configuration");
         assert_eq!(feeds.len(), cfg.cores, "one feed per core");
-        let prefetchers = (0..cfg.cores).map(|_| build_prefetcher(&cfg)).collect();
-        let classifiers = (0..cfg.cores).map(|_| build_classifier(&cfg)).collect();
-        let hierarchy = Hierarchy::new(cfg.clone(), prefetchers, build_filter(&cfg), classifiers);
+        let prefetchers = (0..cfg.cores)
+            .map(|c| build_prefetcher_for(&cfg, c))
+            .collect();
+        let classifiers = (0..cfg.cores)
+            .map(|c| build_classifier_for(&cfg, c))
+            .collect();
+        let filters = (0..cfg.cores).map(|c| build_filter_for(&cfg, c)).collect();
+        let hierarchy = Hierarchy::new(cfg.clone(), prefetchers, filters, classifiers);
         let cores = feeds
             .into_iter()
             .enumerate()
-            .map(|(i, f)| CoreState {
+            .map(|(i, f)| CoreCtx {
                 core: Core::from_feed(i, cfg.core.clone(), f),
                 retired_base: 0,
                 warmup_cycle: None,
                 finished_cycle: None,
+                obs: None,
             })
             .collect();
         System {
@@ -213,7 +240,7 @@ impl System {
             hierarchy,
             warmup: DEFAULT_WARMUP,
             measure: DEFAULT_MEASURE,
-            obs_track: Vec::new(),
+            obs_on: false,
             now: 0,
             finished: false,
             allow_skip: true,
@@ -234,9 +261,10 @@ impl System {
     pub fn with_obs(mut self, obs: &ObsConfig) -> Self {
         if obs.enabled {
             self.hierarchy.set_obs(Obs::new(obs, self.cfg.cores));
-            self.obs_track = (0..self.cfg.cores)
-                .map(|_| ObsTrack::new(obs.epoch_interval.max(1)))
-                .collect();
+            for ctx in &mut self.cores {
+                ctx.obs = Some(ObsTrack::new(obs.epoch_interval.max(1)));
+            }
+            self.obs_on = true;
         }
         self
     }
@@ -287,8 +315,15 @@ impl System {
 
     /// Replaces the commit-path update filter — for ablations of the
     /// SUF mechanism (e.g. [`secpref_core::DropOnlySuf`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on multi-core systems: filter ablations are single-core
+    /// studies, and per-core filters are configured via
+    /// [`secpref_types::CorePolicy`] instead.
     pub fn with_update_filter(mut self, filter: Box<dyn UpdateFilter>) -> Self {
-        self.hierarchy.set_filter(filter);
+        assert_eq!(self.cfg.cores, 1, "filter ablations are single-core");
+        self.hierarchy.set_filter(0, filter);
         self
     }
 
@@ -322,7 +357,7 @@ impl System {
         // hatches; those paths keep the original cycle-by-cycle loop.
         let fast_forward = self.allow_skip
             && !trace_progress
-            && self.obs_track.is_empty()
+            && !self.obs_on
             && !self.hierarchy.obs_enabled()
             && std::env::var_os("SECPREF_NO_SKIP").is_none();
         // Scratch buffers reused across cycles (the tick loop allocates
@@ -363,7 +398,7 @@ impl System {
                     // totals reconcile with the measurement window.
                     self.hierarchy.arm_obs(c);
                     self.hierarchy.arm_tel(c);
-                    if let Some(t) = self.obs_track.get_mut(c) {
+                    if let Some(t) = st.obs.as_mut() {
                         t.begin(now, self.warmup, self.hierarchy.dram_stats());
                     }
                 }
@@ -371,7 +406,7 @@ impl System {
                 if st.core.is_done() {
                     st.retired_base += st.core.retired();
                     st.core.replay();
-                    if let Some(t) = self.obs_track.get_mut(c) {
+                    if let Some(t) = st.obs.as_mut() {
                         t.prev_squashed = 0; // fresh core, fresh counter
                     }
                 }
@@ -397,19 +432,20 @@ impl System {
                 }
                 self.hierarchy.prof_exit();
                 // Observability: poll the squash counter and close any
-                // completed epoch. Empty `obs_track` keeps this free.
-                if !self.obs_track.is_empty() {
+                // completed epoch. `obs_on == false` keeps this free.
+                if self.obs_on {
                     let squashed = self.cores[c].core.squashed();
-                    let t = &mut self.obs_track[c];
+                    let t = self.cores[c].obs.as_mut().expect("obs_on implies trackers");
                     if squashed > t.prev_squashed {
+                        let delta = (squashed - t.prev_squashed) as u32;
+                        t.prev_squashed = squashed;
                         self.hierarchy.obs_record(Event {
                             cycle: now,
                             line: LineAddr::new(0),
-                            arg: (squashed - t.prev_squashed) as u32,
+                            arg: delta,
                             core: c as u16,
                             kind: EventKind::Squash,
                         });
-                        t.prev_squashed = squashed;
                     }
                     self.obs_sample_epochs(c, now);
                 }
@@ -488,17 +524,21 @@ impl System {
     /// is emitted per crossing even when several thresholds were passed
     /// in one cycle (rows then cover more than one nominal interval).
     fn obs_sample_epochs(&mut self, c: usize, now: Cycle) {
-        if self.obs_track.is_empty() || self.cores[c].warmup_cycle.is_none() {
+        if !self.obs_on || self.cores[c].warmup_cycle.is_none() {
             return;
         }
         let retired = self.cores[c].total_retired();
-        if retired < self.obs_track[c].next_at {
+        let next_at = match self.cores[c].obs.as_ref() {
+            Some(t) => t.next_at,
+            None => return,
+        };
+        if retired < next_at {
             return;
         }
         let cur = self.hierarchy.metrics[c].clone();
         let dram = self.hierarchy.dram_stats();
         let gm_occupancy = self.hierarchy.gm_occupancy(c);
-        let t = &mut self.obs_track[c];
+        let t = self.cores[c].obs.as_mut().expect("checked above");
         let dd = dram.delta(&t.prev_dram);
         let row = EpochRow {
             epoch: t.epoch_idx,

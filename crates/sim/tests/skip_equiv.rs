@@ -108,3 +108,61 @@ fn skip_matches_cycle_by_cycle_two_cores() {
         vec![mixed_trace(0xD4, 3000), mixed_trace(0xE5, 3000)],
     );
 }
+
+#[test]
+fn skip_matches_cycle_by_cycle_eight_cores_mixed_prefetchers() {
+    use secpref_types::CorePolicy;
+    // Heterogeneous per-core policies: every prefetcher kind, secure and
+    // non-secure cores, on-access and on-commit, with and without SUF/TS.
+    // The idle-span detector must agree with the cycle-by-cycle loop even
+    // when eight differently-configured cores contend for the shared LLC
+    // and DRAM channel.
+    let base = CorePolicy::of(&SystemConfig::baseline(1));
+    let policies = vec![
+        CorePolicy {
+            prefetcher: PrefetcherKind::IpStride,
+            ..base
+        },
+        CorePolicy {
+            secure: SecureMode::GhostMinion,
+            prefetcher: PrefetcherKind::Berti,
+            prefetch_mode: PrefetchMode::OnCommit,
+            suf: true,
+            ..base
+        },
+        CorePolicy {
+            prefetcher: PrefetcherKind::Bingo,
+            ..base
+        },
+        CorePolicy {
+            secure: SecureMode::GhostMinion,
+            prefetcher: PrefetcherKind::SppPpf,
+            prefetch_mode: PrefetchMode::OnAccess,
+            ..base
+        },
+        CorePolicy {
+            prefetcher: PrefetcherKind::Ipcp,
+            ..base
+        },
+        CorePolicy {
+            secure: SecureMode::GhostMinion,
+            prefetcher: PrefetcherKind::Berti,
+            prefetch_mode: PrefetchMode::OnCommit,
+            suf: true,
+            timely_secure: true,
+        },
+        base, // no prefetcher
+        CorePolicy {
+            secure: SecureMode::GhostMinion,
+            prefetcher: PrefetcherKind::IpStride,
+            prefetch_mode: PrefetchMode::OnAccess,
+            ..base
+        },
+    ];
+    let cfg = SystemConfig::baseline(8).with_core_policies(policies);
+    cfg.validate().expect("8-core mixed config must be valid");
+    let traces = (0..8u64)
+        .map(|c| mixed_trace(0xF6 + 0x11 * c, 2000))
+        .collect();
+    assert_equiv("8core/mixed", &cfg, traces);
+}

@@ -109,14 +109,19 @@ impl CacheConfig {
     }
 
     /// The baseline 2 MB/16-way/35-cycle/64-MSHR LLC bank (one per core).
+    ///
+    /// The per-core scaling factor rounds up to a power of two so the set
+    /// count stays a power of two for any core count (a 3- or 24-core mix
+    /// gets the next larger LLC rather than a non-indexable one).
     pub fn baseline_llc(cores: usize) -> Self {
+        let scale = cores.max(1).next_power_of_two();
         CacheConfig {
-            size_bytes: 2 * 1024 * 1024 * cores.max(1),
+            size_bytes: 2 * 1024 * 1024 * scale,
             ways: 16,
             latency: 35,
-            mshrs: 64 * cores.max(1),
-            ports_per_cycle: 2 * cores.max(1),
-            queue_depth: 64 * cores.max(1),
+            mshrs: 64 * scale,
+            ports_per_cycle: 2 * scale,
+            queue_depth: 64 * scale,
             replacement: ReplacementChoice::Lru,
         }
     }
@@ -307,6 +312,54 @@ impl SecureMode {
     }
 }
 
+/// Per-core policy knobs for heterogeneous multi-core mixes: which
+/// prefetcher one core runs, when it trains, and whether that core's
+/// speculation is secured. Geometry (cache sizes, DRAM timing, core
+/// width) stays global — heterogeneity is about policy, matching the
+/// attacker/victim co-scheduling scenarios where one hart runs a secure
+/// victim while co-runners keep insecure fast paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CorePolicy {
+    /// Secure or non-secure cache system for this core.
+    pub secure: SecureMode,
+    /// Which prefetcher this core runs.
+    pub prefetcher: PrefetcherKind,
+    /// On-access or on-commit training/triggering for this core.
+    pub prefetch_mode: PrefetchMode,
+    /// Secure Update Filter on this core (requires GhostMinion).
+    pub suf: bool,
+    /// Timely-secure wrapper on this core (requires on-commit + prefetcher).
+    pub timely_secure: bool,
+}
+
+impl CorePolicy {
+    /// The policy expressed by a config's top-level knobs.
+    pub fn of(cfg: &SystemConfig) -> Self {
+        CorePolicy {
+            secure: cfg.secure,
+            prefetcher: cfg.prefetcher,
+            prefetch_mode: cfg.prefetch_mode,
+            suf: cfg.suf,
+            timely_secure: cfg.timely_secure,
+        }
+    }
+
+    /// Validates this policy's internal consistency (same rules as the
+    /// top-level knobs).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.suf && !self.secure.is_secure() {
+            return Err("SUF requires the GhostMinion secure cache system".into());
+        }
+        if self.timely_secure && self.prefetch_mode != PrefetchMode::OnCommit {
+            return Err("timely-secure prefetching applies to on-commit mode".into());
+        }
+        if self.timely_secure && self.prefetcher == PrefetcherKind::None {
+            return Err("timely-secure prefetching requires a prefetcher".into());
+        }
+        Ok(())
+    }
+}
+
 /// Full single-core (or per-core) system configuration.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SystemConfig {
@@ -338,6 +391,11 @@ pub struct SystemConfig {
     pub timely_secure: bool,
     /// Number of cores sharing the LLC and DRAM.
     pub cores: usize,
+    /// Optional per-core policy overrides for heterogeneous mixes. Empty
+    /// means every core follows the top-level `secure`/`prefetcher`/
+    /// `prefetch_mode`/`suf`/`timely_secure` knobs (the homogeneous case);
+    /// non-empty must have exactly `cores` entries.
+    pub per_core: Vec<CorePolicy>,
 }
 
 impl Default for SystemConfig {
@@ -363,7 +421,29 @@ impl SystemConfig {
             suf: false,
             timely_secure: false,
             cores,
+            per_core: Vec::new(),
         }
+    }
+
+    /// The effective policy for `core`: the per-core override when one is
+    /// configured, otherwise the top-level knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= cores` when per-core overrides are configured.
+    pub fn policy(&self, core: usize) -> CorePolicy {
+        if self.per_core.is_empty() {
+            CorePolicy::of(self)
+        } else {
+            self.per_core[core]
+        }
+    }
+
+    /// Sets per-core policy overrides (builder style). Pass an empty vec
+    /// to return to homogeneous top-level knobs.
+    pub fn with_core_policies(mut self, policies: Vec<CorePolicy>) -> Self {
+        self.per_core = policies;
+        self
     }
 
     /// Sets the secure mode (builder style).
@@ -426,14 +506,18 @@ impl SystemConfig {
                 return Err(format!("{name}: ways/mshrs/ports must be nonzero"));
             }
         }
-        if self.suf && !self.secure.is_secure() {
-            return Err("SUF requires the GhostMinion secure cache system".into());
-        }
-        if self.timely_secure && self.prefetch_mode != PrefetchMode::OnCommit {
-            return Err("timely-secure prefetching applies to on-commit mode".into());
-        }
-        if self.timely_secure && self.prefetcher == PrefetcherKind::None {
-            return Err("timely-secure prefetching requires a prefetcher".into());
+        CorePolicy::of(self).validate()?;
+        if !self.per_core.is_empty() {
+            if self.per_core.len() != self.cores {
+                return Err(format!(
+                    "per_core has {} entries but cores = {}",
+                    self.per_core.len(),
+                    self.cores
+                ));
+            }
+            for (i, p) in self.per_core.iter().enumerate() {
+                p.validate().map_err(|e| format!("core {i}: {e}"))?;
+            }
         }
         Ok(())
     }
@@ -494,6 +578,72 @@ mod tests {
         let mut c = SystemConfig::baseline(1);
         c.cores = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn llc_rounds_non_pow2_core_counts_up() {
+        // 24 cores would give a non-power-of-two set count if scaled
+        // linearly; the baseline rounds the scale to 32.
+        let c = SystemConfig::baseline(24);
+        assert_eq!(c.llc.size_bytes, 2 * 1024 * 1024 * 32);
+        assert!(c.llc.sets().is_power_of_two());
+        assert!(c.validate().is_ok());
+        for cores in [1usize, 2, 4, 8, 16, 32, 64] {
+            // Power-of-two counts are unchanged by the rounding.
+            assert_eq!(
+                CacheConfig::baseline_llc(cores).size_bytes,
+                2 * 1024 * 1024 * cores
+            );
+        }
+    }
+
+    #[test]
+    fn policy_defaults_to_top_level_knobs() {
+        let c = SystemConfig::baseline(4)
+            .with_secure(SecureMode::GhostMinion)
+            .with_prefetcher(PrefetcherKind::Berti)
+            .with_mode(PrefetchMode::OnCommit)
+            .with_suf(true);
+        for core in 0..4 {
+            assert_eq!(c.policy(core), CorePolicy::of(&c));
+        }
+        assert_eq!(c.policy(0).secure, SecureMode::GhostMinion);
+        assert!(c.policy(0).suf);
+    }
+
+    #[test]
+    fn per_core_policies_override_and_validate() {
+        let secure = CorePolicy {
+            secure: SecureMode::GhostMinion,
+            prefetcher: PrefetcherKind::IpStride,
+            prefetch_mode: PrefetchMode::OnCommit,
+            suf: true,
+            timely_secure: false,
+        };
+        let insecure = CorePolicy {
+            secure: SecureMode::NonSecure,
+            prefetcher: PrefetcherKind::Berti,
+            prefetch_mode: PrefetchMode::OnAccess,
+            suf: false,
+            timely_secure: false,
+        };
+        let c = SystemConfig::baseline(2).with_core_policies(vec![secure, insecure]);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.policy(0), secure);
+        assert_eq!(c.policy(1), insecure);
+
+        // Wrong length is rejected.
+        let c = SystemConfig::baseline(3).with_core_policies(vec![secure, insecure]);
+        assert!(c.validate().is_err());
+
+        // Per-core SUF without GhostMinion is rejected with the core index.
+        let bad = CorePolicy {
+            suf: true,
+            ..insecure
+        };
+        let c = SystemConfig::baseline(2).with_core_policies(vec![secure, bad]);
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("core 1"), "{err}");
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod varint;
 
 pub use addr::{Addr, Ip, LineAddr, LINE_SIZE, OFFSET_BITS};
 pub use config::{
-    CacheConfig, CoreConfig, DramConfig, PrefetchMode, PrefetcherKind, SecureMode, SystemConfig,
-    TlbConfig,
+    CacheConfig, CoreConfig, CorePolicy, DramConfig, PrefetchMode, PrefetcherKind, SecureMode,
+    SystemConfig, TlbConfig,
 };
 pub use hist::Hist;
 pub use level::{CacheLevel, HitLevel};

@@ -1,5 +1,7 @@
-//! A Fig. 15-style multi-core experiment: 4-core heterogeneous mixes,
-//! weighted speedup of the paper's proposal vs naive secure prefetching.
+//! Many-core heterogeneous-policy experiment on the per-core-context
+//! API: an 8-core mix where secure and non-secure cores share one LLC
+//! and DRAM channel, each core running its own prefetcher/secure-mode
+//! combination via [`CorePolicy`] + `with_core_policies`.
 //!
 //! ```sh
 //! cargo run --release --example multicore_mixes
@@ -10,47 +12,100 @@ use secure_prefetch::sim::{self, weighted_speedup};
 use secure_prefetch::trace::suite;
 use std::sync::Arc;
 
-fn main() {
-    let mixes: Vec<[&str; 4]> = vec![
-        ["bwaves_like", "mcf_like_a", "xalancbmk_like", "gcc_like"],
-        ["lbm_like", "omnetpp_like", "bfs_small", "xz_like"],
-    ];
-    let warmup = 8_000;
-    let measure = 30_000;
+const CORES: usize = 8;
+const TRACE_LEN: usize = 40_000;
+const WARMUP: u64 = 5_000;
+const MEASURE: u64 = 20_000;
 
-    let base = SystemConfig::baseline(1);
-    let gm = base.clone().with_secure(SecureMode::GhostMinion);
-    let berti_commit = gm
-        .clone()
-        .with_prefetcher(PrefetcherKind::Berti)
-        .with_mode(PrefetchMode::OnCommit);
-    let configs: Vec<(&str, SystemConfig)> = vec![
-        ("GhostMinion no-pref", gm),
-        ("on-commit Berti    ", berti_commit.clone()),
-        (
-            "TSB + SUF          ",
-            berti_commit.with_timely_secure(true).with_suf(true),
+/// The rotating per-core policy wheel: untrusted cores get the paper's
+/// full proposal (on-commit TSB + SUF on GhostMinion), trusted cores
+/// keep a fast non-secure on-access Berti, and a pair of legacy cores
+/// run with no prefetcher at all.
+fn policy_wheel(core: usize) -> (&'static str, CorePolicy) {
+    let base = CorePolicy::of(&SystemConfig::baseline(1));
+    match core % 4 {
+        0 => (
+            "nonsecure/Berti-on-access",
+            CorePolicy {
+                prefetcher: PrefetcherKind::Berti,
+                prefetch_mode: PrefetchMode::OnAccess,
+                ..base
+            },
         ),
-    ];
+        1 => (
+            "ghostminion/TSB+SUF",
+            CorePolicy {
+                secure: SecureMode::GhostMinion,
+                prefetcher: PrefetcherKind::Berti,
+                prefetch_mode: PrefetchMode::OnCommit,
+                suf: true,
+                timely_secure: true,
+            },
+        ),
+        2 => (
+            "ghostminion/IP-Stride-on-commit",
+            CorePolicy {
+                secure: SecureMode::GhostMinion,
+                prefetcher: PrefetcherKind::IpStride,
+                prefetch_mode: PrefetchMode::OnCommit,
+                suf: true,
+                ..base
+            },
+        ),
+        _ => ("nonsecure/no-pref", base),
+    }
+}
 
-    for mix in &mixes {
-        println!("\nmix: {mix:?}");
-        // Per-trace single-core baseline IPCs (non-secure, no prefetch).
-        let traces: Vec<Arc<_>> = mix.iter().map(|n| suite::cached_trace(n, 60_000)).collect();
-        let alone: Vec<f64> = traces
-            .iter()
-            .map(|t| sim::run_single_with_window(&base, t, warmup, measure).ipc())
-            .collect();
-        let base_mix = sim::run_multi_with_window(&base, traces.clone(), warmup, measure);
-        let base_ws = weighted_speedup(&base_mix.ipcs(), &alone);
-        for (name, cfg) in &configs {
-            let r = sim::run_multi_with_window(cfg, traces.clone(), warmup, measure);
-            let ws = weighted_speedup(&r.ipcs(), &alone);
-            println!(
-                "  {name}  weighted speedup {:.3} (normalized {:.3})",
-                ws,
-                ws / base_ws
-            );
-        }
+fn main() {
+    let names = [
+        "bwaves_like",
+        "mcf_like_a",
+        "xalancbmk_like",
+        "gcc_like",
+        "lbm_like",
+        "omnetpp_like",
+        "bfs_small",
+        "xz_like",
+    ];
+    let traces: Vec<Arc<_>> = names
+        .iter()
+        .map(|n| suite::cached_trace(n, TRACE_LEN))
+        .collect();
+
+    // Per-trace alone-run baseline IPCs (single core, non-secure, no
+    // prefetch) for weighted speedup.
+    let single = SystemConfig::baseline(1);
+    let alone: Vec<f64> = traces
+        .iter()
+        .map(|t| sim::run_single_with_window(&single, t, WARMUP, MEASURE).ipc())
+        .collect();
+
+    // Homogeneous reference points around the heterogeneous mix.
+    let insecure = SystemConfig::baseline(CORES)
+        .with_prefetcher(PrefetcherKind::Berti)
+        .with_mode(PrefetchMode::OnAccess);
+    let secure_nopref = SystemConfig::baseline(CORES).with_secure(SecureMode::GhostMinion);
+    let (labels, policies): (Vec<_>, Vec<_>) = (0..CORES).map(policy_wheel).unzip();
+    let hetero = SystemConfig::baseline(CORES).with_core_policies(policies);
+    hetero.validate().expect("heterogeneous mix must validate");
+
+    println!("{CORES}-core mix: {names:?}");
+    for (tag, cfg) in [
+        ("insecure Berti (all cores)   ", &insecure),
+        ("GhostMinion no-pref (all)    ", &secure_nopref),
+        ("heterogeneous per-core wheel ", &hetero),
+    ] {
+        let rep = sim::run_multi_with_window(cfg, traces.clone(), WARMUP, MEASURE);
+        let ws = weighted_speedup(&rep.ipcs(), &alone);
+        println!("  {tag} weighted speedup {ws:.3}");
+    }
+
+    let rep = sim::run_multi_with_window(&hetero, traces.clone(), WARMUP, MEASURE);
+    println!("\nper-core breakdown (heterogeneous wheel):");
+    for (c, ipc) in rep.ipcs().iter().enumerate() {
+        println!(
+            "  core {c}: {:<31} {:<14} ipc {ipc:.3} (alone {:.3})",
+            labels[c], names[c], alone[c]
+        );
     }
 }

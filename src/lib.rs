@@ -37,7 +37,7 @@ pub use secpref_types as types;
 /// Convenient glob import of the most common names.
 pub mod prelude {
     pub use secpref_types::{
-        Addr, CacheLevel, Cycle, HitLevel, Ip, LineAddr, PrefetchMode, PrefetcherKind, SecureMode,
-        SystemConfig,
+        Addr, CacheLevel, CorePolicy, Cycle, HitLevel, Ip, LineAddr, PrefetchMode, PrefetcherKind,
+        SecureMode, SystemConfig,
     };
 }

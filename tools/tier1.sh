@@ -39,6 +39,26 @@ if [ -s "$stderr_file" ]; then
     exit 1
 fi
 
+echo "== cross-core attack litmus (release) + many-core smoke"
+# The cross-core covert-channel suite (DESIGN.md §13) in release mode:
+# LLC prime+probe and DRAM row-buffer channels must decode the pinned
+# pattern exactly under the insecure baselines and transmit zero bits
+# under on-commit + SUF. Then the scale-out path end to end: the 32-core
+# mix-pressure sweep (fig16) at quick scale, and the 8-core
+# heterogeneous per-core-policy example.
+cargo test --release -q --test security -- llc_prime_probe dram_row_buffer
+mc_dir="$(mktemp -d)"
+SECPREF_EXP_DIR="$mc_dir" ./target/release/repro --quick --quiet fig16 \
+    2>"$stderr_file" | grep -q '^32 ' \
+    || { echo "tier1: fig16 smoke missing the 32-core row" >&2; exit 1; }
+if [ -s "$stderr_file" ]; then
+    echo "tier1: repro --quiet fig16 wrote to stderr:" >&2
+    cat "$stderr_file" >&2
+    exit 1
+fi
+./target/release/examples/multicore_mixes >/dev/null
+rm -rf "$mc_dir"
+
 echo "== telemetry sweep: quiet stays silent, artifacts worker-invariant, trace valid"
 # Three telemetry contracts (DESIGN.md §12):
 #  1. a telemetry-enabled sweep under --quiet writes ZERO stderr bytes
