@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--quick] [--workers N] [--serial] [--quiet] [--timings]
 //!       [--trace TARGET] [--telemetry TARGET] [--validate-trace FILE]
-//!       [--check] [--check-iters N] [--check-replay FILE]
+//!       [--check] [--check-iters N] [--check-replay FILE] [--sampled]
 //!       [all | table1 | table2 | table3 | fig1 | fig3 | fig4 | fig5 |
 //!        fig6 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | fig16 |
 //!        stats | ablations]
@@ -25,7 +25,28 @@
 //! dumped under `target/check/`; exit status is nonzero on any failure.
 //! `--check-replay FILE` re-runs one dumped `.trace` artifact through
 //! every cell and reports each cell's verdict. Both modes skip the
-//! figure pipeline entirely.
+//! figure pipeline entirely. `--check` also runs the quick sampled
+//! differential (below), so the sampled-report audit rules are armed in
+//! every tier-1 check run.
+//!
+//! `--sampled` without positional targets runs the sampled-vs-full
+//! differential: every cell of the pinned 18-configuration matrix
+//! simulates the same suite traces in full detail and in SMARTS sampled
+//! mode; the sampled IPC must land within 2% of full detail, the
+//! full-detail IPC must fall inside the sampled run's own reported 95%
+//! confidence interval, and the sampled report must pass the
+//! `audit_sampled` reconciliation rules. With `--quick` the matrix
+//! shrinks to 3 representative cells × 1 trace (the tier-1 smoke
+//! stage); the full run covers 18 cells × 3 traces. Exit status is
+//! nonzero on any failure; skips the figure pipeline.
+//!
+//! `--sampled` *with* targets (e.g. `repro fig5 --sampled`) instead
+//! pushes those targets' job sweeps through the engine with every job
+//! wrapped in the validated sampling plan (`sweep::sampling_plan`):
+//! point estimates plus per-metric confidence intervals land in the
+//! result store and manifest under sampling-qualified job keys,
+//! coexisting with any full-detail results. Figure rendering is skipped
+//! (figures are defined over full-detail reports).
 //!
 //! `--trace TARGET` (repeatable) re-simulates the target's jobs with the
 //! observability recorder on and writes per-job trace artifacts —
@@ -71,6 +92,7 @@ fn main() {
     let mut quiet = false;
     let mut timings = false;
     let mut check = false;
+    let mut sampled = false;
     let mut check_iters: u64 = 2_000;
     let mut check_replay: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
@@ -85,6 +107,7 @@ fn main() {
             "--quiet" => quiet = true,
             "--timings" => timings = true,
             "--check" => check = true,
+            "--sampled" => sampled = true,
             "--check-iters" => {
                 check_iters = it
                     .next()
@@ -171,8 +194,10 @@ fn main() {
         std::process::exit(i32::from(failed));
     }
 
-    // Correctness modes run instead of the figure pipeline.
-    if check || check_replay.is_some() {
+    // Correctness modes run instead of the figure pipeline. `--sampled`
+    // with positional targets is the sweep mode, handled below.
+    let sampled_diff = sampled && targets.is_empty();
+    if check || sampled_diff || check_replay.is_some() {
         let t0 = Instant::now();
         let pool = workers.unwrap_or_else(|| {
             std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
@@ -194,6 +219,56 @@ fn main() {
                     }
                 }
             }
+        }
+        if sampled_diff || check {
+            // `--sampled` runs the differential the user asked for
+            // (full matrix, or 3 cells with `--quick`); a plain `--check`
+            // rides the quick differential along so the sampled-report
+            // audit rules are armed in every tier-1 check run.
+            let quick_diff = if sampled_diff { quick } else { true };
+            let summary = secpref_check::run_sampled_differential(quick_diff, pool);
+            if sampled_diff {
+                for c in &summary.cells {
+                    let mark = if c.ok() { "ok  " } else { "FAIL" };
+                    let viol = if c.violations.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" violations: {}", c.violations.join("; "))
+                    };
+                    println!(
+                        "  {mark} {:<24} x {:<14} full {:.4} sampled {:.4} \
+                         err {:.2}% ci ±{:.4} in_ci {} windows {}{viol}",
+                        c.label,
+                        c.trace,
+                        c.full_ipc,
+                        c.sampled_ipc,
+                        c.rel_error * 100.0,
+                        c.ci_half,
+                        c.in_ci,
+                        c.windows
+                    );
+                }
+            } else {
+                for c in summary.failures() {
+                    println!(
+                        "  FAIL {} x {}: err {:.2}% ci ±{:.4} in_ci {} violations {:?}",
+                        c.label,
+                        c.trace,
+                        c.rel_error * 100.0,
+                        c.ci_half,
+                        c.in_ci,
+                        c.violations
+                    );
+                }
+            }
+            println!(
+                "sampled differential: {} combos, worst err {:.2}% (bound {:.0}%) -> {}",
+                summary.cells.len(),
+                summary.worst_error() * 100.0,
+                secpref_check::sampling::MAX_IPC_ERROR * 100.0,
+                if summary.ok() { "ok" } else { "FAIL" }
+            );
+            failed |= !summary.ok();
         }
         if check {
             let summary =
@@ -304,7 +379,14 @@ fn main() {
         .copied()
         .filter(|t| want(t))
         .collect();
-    let jobs = sweep::jobs_for_targets(wanted.iter().copied(), scale, mix_count);
+    let mut jobs = sweep::jobs_for_targets(wanted.iter().copied(), scale, mix_count);
+    if sampled {
+        // Sampled sweep: every job runs under the validated SMARTS plan;
+        // results (with per-metric CI blocks) land in the store and the
+        // manifest under sampling-qualified keys. Figures render from
+        // full-detail reports, so rendering is skipped.
+        jobs = sweep::with_sampling(jobs);
+    }
     if !jobs.is_empty() {
         let t_sweep = Instant::now();
         let summary = runner::prewarm(&jobs);
@@ -320,6 +402,23 @@ fn main() {
                 runner::engine().workers(),
             );
         }
+    }
+    if sampled {
+        println!(
+            "repro: sampled sweep for {} done — {} job(s) under plan `{}`; \
+             point estimates and CIs are in the store manifest under {}",
+            wanted.join("+"),
+            jobs.len(),
+            sweep::sampling_plan().canonical(),
+            runner::engine().store_dir().display(),
+        );
+        if !quiet {
+            eprintln!("[total {:.1?}]", t0.elapsed());
+        }
+        if timings {
+            print_timings(&phases, t0.elapsed());
+        }
+        return;
     }
 
     // Phase 2: render from the warm cache.

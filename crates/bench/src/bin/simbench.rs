@@ -4,12 +4,18 @@
 //! Usage:
 //!
 //! ```text
-//! simbench [--smoke] [--profile] [--guard PATH] [--out PATH] [--baseline GEOMEAN]
+//! simbench [--smoke] [--sampled] [--profile] [--guard PATH] [--out PATH] [--baseline GEOMEAN]
 //! ```
 //!
 //! - `--smoke`: tiny per-cell time budget, write to a scratch path, then
 //!   parse the artifact back and assert `geomean > 0` — the tier-1 CI
 //!   stage. Exits non-zero on any validation failure.
+//! - `--sampled`: additionally run the SMARTS sampled-mode throughput
+//!   bench (one GhostMinion+SUF cell streamed from a `.sct` store, full
+//!   detail vs sampled) and record its `effective_sim_instr_per_sec` in
+//!   the artifact's `sampled` block. With `--guard`, the sampled
+//!   effective rate is guarded against the committed artifact's block
+//!   (when present) alongside the full-detail geomean.
 //! - `--profile`: run the matrix once with the built-in phase profiler
 //!   and print the ranked wall-time-per-phase table instead of
 //!   benchmarking (see EXPERIMENTS.md, "Profiling the simulator"). The
@@ -34,10 +40,20 @@
 /// hot-path regression (anything slower than ~1.4x-off trips it).
 const GUARD_BAND: f64 = 0.70;
 
+/// Guard band for the sampled-mode effective rate. The committed value
+/// comes from a full-budget (1e8-instruction) run; the tier-1 guard
+/// re-measures at the smoke span (1e6 instructions), which lands at
+/// ~0.9x of the full-span rate (the decoded-chunk replay cache keeps
+/// the short span from paying a structural decode discount). The band
+/// absorbs shared-runner noise while tripping on any real
+/// functional-path regression well before the rate halves.
+const SAMPLED_GUARD_BAND: f64 = 0.60;
+
 use secpref_bench::simcore;
 
 fn main() {
     let mut smoke = false;
+    let mut sampled = false;
     let mut profile = false;
     let mut guard: Option<String> = None;
     let mut out: Option<String> = None;
@@ -46,6 +62,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--sampled" => sampled = true,
             "--profile" => profile = true,
             "--guard" => {
                 guard = Some(args.next().unwrap_or_else(|| die("--guard needs a path")));
@@ -100,7 +117,30 @@ fn main() {
 
     let (cells, geomean) = simcore::run_matrix();
     let stream_decode = simcore::run_decode_bench();
-    let text = simcore::render_json(&cells, geomean, baseline, stream_decode);
+    let sampled_result = if sampled {
+        let r = simcore::run_sampled_bench();
+        println!(
+            "simbench: sampled {} x {} -> {:.0} effective instr/sec \
+             ({:.1}x full detail {:.0}, {} windows over {} instrs)",
+            r.config,
+            r.trace,
+            r.effective_sim_instr_per_sec,
+            r.speedup_vs_full_detail,
+            r.full_detail_instr_per_sec,
+            r.windows,
+            r.span_instructions
+        );
+        Some(r)
+    } else {
+        None
+    };
+    let text = simcore::render_json(
+        &cells,
+        geomean,
+        baseline,
+        stream_decode,
+        sampled_result.as_ref(),
+    );
     if let Err(e) = std::fs::write(&out, &text) {
         die(&format!("writing {out}: {e}"));
     }
@@ -122,8 +162,23 @@ fn main() {
         let read_back = std::fs::read_to_string(&out)
             .unwrap_or_else(|e| die(&format!("reading back {out}: {e}")));
         match simcore::parse_json(&read_back) {
-            Ok((geo, _, _)) if geo > 0.0 => println!("simbench: smoke OK (geomean {geo:.0})"),
-            Ok((geo, _, _)) => die(&format!("smoke failed: geomean {geo} not > 0")),
+            Ok(p) if p.geomean > 0.0 => {
+                if sampled {
+                    match p.sampled {
+                        Some((eff, _)) if eff > 0.0 => {
+                            println!(
+                                "simbench: smoke OK (geomean {:.0}, sampled {eff:.0})",
+                                p.geomean
+                            );
+                        }
+                        Some((eff, _)) => die(&format!("smoke failed: sampled rate {eff} not > 0")),
+                        None => die("smoke failed: --sampled run wrote no sampled block"),
+                    }
+                } else {
+                    println!("simbench: smoke OK (geomean {:.0})", p.geomean);
+                }
+            }
+            Ok(p) => die(&format!("smoke failed: geomean {} not > 0", p.geomean)),
             Err(e) => die(&format!("smoke failed: {e}")),
         }
     }
@@ -135,8 +190,9 @@ fn main() {
         }
         let committed = std::fs::read_to_string(&guard_path)
             .unwrap_or_else(|e| die(&format!("guard: reading {guard_path}: {e}")));
-        let (committed_geo, _, _) = simcore::parse_json(&committed)
+        let p = simcore::parse_json(&committed)
             .unwrap_or_else(|e| die(&format!("guard: parsing {guard_path}: {e}")));
+        let committed_geo = p.geomean;
         if committed_geo <= 0.0 {
             die(&format!("guard: committed geomean {committed_geo} not > 0"));
         }
@@ -152,6 +208,27 @@ fn main() {
         println!(
             "simbench: guard OK ({ratio:.2}x of committed {committed_geo:.0}, threshold {GUARD_BAND})"
         );
+        if let (Some(r), Some((committed_eff, _))) = (sampled_result.as_ref(), p.sampled) {
+            if committed_eff <= 0.0 {
+                die(&format!(
+                    "guard: committed sampled rate {committed_eff} not > 0"
+                ));
+            }
+            let eff = r.effective_sim_instr_per_sec;
+            let ratio = eff / committed_eff;
+            if ratio < SAMPLED_GUARD_BAND {
+                die(&format!(
+                    "guard: sampled effective rate {eff:.0} is {ratio:.2}x of committed \
+                     {committed_eff:.0} (threshold {SAMPLED_GUARD_BAND}) — sampled-path perf \
+                     regression; if intentional, regenerate BENCH_simcore.json per \
+                     EXPERIMENTS.md or set SECPREF_BENCH_SKIP_GUARD=1"
+                ));
+            }
+            println!(
+                "simbench: sampled guard OK ({ratio:.2}x of committed {committed_eff:.0}, \
+                 threshold {SAMPLED_GUARD_BAND})"
+            );
+        }
     }
 }
 

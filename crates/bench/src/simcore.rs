@@ -147,6 +147,112 @@ pub fn run_matrix() -> (Vec<CellResult>, f64) {
 /// Chunk size used by the streamed-decode throughput benchmark.
 const DECODE_CHUNK: u32 = 4_096;
 
+/// Nominal instruction span of the sampled-mode bench in full runs
+/// (`simbench --sampled` without a reduced `SECPREF_BENCH_MS` budget):
+/// the ≥1e8-instruction streamed run the sampling acceptance criterion
+/// is stated over.
+pub const SAMPLED_SPAN: u64 = 100_000_000;
+
+/// Committed effective sim-instructions/sec of [`run_sampled_bench`] at
+/// the last baseline regeneration (reference runner, full span).
+/// Regenerate alongside `BENCH_simcore.json` per EXPERIMENTS.md.
+pub const SAMPLED_BASELINE_EFFECTIVE: f64 = 10_600_000.0;
+
+/// Result of the sampled-mode (SMARTS) throughput benchmark.
+#[derive(Clone, Debug)]
+pub struct SampledBenchResult {
+    /// Configuration label (a [`config_matrix`] label).
+    pub config: String,
+    /// Trace description (streamed `.sct`).
+    pub trace: String,
+    /// The sampling plan's canonical string.
+    pub plan: String,
+    /// Nominal instruction span of the sampled run (warm-up excluded).
+    pub span_instructions: u64,
+    /// Detailed measurement windows taken inside the span.
+    pub windows: u64,
+    /// Full-detail throughput on the same streamed cell (instr/sec).
+    pub full_detail_instr_per_sec: f64,
+    /// Effective sampled-mode throughput: nominal instructions covered
+    /// (functional + detailed) per wall-clock second.
+    pub effective_sim_instr_per_sec: f64,
+    /// `effective / full_detail` — the sampling speedup.
+    pub speedup_vs_full_detail: f64,
+}
+
+/// Runs the sampled-mode throughput benchmark (`simbench --sampled`):
+/// one GhostMinion+SUF cell streamed from an on-disk `.sct` chunk store,
+/// once in full detail (short window, to price the detailed path) and
+/// once in SMARTS sampled mode over the long span. The effective rate is
+/// nominal span instructions per wall-clock second; the quotient against
+/// the full-detail rate is the speedup the sampling subsystem buys.
+///
+/// Honors `SECPREF_BENCH_MS`: a reduced budget (smoke mode) shrinks both
+/// spans so the tier-1 stage only checks plumbing, not timing quality.
+pub fn run_sampled_bench() -> SampledBenchResult {
+    let budget_ms = std::env::var("SECPREF_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok());
+    let (full_measure, span) = match budget_ms {
+        Some(ms) if ms < 200 => (100_000, 1_000_000),
+        _ => (2_000_000, SAMPLED_SPAN),
+    };
+    let (label, cfg) = ("ghostminion+suf/ip-stride-on-commit", {
+        configs::on_commit_suf(PrefetcherKind::IpStride)
+    });
+    let trace_name = "mcf_like_a";
+    // Capture the trace into a chunked .sct store (what `sectrace` would
+    // produce) and stream both runs from disk: the sampled path must pay
+    // the same decode cost it pays in production.
+    let base = suite::cached_trace(trace_name, 200_000);
+    let path = std::env::temp_dir().join(format!(
+        "secpref-simbench-sampled-{}.sct",
+        std::process::id()
+    ));
+    let file = std::fs::File::create(&path).expect("writing sampled-bench trace store");
+    let mut w = TraceWriter::create(file, trace_name, DECODE_CHUNK).expect("trace store write");
+    for i in base.instrs.iter() {
+        w.push(i).expect("trace store write");
+    }
+    w.finish().expect("trace store write");
+
+    // Full detail first (best of 2: the first run also warms the page
+    // cache for the stream reads).
+    let mut full_rate = 0.0f64;
+    for _ in 0..2 {
+        let t = std::time::Instant::now();
+        let _ = secpref_sim::run_stream_with_window(&cfg, &path, WARMUP, full_measure)
+            .expect("streamed full-detail run");
+        let rate = (WARMUP + full_measure) as f64 / t.elapsed().as_secs_f64();
+        full_rate = full_rate.max(rate);
+    }
+
+    // Sparser than the validation plan (check::sampling) on purpose: the
+    // throughput bench measures the asymptotic rate over a long span, so
+    // it spends its detailed budget on 500 windows rather than 1000 —
+    // accuracy validation lives in `repro --sampled`, not here.
+    let s = secpref_types::SamplingConfig::new(2_000, 500, 197_500).with_jitter(300, 11);
+    let t = std::time::Instant::now();
+    let report = secpref_sim::run_stream_sampled_with_window(&cfg, &path, WARMUP, span, &s)
+        .expect("streamed sampled run");
+    let effective = (WARMUP + span) as f64 / t.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&path);
+    let summary = report
+        .sampling
+        .as_ref()
+        .expect("sampled run carries a sampling summary");
+    SampledBenchResult {
+        config: label.to_string(),
+        trace: format!("{trace_name} (streamed .sct)"),
+        plan: s.canonical(),
+        span_instructions: span,
+        windows: summary.windows,
+        full_detail_instr_per_sec: full_rate,
+        effective_sim_instr_per_sec: effective,
+        speedup_vs_full_detail: effective / full_rate,
+    }
+}
+
 /// Measures sequential chunk-store decode throughput (instructions per
 /// second through a sliding-window [`StreamFeed`] scan) over the pinned
 /// trace axis and returns the geomean. This is the streamed path's
@@ -206,6 +312,22 @@ pub fn run_profile() -> secpref_sim::ProfileReport {
             agg.merge(&cell);
         }
     }
+    // One sampled cell on top, so the functional-warming phase
+    // (`funcwarm`) gets real attribution in the ranked table instead of
+    // a zero row: the full-detail matrix never enters that phase.
+    let cfg = configs::on_commit_suf(PrefetcherKind::IpStride);
+    let trace = suite::cached_trace("mcf_like_a", window as usize);
+    let s = secpref_types::SamplingConfig::new(2_000, 500, 47_500).with_jitter(300, 11);
+    let mut sys = System::new(cfg, vec![trace])
+        .with_window(WARMUP, 500_000)
+        .with_profiling();
+    sys.run_sampled(&s);
+    let cell = sys.profile_report();
+    eprintln!(
+        "[profile] ghostminion+suf/ip-stride-on-commit x mcf_like_a (sampled): {:.1} ms",
+        cell.total().as_secs_f64() * 1e3
+    );
+    agg.merge(&cell);
     agg
 }
 
@@ -242,12 +364,15 @@ pub fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
 }
 
 /// Renders the `BENCH_simcore.json` document. `stream_decode` is the
-/// [`run_decode_bench`] geomean (instructions/sec).
+/// [`run_decode_bench`] geomean (instructions/sec); `sampled` is the
+/// [`run_sampled_bench`] result when the run included `--sampled`
+/// (absent otherwise — older artifacts without the block stay valid).
 pub fn render_json(
     cells: &[CellResult],
     geomean: f64,
     baseline: f64,
     stream_decode: f64,
+    sampled: Option<&SampledBenchResult>,
 ) -> String {
     let cell_rows: Vec<Json> = cells
         .iter()
@@ -264,7 +389,7 @@ pub fn render_json(
     } else {
         0.0
     };
-    let doc = json::obj(vec![
+    let mut fields = vec![
         ("schema", Json::Str("secpref-simbench-v1".to_string())),
         (
             "window",
@@ -278,17 +403,57 @@ pub fn render_json(
         ("baseline_geomean_sim_instr_per_sec", Json::Float(baseline)),
         ("speedup_vs_baseline", Json::Float(speedup)),
         ("stream_decode_instr_per_sec", Json::Float(stream_decode)),
-    ]);
+    ];
+    if let Some(s) = sampled {
+        fields.push((
+            "sampled",
+            json::obj(vec![
+                ("config", Json::Str(s.config.clone())),
+                ("trace", Json::Str(s.trace.clone())),
+                ("plan", Json::Str(s.plan.clone())),
+                ("span_instructions", Json::UInt(s.span_instructions)),
+                ("windows", Json::UInt(s.windows)),
+                (
+                    "full_detail_instr_per_sec",
+                    Json::Float(s.full_detail_instr_per_sec),
+                ),
+                (
+                    "effective_sim_instr_per_sec",
+                    Json::Float(s.effective_sim_instr_per_sec),
+                ),
+                (
+                    "speedup_vs_full_detail",
+                    Json::Float(s.speedup_vs_full_detail),
+                ),
+            ]),
+        ));
+    }
+    let doc = json::obj(fields);
     format!("{doc}\n")
 }
 
-/// Parses a `BENCH_simcore.json` document back, returning
-/// `(geomean, baseline, speedup)` — the smoke stage's validation hook.
+/// The numbers [`parse_json`] recovers from a `BENCH_simcore.json`
+/// document.
+#[derive(Clone, Copy, Debug)]
+pub struct ParsedBench {
+    /// Full-detail matrix geomean (sim-instr/sec).
+    pub geomean: f64,
+    /// Committed pre-optimization baseline geomean.
+    pub baseline: f64,
+    /// `geomean / baseline`.
+    pub speedup: f64,
+    /// `(effective_sim_instr_per_sec, speedup_vs_full_detail)` from the
+    /// sampled block, when the artifact carries one.
+    pub sampled: Option<(f64, f64)>,
+}
+
+/// Parses a `BENCH_simcore.json` document back — the smoke stage's
+/// validation hook and the guard's committed-artifact reader.
 ///
 /// # Errors
 ///
 /// Returns a description of the first malformed or missing field.
-pub fn parse_json(text: &str) -> Result<(f64, f64, f64), String> {
+pub fn parse_json(text: &str) -> Result<ParsedBench, String> {
     let doc = json::parse(text)?;
     if doc.get("schema").and_then(Json::as_str) != Some("secpref-simbench-v1") {
         return Err("missing or unknown schema".to_string());
@@ -305,11 +470,26 @@ pub fn parse_json(text: &str) -> Result<(f64, f64, f64), String> {
     if cells.is_empty() {
         return Err("empty `cells` array".to_string());
     }
-    Ok((
-        field("geomean_sim_instr_per_sec")?,
-        field("baseline_geomean_sim_instr_per_sec")?,
-        field("speedup_vs_baseline")?,
-    ))
+    let sampled = match doc.get("sampled") {
+        None => None,
+        Some(s) => {
+            let sf = |k: &str| {
+                s.get(k)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("missing numeric field `sampled.{k}`"))
+            };
+            Some((
+                sf("effective_sim_instr_per_sec")?,
+                sf("speedup_vs_full_detail")?,
+            ))
+        }
+    };
+    Ok(ParsedBench {
+        geomean: field("geomean_sim_instr_per_sec")?,
+        baseline: field("baseline_geomean_sim_instr_per_sec")?,
+        speedup: field("speedup_vs_baseline")?,
+        sampled,
+    })
 }
 
 #[cfg(test)]
@@ -378,12 +558,43 @@ mod tests {
             },
         ];
         let g = geomean(cells.iter().map(|c| c.instr_per_sec));
-        let text = render_json(&cells, g, 1.0e6, 5.0e7);
+        let text = render_json(&cells, g, 1.0e6, 5.0e7, None);
         assert!(text.contains("stream_decode_instr_per_sec"));
-        let (geo, base, speedup) = parse_json(&text).unwrap();
-        assert_eq!(geo, g);
-        assert_eq!(base, 1.0e6);
-        assert!((speedup - g / 1.0e6).abs() < 1e-12);
+        assert!(!text.contains("\"sampled\""));
+        let p = parse_json(&text).unwrap();
+        assert_eq!(p.geomean, g);
+        assert_eq!(p.baseline, 1.0e6);
+        assert!((p.speedup - g / 1.0e6).abs() < 1e-12);
+        assert!(p.sampled.is_none());
+    }
+
+    #[test]
+    fn sampled_block_round_trips() {
+        let cells = vec![CellResult {
+            config: "a".into(),
+            trace: "t1".into(),
+            instr_per_sec: 1.5e6,
+        }];
+        let s = SampledBenchResult {
+            config: "ghostminion+suf/ip-stride-on-commit".into(),
+            trace: "mcf_like_a (streamed .sct)".into(),
+            plan: "w2000+u500/g97500~j300s11".into(),
+            span_instructions: 100_000_000,
+            windows: 997,
+            full_detail_instr_per_sec: 9.5e5,
+            effective_sim_instr_per_sec: 1.0e7,
+            speedup_vs_full_detail: 10.5,
+        };
+        let text = render_json(&cells, 1.5e6, 1.0e6, 5.0e7, Some(&s));
+        assert!(text.contains("effective_sim_instr_per_sec"));
+        assert!(text.contains("w2000+u500/g97500~j300s11"));
+        let p = parse_json(&text).unwrap();
+        let (eff, speedup) = p.sampled.expect("sampled block survives the round trip");
+        assert_eq!(eff, 1.0e7);
+        assert_eq!(speedup, 10.5);
+        // A corrupted sampled block is an error, not silently dropped.
+        let broken = text.replace("effective_sim_instr_per_sec", "effective_oops");
+        assert!(parse_json(&broken).is_err());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::configs::*;
 use crate::runner::ExpScale;
 use secpref_exp::JobSpec;
-use secpref_types::{PrefetcherKind, SystemConfig};
+use secpref_types::{PrefetcherKind, SamplingConfig, SystemConfig};
 
 /// Figure/table targets that involve simulation (static tables are
 /// rendered directly and need no jobs).
@@ -159,6 +159,22 @@ pub fn jobs_for(target: &str, scale: ExpScale, mix_count: usize) -> Vec<JobSpec>
     jobs
 }
 
+/// The SMARTS plan `repro <targets> --sampled` applies to every sweep
+/// job: the exact plan the sampled-vs-full differential validates
+/// (`secpref_check::sampling::plan`), so sweep estimates inherit its
+/// measured error bound. Sampled jobs get distinct store keys (the plan
+/// is part of the job key), so sampled and full-detail results coexist
+/// in the store and the manifest carries the per-metric CI blocks.
+pub fn sampling_plan() -> SamplingConfig {
+    SamplingConfig::new(2_000, 500, 3_500).with_jitter(300, 11)
+}
+
+/// Wraps every job in a sweep with the pinned [`sampling_plan`].
+pub fn with_sampling(jobs: Vec<JobSpec>) -> Vec<JobSpec> {
+    let plan = sampling_plan();
+    jobs.into_iter().map(|j| j.with_sampling(plan)).collect()
+}
+
 /// Jobs for a set of requested targets (deduplication happens in the
 /// engine, not here).
 pub fn jobs_for_targets<'a>(
@@ -245,6 +261,27 @@ mod tests {
                 "expected 4 configs at pressure {n}"
             );
         }
+    }
+
+    #[test]
+    fn sampled_jobs_get_distinct_keys_and_the_validated_plan() {
+        let jobs = jobs_for("fig5", ExpScale::Quick, 2);
+        let plain_keys: HashSet<String> = jobs.iter().map(|j| j.key()).collect();
+        let sampled = with_sampling(jobs);
+        for j in &sampled {
+            assert!(j.sampling.is_some());
+            assert!(
+                !plain_keys.contains(&j.key()),
+                "sampled job key collides with its full-detail twin: {}",
+                j.key()
+            );
+        }
+        // One source of truth: the sweep plan is the one the
+        // sampled-vs-full differential validated.
+        assert_eq!(
+            sampling_plan().canonical(),
+            secpref_check::sampling::plan().canonical()
+        );
     }
 
     #[test]

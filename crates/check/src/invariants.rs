@@ -320,6 +320,69 @@ pub fn audit_telemetry(report: &SimReport, cap: &TelCapture) -> Vec<Violation> {
     out
 }
 
+/// Audits a SMARTS-sampled report's internal reconciliation.
+///
+/// A sampled report's counters are accumulated over the measured windows
+/// only, so the report and its sampling block must agree with each other
+/// and with the plan that produced them:
+///
+/// - at least one window was measured, of the configured length;
+/// - `measured_instructions` equals the per-core instruction counters
+///   summed (the counters cover exactly the measured windows);
+/// - each window retires `window..window + retire_width - 1` instructions
+///   per core (the retire stage does not stop mid-group), bounding the
+///   total measured instructions on both sides;
+/// - every interval estimate is finite with non-negative dispersion, and
+///   the IPC estimate has exactly one sample per window;
+/// - the functional fast path actually ran (a sampled run that never left
+///   detailed mode is a scheduling bug, not a faster simulation).
+pub fn audit_sampled(cfg: &SystemConfig, report: &SimReport) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(sm) = report.sampling.as_ref() else {
+        out.push(Violation {
+            invariant: "sampled-block-present",
+            detail: "report carries no sampling block".to_string(),
+        });
+        return out;
+    };
+    check_le!(out, "sampled-window-count", 1u64, sm.windows);
+    let total: u64 = report.cores.iter().map(|c| c.instructions).sum();
+    check_eq!(
+        out,
+        "sampled-counter-scope",
+        total,
+        sm.measured_instructions
+    );
+    let cores = report.cores.len() as u64;
+    let overshoot = cfg.core.retire_width as u64 - 1;
+    let lo = sm.windows * sm.window_len * cores;
+    let hi = sm.windows * (sm.window_len + overshoot) * cores;
+    check_le!(out, "sampled-window-coverage", lo, sm.measured_instructions);
+    check_le!(out, "sampled-window-coverage", sm.measured_instructions, hi);
+    check_eq!(out, "sampled-ipc-samples", sm.ipc.n, sm.windows);
+    check_le!(
+        out,
+        "sampled-functional-ran",
+        1u64,
+        sm.functional_instructions
+    );
+    for (name, st) in [
+        ("ipc", &sm.ipc),
+        ("mpki_l1d", &sm.mpki_l1d),
+        ("pf_accuracy", &sm.pf_accuracy),
+    ] {
+        let finite = st.mean.is_finite() && st.stderr.is_finite() && st.ci_half.is_finite();
+        let non_negative = st.mean >= 0.0 && st.stderr >= 0.0 && st.ci_half >= 0.0;
+        if !finite || !non_negative {
+            out.push(Violation {
+                invariant: "sampled-ci-finite",
+                detail: format!("{name}: {st:?} must be finite and non-negative"),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +463,64 @@ mod tests {
         let names: Vec<_> = violations.iter().map(|v| v.invariant).collect();
         assert!(names.contains(&"commit-reconciliation"), "{names:?}");
         assert!(names.contains(&"suf-drop-events"), "{names:?}");
+    }
+
+    #[test]
+    fn sampled_audit_passes_and_flags_injected_skew() {
+        let cfg = SystemConfig::baseline(1)
+            .with_secure(SecureMode::GhostMinion)
+            .with_suf(true)
+            .with_prefetcher(PrefetcherKind::IpStride)
+            .with_mode(PrefetchMode::OnCommit);
+        let trace = small_trace();
+        let s = secpref_types::SamplingConfig::new(400, 100, 300).with_jitter(50, 3);
+        let mut sys = System::new(cfg.clone(), vec![trace]).with_window(0, 8_000);
+        sys.run_sampled(&s);
+        let good = sys.report();
+        assert!(
+            audit_sampled(&cfg, &good).is_empty(),
+            "{:?}",
+            audit_sampled(&cfg, &good)
+        );
+
+        // A full-detail report has no sampling block to audit.
+        let mut bare = good.clone();
+        bare.sampling = None;
+        let names: Vec<_> = audit_sampled(&cfg, &bare)
+            .iter()
+            .map(|v| v.invariant)
+            .collect();
+        assert_eq!(names, ["sampled-block-present"]);
+
+        // Counter scope: counters leaking activity outside the measured
+        // windows (or dropping some) break the window-sum equality.
+        let mut skewed = good.clone();
+        skewed.cores[0].instructions += 1;
+        let names: Vec<_> = audit_sampled(&cfg, &skewed)
+            .iter()
+            .map(|v| v.invariant)
+            .collect();
+        assert!(names.contains(&"sampled-counter-scope"), "{names:?}");
+
+        // Window geometry: claiming more windows than the instructions
+        // can cover violates windows * window_len <= measured.
+        let mut short = good.clone();
+        short.sampling.as_mut().unwrap().windows += 1;
+        let names: Vec<_> = audit_sampled(&cfg, &short)
+            .iter()
+            .map(|v| v.invariant)
+            .collect();
+        assert!(names.contains(&"sampled-window-coverage"), "{names:?}");
+        assert!(names.contains(&"sampled-ipc-samples"), "{names:?}");
+
+        // CI hygiene: non-finite interval estimates must be flagged.
+        let mut nan = good;
+        nan.sampling.as_mut().unwrap().mpki_l1d.stderr = f64::NAN;
+        let names: Vec<_> = audit_sampled(&cfg, &nan)
+            .iter()
+            .map(|v| v.invariant)
+            .collect();
+        assert!(names.contains(&"sampled-ci-finite"), "{names:?}");
     }
 
     #[test]

@@ -31,6 +31,7 @@
 pub mod fuzz;
 pub mod golden;
 pub mod invariants;
+pub mod sampling;
 
 pub use fuzz::{
     cells, replay_artifact, run_fuzz, CellFailure, CellSummary, FilterChoice, FuzzCell, FuzzPlan,
@@ -40,4 +41,5 @@ pub use golden::{
     golden_commit_action, golden_wb_bits, CheckedFilter, GoldenCache, GoldenGm, GoldenLine,
     SkipOneDropMutant,
 };
-pub use invariants::{audit_run, audit_telemetry, Violation};
+pub use invariants::{audit_run, audit_sampled, audit_telemetry, Violation};
+pub use sampling::{run_sampled_differential, SampledDiffSummary};

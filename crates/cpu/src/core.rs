@@ -42,6 +42,17 @@ pub trait LoadPort {
     fn try_issue_load(&mut self, now: Cycle, req: LoadIssue) -> bool;
 }
 
+/// Memory interface for SMARTS-style functional warming: the core retires
+/// instructions architecturally (no ROB, no load queue, no cycle
+/// accounting) and reports each memory access so the hierarchy can keep
+/// caches, GhostMinion, SUF filters, and prefetcher training state warm.
+pub trait FunctionalPort {
+    /// A load retired on the functional fast path.
+    fn functional_load(&mut self, core: CoreId, ip: Ip, addr: Addr, ts: u64);
+    /// A store retired on the functional fast path.
+    fn functional_store(&mut self, core: CoreId, ip: Ip, addr: Addr, ts: u64);
+}
+
 /// Notification produced by the retire stage.
 #[derive(Clone, Copy, Debug)]
 pub enum CoreEvent {
@@ -657,6 +668,82 @@ impl Core {
         debug_assert!(self.rob.back().is_none_or(|b| b.ts < e.ts));
         self.rob.push_back(*e);
     }
+
+    /// Transitions the core out of detailed mode: every un-retired
+    /// instruction is discarded (exactly like a full-pipeline squash) and
+    /// the fetch cursor rewinds to the oldest of them, so functional
+    /// stepping re-executes it architecturally. Load-queue generations are
+    /// bumped, so completions for the discarded instances are dropped by
+    /// [`Core::complete_load`] while the hierarchy drains.
+    pub fn drain_to_functional(&mut self) {
+        let oldest = self.rob.front().map(|e| e.trace_idx);
+        while let Some(e) = self.rob.pop_back() {
+            if matches!(e.kind, RobKind::Load) {
+                let lq = &mut self.lq[e.lq_id as usize];
+                let was_unissued = !lq.issued;
+                lq.in_use = false;
+                lq.gen = lq.gen.wrapping_add(1);
+                lq.fill = None;
+                self.lq_free.push(e.lq_id);
+                self.load_done_at[e.trace_idx as usize & self.done_mask] = NOT_DONE;
+                if was_unissued {
+                    self.lq_pending -= 1;
+                }
+            }
+        }
+        if let Some(idx) = oldest {
+            self.cursor = idx as usize;
+        }
+        self.resolve_heap.clear();
+        self.dispatch_stall_until = 0;
+    }
+
+    /// Retires up to `budget` instructions architecturally (functional
+    /// warming): no ROB, load queue, or cycle accounting — just predictor
+    /// training and memory accesses reported through `port`. Returns the
+    /// number of instructions retired, which is less than `budget` only
+    /// when the feed is exhausted (replay is the caller's job, exactly as
+    /// in detailed mode).
+    ///
+    /// Must only be called with an empty pipeline (after
+    /// [`Core::drain_to_functional`] or before any detailed tick); the
+    /// strictness-ordering timestamp stream stays monotone across mode
+    /// switches.
+    pub fn functional_step(&mut self, budget: u64, port: &mut dyn FunctionalPort) -> u64 {
+        debug_assert!(self.rob.is_empty(), "functional_step with live pipeline");
+        let mut stepped = 0;
+        while stepped < budget && self.cursor < self.feed.len() {
+            let instr = self.feed.get(self.cursor);
+            let ts = self.next_ts;
+            match instr.kind {
+                InstrKind::Alu => {}
+                InstrKind::Branch { taken } => {
+                    // Keep the predictor warm. Wrong-path work is
+                    // transient and unmeasured, so no squash is modeled.
+                    let predicted = self.predictor.predict(instr.ip);
+                    self.predictor.update(instr.ip, taken, predicted);
+                    self.stats.branches += 1;
+                    if predicted != taken {
+                        self.stats.mispredicts += 1;
+                    }
+                }
+                InstrKind::Load { addr, .. } => {
+                    // Dependents dispatched after the mode switch read
+                    // this slot; 0 means "completed long ago".
+                    self.load_done_at[self.cursor & self.done_mask] = 0;
+                    port.functional_load(self.id, instr.ip, addr, ts);
+                }
+                InstrKind::Store { addr } => {
+                    port.functional_store(self.id, instr.ip, addr, ts);
+                }
+            }
+            self.cursor += 1;
+            self.next_ts += 1;
+            self.stats.retired += 1;
+            stepped += 1;
+        }
+        stepped
+    }
 }
 
 #[cfg(test)]
@@ -966,5 +1053,102 @@ mod tests {
         let (core, _, _, _) = run(t, 3, 100_000);
         assert_eq!(core.lq_occupancy(), 0);
         assert_eq!(core.stats().retired, 300);
+    }
+
+    /// Functional port that just logs accesses.
+    struct LogPort(Vec<(u64, bool)>);
+    impl FunctionalPort for LogPort {
+        fn functional_load(&mut self, _core: CoreId, _ip: Ip, addr: Addr, _ts: u64) {
+            self.0.push((addr.raw(), false));
+        }
+        fn functional_store(&mut self, _core: CoreId, _ip: Ip, addr: Addr, _ts: u64) {
+            self.0.push((addr.raw(), true));
+        }
+    }
+
+    #[test]
+    fn functional_step_retires_architecturally() {
+        let t = Trace::new(
+            "t",
+            vec![
+                Instr::load(1, 0),
+                Instr::alu(2),
+                Instr::store(3, 64),
+                Instr::branch(4, true),
+                Instr::load(5, 128),
+            ],
+        );
+        let mut core = Core::new(0, CoreConfig::default(), Arc::new(t));
+        let mut port = LogPort(Vec::new());
+        assert_eq!(core.functional_step(3, &mut port), 3);
+        assert_eq!(core.functional_step(100, &mut port), 2);
+        assert!(core.is_done());
+        assert_eq!(core.stats().retired, 5);
+        assert_eq!(core.stats().branches, 1);
+        assert_eq!(port.0, vec![(0, false), (64, true), (128, false)]);
+    }
+
+    #[test]
+    fn drain_then_functional_then_detailed_retires_every_instr_once() {
+        // Start detailed, drain mid-flight, step functionally, then
+        // finish detailed: the union retires each instruction exactly
+        // once and the LQ ends empty.
+        let t = Trace::new("t", (0..40u64).map(|i| Instr::load(1, i * 64)).collect());
+        let mut core = Core::new(0, CoreConfig::default(), Arc::new(t));
+        let mut mem = FixedLatMem::new(50);
+        let mut events = Vec::new();
+        for now in 0..20 {
+            core.tick(now, &mut mem, &mut events);
+            mem.deliver(now, &mut core);
+        }
+        let retired_detailed = core.stats().retired;
+        core.drain_to_functional();
+        assert_eq!(core.lq_occupancy(), 0, "drain frees every LQ slot");
+        // Stale completions for drained slots must be ignored.
+        for (done, lq, gen, addr, issued_at) in mem.inflight.drain(..) {
+            core.complete_load(
+                lq,
+                gen,
+                FillInfo {
+                    line: addr.line(),
+                    hit_level: HitLevel::L2,
+                    issued_at,
+                    filled_at: done,
+                    merged_with_prefetch: false,
+                    hit_prefetched_line: false,
+                    fetch_latency: 0,
+                },
+            );
+        }
+        let mut port = LogPort(Vec::new());
+        let stepped = core.functional_step(10, &mut port);
+        assert_eq!(stepped, 10);
+        // Back to detailed mode for the rest.
+        for now in 100..100_000 {
+            core.tick(now, &mut mem, &mut events);
+            mem.deliver(now, &mut core);
+            if core.is_done() {
+                break;
+            }
+        }
+        assert!(core.is_done());
+        assert_eq!(core.stats().retired, 40);
+        let detailed_addrs: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                CoreEvent::RetiredLoad { addr, .. } => Some(addr.raw()),
+                _ => None,
+            })
+            .collect();
+        // Detailed retirements + functional retirements cover 0..40 with
+        // no overlap and no gap.
+        let mut all: Vec<u64> = detailed_addrs
+            .iter()
+            .copied()
+            .chain(port.0.iter().map(|&(a, _)| a))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..40u64).map(|i| i * 64).collect::<Vec<_>>());
+        assert!(retired_detailed < 40, "drain happened mid-trace");
     }
 }

@@ -18,5 +18,5 @@
 pub mod core;
 pub mod predictor;
 
-pub use crate::core::{Core, CoreEvent, CoreStats, LoadIssue, LoadPort};
+pub use crate::core::{Core, CoreEvent, CoreStats, FunctionalPort, LoadIssue, LoadPort};
 pub use predictor::PerceptronPredictor;

@@ -8,24 +8,31 @@
 
 use crate::json::{obj, parse, Json};
 use secpref_sim::{
-    CommitMetrics, CoreMetrics, DramStats, LevelMetrics, MissClassCounts, PrefetchMetrics,
-    SimReport,
+    CommitMetrics, CoreMetrics, DramStats, LevelMetrics, MetricStats, MissClassCounts,
+    PrefetchMetrics, SamplingSummary, SimReport,
 };
 
-/// Encodes a report as a compact JSON object.
+/// Encodes a report as a compact JSON object. The `sampling` block is
+/// emitted only for sampled runs, so full-detail reports keep their
+/// exact historical byte encoding (and pinned digests).
 pub fn encode_report(report: &SimReport) -> Json {
     let SimReport {
         label,
         cores,
         dram,
         energy_nj,
+        sampling,
     } = report;
-    obj(vec![
+    let mut fields = vec![
         ("label", Json::Str(label.clone())),
         ("energy_nj", Json::Float(*energy_nj)),
         ("dram", encode_dram(dram)),
         ("cores", Json::Arr(cores.iter().map(encode_core).collect())),
-    ])
+    ];
+    if let Some(s) = sampling {
+        fields.push(("sampling", encode_sampling(s)));
+    }
+    obj(fields)
 }
 
 /// Decodes a report produced by [`encode_report`].
@@ -44,6 +51,10 @@ pub fn decode_report(json: &Json) -> Result<SimReport, String> {
             .iter()
             .map(decode_core)
             .collect::<Result<_, _>>()?,
+        sampling: match json.get("sampling") {
+            Some(s) => Some(decode_sampling(s)?),
+            None => None,
+        },
     })
 }
 
@@ -283,6 +294,66 @@ fn decode_class(json: &Json) -> Result<MissClassCounts, String> {
     })
 }
 
+fn encode_sampling(s: &SamplingSummary) -> Json {
+    let SamplingSummary {
+        windows,
+        window_len,
+        measured_instructions,
+        functional_instructions,
+        ipc,
+        mpki_l1d,
+        pf_accuracy,
+    } = s;
+    obj(vec![
+        ("windows", Json::UInt(*windows)),
+        ("window_len", Json::UInt(*window_len)),
+        ("measured_instructions", Json::UInt(*measured_instructions)),
+        (
+            "functional_instructions",
+            Json::UInt(*functional_instructions),
+        ),
+        ("ipc", encode_stats(ipc)),
+        ("mpki_l1d", encode_stats(mpki_l1d)),
+        ("pf_accuracy", encode_stats(pf_accuracy)),
+    ])
+}
+
+fn decode_sampling(json: &Json) -> Result<SamplingSummary, String> {
+    Ok(SamplingSummary {
+        windows: u64_field(json, "windows")?,
+        window_len: u64_field(json, "window_len")?,
+        measured_instructions: u64_field(json, "measured_instructions")?,
+        functional_instructions: u64_field(json, "functional_instructions")?,
+        ipc: decode_stats(field(json, "ipc")?)?,
+        mpki_l1d: decode_stats(field(json, "mpki_l1d")?)?,
+        pf_accuracy: decode_stats(field(json, "pf_accuracy")?)?,
+    })
+}
+
+fn encode_stats(s: &MetricStats) -> Json {
+    let MetricStats {
+        mean,
+        stderr,
+        ci_half,
+        n,
+    } = s;
+    obj(vec![
+        ("mean", Json::Float(*mean)),
+        ("stderr", Json::Float(*stderr)),
+        ("ci_half", Json::Float(*ci_half)),
+        ("n", Json::UInt(*n)),
+    ])
+}
+
+fn decode_stats(json: &Json) -> Result<MetricStats, String> {
+    Ok(MetricStats {
+        mean: f64_field(json, "mean")?,
+        stderr: f64_field(json, "stderr")?,
+        ci_half: f64_field(json, "ci_half")?,
+        n: u64_field(json, "n")?,
+    })
+}
+
 fn field<'a>(json: &'a Json, key: &str) -> Result<&'a Json, String> {
     json.get(key)
         .ok_or_else(|| format!("missing field `{key}`"))
@@ -344,6 +415,7 @@ mod tests {
                 wq_forwards: 12,
             },
             energy_nj: 12_345.678_9,
+            sampling: None,
         }
     }
 
@@ -360,6 +432,41 @@ mod tests {
         assert_eq!(back.cores[0].prefetch.late, 42);
         assert_eq!(back.dram.wq_forwards, 12);
         assert_eq!(back.energy_nj.to_bits(), r.energy_nj.to_bits());
+    }
+
+    #[test]
+    fn full_detail_encoding_is_byte_stable_without_sampling() {
+        // The sampling block must be absent (not `null`) for full-detail
+        // reports: pinned report digests hash these exact bytes.
+        let s = report_to_string(&sample_report());
+        assert!(!s.contains("sampling"));
+    }
+
+    #[test]
+    fn sampled_report_round_trips_exactly() {
+        let mut r = sample_report();
+        r.sampling = Some(SamplingSummary {
+            windows: 5,
+            window_len: 2_000,
+            measured_instructions: 10_007,
+            functional_instructions: 123_456,
+            ipc: MetricStats {
+                mean: 1.25,
+                stderr: 0.125,
+                ci_half: 0.347,
+                n: 5,
+            },
+            mpki_l1d: MetricStats::from_samples(&[20.0, 22.0, 19.5, 21.0, 20.5]),
+            pf_accuracy: MetricStats::from_samples(&[0.8, 0.82]),
+        });
+        let s = report_to_string(&r);
+        assert!(s.contains("sampling"));
+        let back = report_from_str(&s).unwrap();
+        assert_eq!(report_to_string(&back), s);
+        let sm = back.sampling.unwrap();
+        assert_eq!(sm.windows, 5);
+        assert_eq!(sm.ipc.mean.to_bits(), 1.25f64.to_bits());
+        assert_eq!(sm.pf_accuracy.n, 2);
     }
 
     #[test]

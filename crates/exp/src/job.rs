@@ -11,12 +11,13 @@
 
 use crate::scale::ExpScale;
 use secpref_sim::{
-    run_multi_with_window, run_multi_with_window_obs, run_multi_with_window_tel,
-    run_single_with_window, run_single_with_window_obs, run_single_with_window_tel,
+    run_multi_sampled_with_window, run_multi_with_window, run_multi_with_window_obs,
+    run_multi_with_window_tel, run_single_sampled_with_window, run_single_with_window,
+    run_single_with_window_obs, run_single_with_window_tel, run_stream_sampled_with_window,
     run_stream_with_window, ObsCapture, ObsConfig, SimReport, TelCapture, TelConfig,
 };
 use secpref_trace::suite;
-use secpref_types::SystemConfig;
+use secpref_types::{SamplingConfig, SystemConfig};
 use std::path::PathBuf;
 
 /// What a job simulates: one trace on one core, a multi-core mix, or a
@@ -74,6 +75,10 @@ pub struct JobSpec {
     pub workload: Workload,
     /// Windows/trace length.
     pub scale: ExpScale,
+    /// SMARTS-style sampling plan; `None` runs full detail. Part of the
+    /// canonical string (appended only when set, so full-detail keys are
+    /// unchanged), so sampled and full results never alias in the store.
+    pub sampling: Option<SamplingConfig>,
 }
 
 impl JobSpec {
@@ -83,6 +88,7 @@ impl JobSpec {
             cfg,
             workload: Workload::Single(trace.to_string()),
             scale,
+            sampling: None,
         }
     }
 
@@ -97,6 +103,7 @@ impl JobSpec {
             cfg,
             workload: Workload::Mix(mix.to_vec()),
             scale,
+            sampling: None,
         }
     }
 
@@ -119,7 +126,16 @@ impl JobSpec {
                 path,
             },
             scale,
+            sampling: None,
         })
+    }
+
+    /// Switches the job to SMARTS-style sampled execution. Only
+    /// [`JobSpec::run`] honors the plan; traced and telemetry runs are
+    /// debugging paths and always execute full detail.
+    pub fn with_sampling(mut self, s: SamplingConfig) -> Self {
+        self.sampling = Some(s);
+        self
     }
 
     /// The effective (warm-up, measurement) window for this job.
@@ -144,12 +160,18 @@ impl JobSpec {
             // wrong-path annotation; the on-disk location is irrelevant.
             Workload::Stream { name, digest, .. } => format!("stream:{name}:{digest:016x}"),
         };
-        format!(
+        let mut c = format!(
             "v1|cfg={:?}|workload={workload}|scale={}|warmup={warmup}|measure={measure}|trace_len={}",
             self.cfg,
             self.scale.name(),
             self.scale.trace_len(),
-        )
+        );
+        // Appended only when sampling is on: every pre-existing
+        // full-detail canonical string (and store key) stays intact.
+        if let Some(s) = &self.sampling {
+            c.push_str(&format!("|sampling={}", s.canonical()));
+        }
+        c
     }
 
     /// Content-addressed job key: FNV-1a 64 of [`JobSpec::canonical`],
@@ -172,7 +194,10 @@ impl JobSpec {
             if self.cfg.suf { "+SUF" } else { "" },
             if self.cfg.timely_secure { "+TS" } else { "" },
             self.workload.describe(),
-            self.scale.name(),
+            match self.sampling {
+                Some(_) => format!("{}, sampled", self.scale.name()),
+                None => self.scale.name().to_string(),
+            },
         )
     }
 
@@ -182,23 +207,33 @@ impl JobSpec {
     /// jobs over the same trace share one generated copy per process.
     pub fn run(&self) -> SimReport {
         let (warmup, measure) = self.window();
-        match &self.workload {
-            Workload::Single(name) => {
+        match (&self.workload, self.sampling.as_ref()) {
+            (Workload::Single(name), None) => {
                 let trace = suite::cached_trace(name, self.scale.trace_len());
                 run_single_with_window(&self.cfg, &trace, warmup, measure)
             }
-            Workload::Mix(names) => {
-                let traces = names
+            (Workload::Single(name), Some(s)) => {
+                let trace = suite::cached_trace(name, self.scale.trace_len());
+                run_single_sampled_with_window(&self.cfg, &trace, warmup, measure, s)
+            }
+            (Workload::Mix(names), sampling) => {
+                let traces: Vec<_> = names
                     .iter()
                     .map(|n| suite::cached_trace(n, self.scale.trace_len()))
                     .collect();
-                run_multi_with_window(&self.cfg, traces, warmup, measure)
+                match sampling {
+                    None => run_multi_with_window(&self.cfg, traces, warmup, measure),
+                    Some(s) => run_multi_sampled_with_window(&self.cfg, traces, warmup, measure, s),
+                }
             }
-            Workload::Stream { path, .. } => {
+            (Workload::Stream { path, .. }, sampling) => {
                 // The store was validated when the spec was built; a
                 // failure here means it vanished or was corrupted since.
-                run_stream_with_window(&self.cfg, path, warmup, measure)
-                    .unwrap_or_else(|e| panic!("chunk store {}: {e}", path.display()))
+                match sampling {
+                    None => run_stream_with_window(&self.cfg, path, warmup, measure),
+                    Some(s) => run_stream_sampled_with_window(&self.cfg, path, warmup, measure, s),
+                }
+                .unwrap_or_else(|e| panic!("chunk store {}: {e}", path.display()))
             }
         }
     }
@@ -389,6 +424,7 @@ mod tests {
                 path: PathBuf::from(path),
             },
             scale: ExpScale::Quick,
+            sampling: None,
         };
         let a = mk(0xDEAD_BEEF, "/tmp/a.sct");
         let b = mk(0xDEAD_BEEF, "/elsewhere/moved.sct");
@@ -400,6 +436,26 @@ mod tests {
             a.workload.trace_names().is_empty(),
             "streams skip pregenerate"
         );
+    }
+
+    #[test]
+    fn key_covers_sampling_plan() {
+        let full = base_job();
+        assert!(
+            !full.canonical().contains("sampling="),
+            "full-detail canonical strings (and store keys) must be
+             byte-identical to the pre-sampling format"
+        );
+        let s = SamplingConfig::new(2_000, 500, 1_500).with_jitter(300, 11);
+        let sampled = base_job().with_sampling(s);
+        assert_ne!(full.key(), sampled.key());
+        assert!(sampled
+            .canonical()
+            .contains("|sampling=w2000+u500/g1500~j300s11"));
+        assert!(sampled.label().contains("sampled"));
+        // Any plan knob changes the key.
+        let other = base_job().with_sampling(s.with_jitter(300, 12));
+        assert_ne!(sampled.key(), other.key());
     }
 
     #[test]

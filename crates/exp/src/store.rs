@@ -166,6 +166,7 @@ mod tests {
             }],
             dram: DramStats::default(),
             energy_nj: 1.5,
+            sampling: None,
         }
     }
 

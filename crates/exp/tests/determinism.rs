@@ -355,6 +355,88 @@ fn many_core_mix_resume_matches_cold_run() {
 }
 
 #[test]
+fn sampled_jobs_are_deterministic_across_workers_and_resume() {
+    // The seeded window-offset jitter is a pure function of
+    // (jitter_seed, window index), so a sampled job must be bit-identical
+    // no matter which worker runs it, and a resumed run must return the
+    // stored bytes. A full-detail twin of the same config must get its
+    // own store key (no aliasing between sampled and full results).
+    use secpref_types::SamplingConfig;
+    let secure = SystemConfig::baseline(1)
+        .with_secure(SecureMode::GhostMinion)
+        .with_prefetcher(PrefetcherKind::IpStride)
+        .with_mode(PrefetchMode::OnCommit)
+        .with_suf(true);
+    let s = SamplingConfig::new(2_000, 500, 1_500).with_jitter(300, 11);
+    let jobs = vec![
+        JobSpec::single(secure.clone(), "leela_like", ExpScale::Quick).with_sampling(s),
+        JobSpec::single(secure.clone(), "leela_like", ExpScale::Quick).with_sampling(s), // dup
+        JobSpec::single(secure, "leela_like", ExpScale::Quick), // full-detail twin
+    ];
+    assert_ne!(jobs[0].key(), jobs[2].key());
+
+    let dir1 = tmp_dir("sampled-w1");
+    let dir4 = tmp_dir("sampled-w4");
+    let serial = Engine::new(&dir1, 1).unwrap().run_all(&jobs);
+    let parallel = Engine::new(&dir4, 4).unwrap().run_all(&jobs);
+    assert_eq!(serialize_all(&serial), serialize_all(&parallel));
+    let sm = serial[0].sampling.as_ref().expect("sampled block stored");
+    assert!(sm.windows >= 3);
+    assert!(serial[2].sampling.is_none(), "full twin stays full detail");
+
+    let (warm_reports, warm) = Engine::new(&dir4, 4).unwrap().run_all_with_summary(&jobs);
+    assert_eq!(warm.executed, 0, "resume must not re-simulate");
+    assert_eq!(warm.from_store, 2);
+    assert_eq!(serialize_all(&parallel), serialize_all(&warm_reports));
+    let _ = std::fs::remove_dir_all(dir1);
+    let _ = std::fs::remove_dir_all(dir4);
+}
+
+#[test]
+fn many_core_sampled_resume_matches_cold_run() {
+    // 32-core sampled cell: per-core policy wheel plus SMARTS sampling.
+    // Every core must measure every window (the scheduler waits on the
+    // slowest core), and resume must return the cold run's exact bytes.
+    use secpref_types::{CorePolicy, SamplingConfig};
+    const CORES: usize = 32;
+    let names = secpref_trace::suite::spec_names();
+    let mix: Vec<String> = (0..CORES).map(|c| names[c % names.len()].clone()).collect();
+    let base = CorePolicy::of(&SystemConfig::baseline(1));
+    let policies: Vec<CorePolicy> = (0..CORES)
+        .map(|c| match c % 2 {
+            0 => base,
+            _ => CorePolicy {
+                secure: SecureMode::GhostMinion,
+                prefetcher: PrefetcherKind::Berti,
+                prefetch_mode: PrefetchMode::OnCommit,
+                suf: true,
+                ..base
+            },
+        })
+        .collect();
+    let cfg = SystemConfig::baseline(CORES).with_core_policies(policies);
+    cfg.validate()
+        .expect("32-core sampled config must be valid");
+    let s = SamplingConfig::new(1_500, 500, 2_000).with_jitter(250, 7);
+    let jobs = vec![JobSpec::mix(cfg, &mix, ExpScale::Quick).with_sampling(s)];
+    let dir = tmp_dir("manycore-sampled");
+
+    let (cold_reports, cold) = Engine::new(&dir, 2).unwrap().run_all_with_summary(&jobs);
+    assert_eq!(cold.executed, 1);
+    assert_eq!(cold_reports[0].cores.len(), CORES);
+    let sm = cold_reports[0].sampling.as_ref().expect("sampled block");
+    assert!(sm.windows >= 2);
+    let total: u64 = cold_reports[0].cores.iter().map(|c| c.instructions).sum();
+    assert_eq!(total, sm.measured_instructions);
+
+    let (warm_reports, warm) = Engine::new(&dir, 2).unwrap().run_all_with_summary(&jobs);
+    assert_eq!(warm.executed, 0, "resume must not re-simulate the mix");
+    assert_eq!(warm.from_store, 1);
+    assert_eq!(serialize_all(&cold_reports), serialize_all(&warm_reports));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn partial_store_resumes_the_rest() {
     // Simulate a killed run: only part of the sweep made it to disk.
     let jobs = sweep();

@@ -188,6 +188,7 @@ impl SetAssocCache {
         s * self.ways..(s + 1) * self.ways
     }
 
+    #[inline]
     fn find(&self, line: LineAddr) -> Option<usize> {
         let raw = line.raw();
         if raw == TAG_INVALID {
@@ -208,6 +209,7 @@ impl SetAssocCache {
 
     /// Looks up a line **without** updating replacement state
     /// (a GhostMinion speculative access).
+    #[inline]
     pub fn probe(&self, line: LineAddr) -> Option<&LineMeta> {
         self.find(line).map(|i| &self.lines[i])
     }
@@ -215,6 +217,7 @@ impl SetAssocCache {
     /// Looks up a line and, on a hit, promotes it per the replacement
     /// policy (a conventional non-speculative access). Returns the line's
     /// metadata after update.
+    #[inline]
     pub fn touch(&mut self, line: LineAddr) -> Option<LineMeta> {
         let i = self.find(line)?;
         self.lru_clock += 1;
@@ -228,6 +231,7 @@ impl SetAssocCache {
     /// when `store` is true. Returns `(was_prefetched, fetch_latency)` on
     /// a hit — the simulator's hit fast path, equivalent to the three
     /// separate calls but with a single set scan.
+    #[inline]
     pub fn touch_demand(&mut self, line: LineAddr, store: bool) -> Option<(bool, u32)> {
         let i = self.find(line)?;
         self.lru_clock += 1;
@@ -242,6 +246,7 @@ impl SetAssocCache {
 
     /// Marks a resident line's first demand use: clears the `prefetched`
     /// bit and returns `(was_prefetched, fetch_latency)` if present.
+    #[inline]
     pub fn mark_demand_use(&mut self, line: LineAddr) -> Option<(bool, u32)> {
         let i = self.find(line)?;
         let was = self.lines[i].prefetched;
@@ -277,7 +282,44 @@ impl SetAssocCache {
     /// evicts nothing.
     pub fn fill(&mut self, line: LineAddr, attrs: FillAttrs) -> Option<EvictedLine> {
         self.lru_clock += 1;
-        if let Some(i) = self.find(line) {
+        let raw = line.raw();
+        let range = self.set_range(line);
+        // One pass over the set computes everything a fill can need: the
+        // resident way (refresh), the first invalid way, and the LRU
+        // victim — instead of three separate set scans. Tie-breaks match
+        // the scan order of the former `find` / first-invalid /
+        // `min_by_key` passes exactly.
+        let mut hit = None;
+        let mut invalid = None;
+        let mut lru_idx = range.start;
+        let mut lru_min = u64::MAX;
+        if raw == TAG_INVALID {
+            // Sentinel-aliasing line: tags cannot disambiguate, so fall
+            // back to the full metadata scan (rare path).
+            hit = range
+                .clone()
+                .find(|&i| self.lines[i].valid && self.lines[i].line == line);
+            if hit.is_none() {
+                invalid = range.clone().find(|&i| !self.lines[i].valid);
+            }
+        } else {
+            for i in range.clone() {
+                if self.tags[i] == raw {
+                    hit = Some(i);
+                    break;
+                }
+                let l = &self.lines[i];
+                if !l.valid {
+                    if invalid.is_none() {
+                        invalid = Some(i);
+                    }
+                } else if l.lru < lru_min {
+                    lru_min = l.lru;
+                    lru_idx = i;
+                }
+            }
+        }
+        if let Some(i) = hit {
             let l = &mut self.lines[i];
             l.lru = self.lru_clock;
             l.dirty |= attrs.dirty;
@@ -286,12 +328,12 @@ impl SetAssocCache {
             l.wb_next |= attrs.wb_next;
             return None;
         }
-        let range = self.set_range(line);
-        // Prefer an invalid way; otherwise ask the policy for a victim.
-        let victim = range
-            .clone()
-            .find(|&i| !self.lines[i].valid)
-            .unwrap_or_else(|| self.pick_victim(range));
+        // Prefer an invalid way; otherwise the policy picks the victim
+        // (the LRU answer already fell out of the scan above).
+        let victim = invalid.unwrap_or_else(|| match self.policy {
+            ReplacementKind::Lru if raw != TAG_INVALID => lru_idx,
+            _ => self.pick_victim(range),
+        });
         let evicted = if self.lines[victim].valid {
             let v = self.lines[victim];
             Some(EvictedLine {

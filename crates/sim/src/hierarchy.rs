@@ -24,7 +24,7 @@ use crate::metrics::CoreMetrics;
 use crate::profile::{Phase, ProfileReport, Profiler};
 use crate::wheel::EventWheel;
 use secpref_cpu::LoadIssue;
-use secpref_ghostminion::{CommitAction, GmCache, UpdateFilter, WbBits};
+use secpref_ghostminion::{CommitAction, GmCache, GmInsertOutcome, UpdateFilter, WbBits};
 use secpref_mem::{
     DramModel, DramRequest, FillAttrs, MshrFile, MshrToken, PortScheduler, SetAssocCache, Tlb,
 };
@@ -32,7 +32,7 @@ use secpref_obs::{Event, EventKind, Obs};
 use secpref_prefetch::{AccessEvent, Feedback, FillEvent, PfBuf, Prefetcher};
 use secpref_telemetry::{LoadLevel, Tel, TelCapture};
 use secpref_types::{
-    AccessKind, CacheConfig, CacheLevel, CoreId, Cycle, FillInfo, HitLevel, Ip, LineAddr,
+    AccessKind, Addr, CacheConfig, CacheLevel, CoreId, Cycle, FillInfo, HitLevel, Ip, LineAddr,
     PrefetchMode, PrefetchRequest, PrefetcherKind, SystemConfig,
 };
 
@@ -47,6 +47,11 @@ const PF_RECENT: usize = 64;
 const MAX_RETRIES: u32 = 1_000_000;
 /// Prefetch requests accepted per training event.
 const MAX_PF_PER_EVENT: usize = 16;
+/// Nominal DRAM portion of a functional-warming fetch latency (cycles).
+/// Functional accesses need only a plausible constant for GhostMinion
+/// timestamps and prefetcher latency hints; detailed windows use the
+/// real load-dependent DRAM model.
+const FUNC_DRAM_LATENCY: Cycle = 120;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum ReqKind {
@@ -1540,5 +1545,575 @@ impl Hierarchy {
     /// In-flight classifier counts (debug/tests).
     pub fn classification(&self, core: CoreId) -> Option<crate::metrics::MissClassCounts> {
         self.classifiers[core].as_ref().map(|c| c.counts())
+    }
+
+    // =================================================================
+    // Functional warming (SMARTS-style sampling, DESIGN.md §14)
+    // =================================================================
+    //
+    // The `functional_*` family mirrors the detailed request flows with
+    // timing collapsed: every access completes instantly at the nominal
+    // uncontended latency of the level that supplied it. Architectural
+    // and near-architectural state stays warm — caches (replacement,
+    // dirty/prefetched/writeback bits), TLBs, the GhostMinion, the SUF
+    // commit filters, prefetcher training, and the injection dedup ring
+    // — while *no metrics counter is ever touched* (sampled reports
+    // accumulate measured windows only; audited by `secpref-check`) and
+    // no event, MSHR, port, or DRAM state is allocated. The Fig. 6
+    // classifier shadow is deliberately not fed: it is instrumentation,
+    // not warmth-bearing state, and feeding it would charge shadow
+    // activity to unmeasured spans.
+
+    /// Live (allocated, un-freed) requests. The sampling scheduler
+    /// drains this to zero before switching to functional warming.
+    pub fn live_requests(&self) -> usize {
+        self.reqs.len() - self.free.len()
+    }
+
+    /// Nominal uncontended latency of a fetch served by `hl`.
+    fn functional_latency(&self, core: CoreId, hl: HitLevel) -> u32 {
+        let mut lat = self.l1d[core].latency;
+        if hl >= HitLevel::L2 {
+            lat += self.l2[core].latency;
+        }
+        if hl >= HitLevel::Llc {
+            lat += self.llc.latency;
+        }
+        if hl == HitLevel::Dram {
+            lat += FUNC_DRAM_LATENCY;
+        }
+        lat as u32
+    }
+
+    /// Functionally retires one load: the speculative walk of
+    /// [`Hierarchy::issue_load`] and the commit engine of
+    /// [`Hierarchy::commit_load`] compressed into one instant.
+    pub fn functional_load(&mut self, now: Cycle, core: CoreId, ip: Ip, addr: Addr, ts: u64) {
+        self.now = now;
+        let _ = self.translate(core, addr); // dTLB/STLB stay warm
+        let line = addr.line();
+        if self.sec[core] {
+            self.functional_secure_load(now, core, ip, line, ts);
+        } else {
+            let (hl, was_pf, pf_lat) = self.functional_demand_walk(now, core, ip, line, false);
+            let fetch_latency = if hl == HitLevel::L1d {
+                if was_pf {
+                    pf_lat
+                } else {
+                    0
+                }
+            } else {
+                let lat = self.functional_latency(core, hl);
+                self.functional_fill_event(core, false, line, ip, now, lat);
+                lat
+            };
+            self.functional_oc_train(now, core, ip, line, hl, was_pf, fetch_latency);
+        }
+    }
+
+    /// Functionally retires one store (the non-speculative write walk;
+    /// stores skip address translation in the detailed model too).
+    pub fn functional_store(&mut self, now: Cycle, core: CoreId, ip: Ip, addr: Addr, _ts: u64) {
+        self.now = now;
+        self.functional_demand_walk(now, core, ip, addr.line(), true);
+    }
+
+    /// The GhostMinion load flow: GM ∥ L1D probe (replacement-neutral),
+    /// speculative GM fill, then the commit-filter action — all at once.
+    fn functional_secure_load(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        ip: Ip,
+        line: LineAddr,
+        ts: u64,
+    ) {
+        let gm_hit = self.gm[core].lookup(line, ts).is_some();
+        let mut hit_level = HitLevel::Dram;
+        let mut hit_prefetched = false;
+        let mut hit_pf_latency = 0u32;
+        if gm_hit {
+            self.functional_observe_l1(now, core, ip, line, true, false, 0);
+            hit_level = HitLevel::L1d;
+        } else if let Some((pf, lat)) = self.l1d[core].cache.mark_demand_use(line) {
+            // One set scan stands in for the detailed probe plus the
+            // commit-time mark_demand_use: both are replacement-neutral,
+            // and with issue and commit compressed to the same instant the
+            // line observed here is exactly the line marked there.
+            if pf && self.pf_l1[core] {
+                self.prefetchers[core].feedback(Feedback::Useful { line });
+            }
+            self.functional_observe_l1(now, core, ip, line, true, pf, lat);
+            hit_level = HitLevel::L1d;
+            hit_prefetched = pf;
+            hit_pf_latency = lat;
+        } else {
+            // L1D missed this instant, so the commit-path L1D
+            // mark_demand_use of the detailed flow is a guaranteed miss —
+            // no need to replay it on the deeper-hit arms below.
+            self.functional_observe_l1(now, core, ip, line, false, false, 0);
+            if self.pf_l1[core] {
+                self.prefetchers[core].feedback(Feedback::DemandMiss { line });
+            }
+            match self.l2[core]
+                .cache
+                .probe(line)
+                .map(|m| (m.prefetched, m.fetch_latency))
+            {
+                Some((pf, lat)) => {
+                    if pf && !self.pf_l1[core] {
+                        self.prefetchers[core].feedback(Feedback::Useful { line });
+                    }
+                    self.functional_observe_l2(now, core, ip, line, true);
+                    hit_level = HitLevel::L2;
+                    hit_prefetched = pf;
+                    hit_pf_latency = lat;
+                }
+                None => {
+                    self.functional_observe_l2(now, core, ip, line, false);
+                    if !self.pf_l1[core] {
+                        self.prefetchers[core].feedback(Feedback::DemandMiss { line });
+                    }
+                    match self
+                        .llc
+                        .cache
+                        .probe(line)
+                        .map(|m| (m.prefetched, m.fetch_latency))
+                    {
+                        Some((pf, lat)) => {
+                            if pf && !self.pf_l1[core] {
+                                self.prefetchers[core].feedback(Feedback::Useful { line });
+                            }
+                            hit_level = HitLevel::Llc;
+                            hit_prefetched = pf;
+                            hit_pf_latency = lat;
+                        }
+                        None => {
+                            if !self.pf_l1[core] {
+                                self.prefetchers[core].feedback(Feedback::DemandMiss { line });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Finish: the speculative fill goes into the GM, never the
+        // hierarchy (exactly as in the detailed flow). Functional
+        // retirement is in strict `ts` order, so no GM entry can carry a
+        // timestamp younger than `ts`; residency after this fill is
+        // therefore exactly what the commit-path `lookup_commit` would
+        // observe — no second GM scan needed.
+        let latency = self.functional_latency(core, hit_level);
+        let mut gm_commit_hit = gm_hit;
+        if hit_level != HitLevel::L1d {
+            gm_commit_hit = self.gm[core].insert(line, ts, latency) != GmInsertOutcome::Dropped;
+            self.functional_fill_event(core, false, line, ip, now, latency);
+        }
+        // Commit engine, compressed to the same instant.
+        match self.filters[core].commit_action(hit_level, gm_commit_hit) {
+            CommitAction::Drop => {
+                if gm_commit_hit {
+                    self.gm[core].remove(line);
+                }
+            }
+            CommitAction::CommitWrite => {
+                self.gm[core].remove(line);
+                let wb = self.filters[core].wb_bits(hit_level);
+                self.functional_fill(
+                    core,
+                    0,
+                    line,
+                    FillAttrs {
+                        dirty: false,
+                        prefetched: false,
+                        wb_bit: wb.l1_to_l2,
+                        wb_next: wb.l2_to_llc,
+                        fetch_latency: 0,
+                    },
+                );
+                self.functional_fill_event(core, true, line, ip, now + 1, 1);
+            }
+            CommitAction::Refetch => {
+                let wb = self.filters[core].wb_bits(hit_level);
+                self.functional_refetch(now, core, ip, line, wb);
+            }
+        }
+        self.commit_count[core] += 1;
+        if self.commit_count[core].is_multiple_of(16) {
+            self.gm[core].expire_older_than(ts, now);
+        }
+        let fetch_latency = if hit_level == HitLevel::L1d {
+            if hit_prefetched {
+                hit_pf_latency
+            } else {
+                0
+            }
+        } else {
+            latency
+        };
+        self.functional_oc_train(
+            now,
+            core,
+            ip,
+            line,
+            hit_level,
+            hit_prefetched,
+            fetch_latency,
+        );
+    }
+
+    /// A demand walk with replacement updates (non-secure loads and all
+    /// stores), filling the missed levels per the detailed fill policy.
+    fn functional_demand_walk(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        ip: Ip,
+        line: LineAddr,
+        is_store: bool,
+    ) -> (HitLevel, bool, u32) {
+        let mut missed = [false; 3];
+        let mut hit_level = HitLevel::Dram;
+        let mut hit_prefetched = false;
+        let mut hit_pf_latency = 0u32;
+        for lvl in 0..3u8 {
+            let touched = match lvl {
+                0 => self.l1d[core].cache.touch_demand(line, is_store),
+                1 => self.l2[core].cache.touch_demand(line, is_store),
+                _ => self.llc.cache.touch_demand(line, is_store),
+            };
+            let pf_here = (lvl == 0) == self.pf_l1[core];
+            if let Some((was_pf, lat)) = touched {
+                if was_pf && pf_here {
+                    self.prefetchers[core].feedback(Feedback::Useful { line });
+                }
+                match lvl {
+                    0 => self.functional_observe_l1(now, core, ip, line, true, was_pf, lat),
+                    1 => self.functional_observe_l2(now, core, ip, line, true),
+                    _ => {}
+                }
+                hit_level = match lvl {
+                    0 => HitLevel::L1d,
+                    1 => HitLevel::L2,
+                    _ => HitLevel::Llc,
+                };
+                hit_prefetched = was_pf;
+                hit_pf_latency = lat;
+                break;
+            }
+            match lvl {
+                0 => self.functional_observe_l1(now, core, ip, line, false, false, 0),
+                1 => self.functional_observe_l2(now, core, ip, line, false),
+                _ => {}
+            }
+            if pf_here {
+                self.prefetchers[core].feedback(Feedback::DemandMiss { line });
+            }
+            missed[lvl as usize] = true;
+        }
+        // Fill the missed levels deepest-first (the response unwind).
+        for lvl in (0..3u8).rev() {
+            if !missed[lvl as usize] {
+                continue;
+            }
+            if is_store {
+                if lvl == 0 {
+                    self.functional_fill(
+                        core,
+                        0,
+                        line,
+                        FillAttrs {
+                            dirty: true,
+                            ..FillAttrs::default()
+                        },
+                    );
+                } else if !self.sec[core] {
+                    self.functional_fill(core, lvl, line, FillAttrs::default());
+                }
+            } else {
+                self.functional_fill(core, lvl, line, FillAttrs::default());
+            }
+        }
+        (hit_level, hit_prefetched, hit_pf_latency)
+    }
+
+    /// Mirrors [`Hierarchy::observe_demand_l1`] without the classifier
+    /// shadow (on-access L1 prefetcher training only).
+    #[allow(clippy::too_many_arguments)]
+    fn functional_observe_l1(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        ip: Ip,
+        line: LineAddr,
+        hit: bool,
+        hit_prefetched: bool,
+        pf_latency: u32,
+    ) {
+        if !self.pf_l1[core] || self.pf_none[core] || self.oc[core] {
+            return;
+        }
+        let ev = AccessEvent {
+            ip,
+            line,
+            cycle: now,
+            hit,
+            access_cycle: now,
+            fetch_latency: if hit_prefetched { pf_latency } else { 0 },
+            hit_prefetched,
+            mshr_free: self.l1d[core].mshr.capacity() - self.l1d[core].mshr.occupancy(),
+        };
+        self.functional_train(now, core, &ev);
+    }
+
+    /// Mirrors [`Hierarchy::observe_demand_l2`] without the classifier
+    /// shadow (on-access L2 prefetcher training only).
+    fn functional_observe_l2(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        ip: Ip,
+        line: LineAddr,
+        hit: bool,
+    ) {
+        if self.pf_l1[core] || self.pf_none[core] || self.oc[core] {
+            return;
+        }
+        let ev = AccessEvent {
+            ip,
+            line,
+            cycle: now,
+            hit,
+            access_cycle: now,
+            fetch_latency: 0,
+            hit_prefetched: false,
+            mshr_free: self.l2[core].mshr.capacity() - self.l2[core].mshr.occupancy(),
+        };
+        self.functional_train(now, core, &ev);
+    }
+
+    /// Mirrors the on-commit training tail of [`Hierarchy::commit_load`].
+    #[allow(clippy::too_many_arguments)]
+    fn functional_oc_train(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        ip: Ip,
+        line: LineAddr,
+        hit_level: HitLevel,
+        hit_prefetched: bool,
+        fetch_latency: u32,
+    ) {
+        if !self.oc[core] || self.pf_none[core] {
+            return;
+        }
+        if self.pf_is_l1(core) {
+            let ev = AccessEvent {
+                ip,
+                line,
+                cycle: now,
+                hit: hit_level == HitLevel::L1d,
+                access_cycle: now,
+                fetch_latency,
+                hit_prefetched,
+                mshr_free: self.l1d[core].mshr.capacity() - self.l1d[core].mshr.occupancy(),
+            };
+            self.functional_train(now, core, &ev);
+        } else if hit_level >= HitLevel::L2 {
+            let ev = AccessEvent {
+                ip,
+                line,
+                cycle: now,
+                hit: hit_level == HitLevel::L2,
+                access_cycle: now,
+                fetch_latency,
+                hit_prefetched: false,
+                mshr_free: self.l2[core].mshr.capacity() - self.l2[core].mshr.occupancy(),
+            };
+            self.functional_train(now, core, &ev);
+        }
+    }
+
+    /// Mirrors [`Hierarchy::pf_fill_event`] without the classifier
+    /// shadow: the prefetcher observes the fill iff the path (commit vs
+    /// access) matches its training mode.
+    fn functional_fill_event(
+        &mut self,
+        core: CoreId,
+        commit_path: bool,
+        line: LineAddr,
+        ip: Ip,
+        at: Cycle,
+        latency: u32,
+    ) {
+        if !self.pf_l1[core] || self.pf_none[core] || commit_path != self.oc[core] {
+            return;
+        }
+        let ev = FillEvent {
+            line,
+            ip,
+            cycle: at,
+            latency,
+            by_prefetch: false,
+        };
+        self.prefetchers[core].observe_fill(&ev);
+    }
+
+    /// Mirrors [`Hierarchy::train_and_inject`]: candidates complete
+    /// instantly via [`Hierarchy::functional_inject`].
+    fn functional_train(&mut self, _now: Cycle, core: CoreId, ev: &AccessEvent) {
+        self.pf_scratch.clear();
+        self.prefetchers[core].observe_access(ev, &mut self.pf_scratch);
+        self.pf_scratch.truncate(MAX_PF_PER_EVENT);
+        for i in 0..self.pf_scratch.len() {
+            let pf = self.pf_scratch[i];
+            self.functional_inject(core, pf);
+        }
+    }
+
+    /// Mirrors [`Hierarchy::inject_prefetch`] plus the prefetch walk:
+    /// the dedup ring is maintained, targets resident at the origin
+    /// level drop, and missed levels from the origin down fill
+    /// instantly with the `prefetched` bit set. Queue-depth drops
+    /// cannot occur — nothing is outstanding while warming.
+    fn functional_inject(&mut self, core: CoreId, pf: PrefetchRequest) {
+        if self.pf_recent[core].contains(&pf.line) {
+            return;
+        }
+        let head = self.pf_recent_head[core];
+        self.pf_recent[core][head] = pf.line;
+        self.pf_recent_head[core] = (head + 1) % PF_RECENT;
+        let origin: u8 = if self.pf_is_l1(core) && pf.fill_level == CacheLevel::L1d {
+            0
+        } else {
+            1
+        };
+        let mut missed = [false; 3];
+        let mut hit_level = HitLevel::Dram;
+        for lvl in origin..3u8 {
+            let hit = match lvl {
+                0 => self.l1d[core].cache.touch_demand(pf.line, false).is_some(),
+                1 => self.l2[core].cache.touch_demand(pf.line, false).is_some(),
+                _ => self.llc.cache.touch_demand(pf.line, false).is_some(),
+            };
+            if hit {
+                hit_level = match lvl {
+                    0 => HitLevel::L1d,
+                    1 => HitLevel::L2,
+                    _ => HitLevel::Llc,
+                };
+                break;
+            }
+            missed[lvl as usize] = true;
+        }
+        let latency = self.functional_latency(core, hit_level);
+        for lvl in (origin..3u8).rev() {
+            if missed[lvl as usize] {
+                self.functional_fill(
+                    core,
+                    lvl,
+                    pf.line,
+                    FillAttrs {
+                        prefetched: true,
+                        fetch_latency: latency,
+                        ..FillAttrs::default()
+                    },
+                );
+            }
+        }
+    }
+
+    /// Mirrors [`Hierarchy::fill_cache`] with evicted dirty and
+    /// clean-propagating lines cascading instantly.
+    fn functional_fill(&mut self, core: CoreId, lvl: u8, line: LineAddr, attrs: FillAttrs) {
+        let evicted = {
+            let level = match lvl {
+                0 => &mut self.l1d[core],
+                1 => &mut self.l2[core],
+                _ => &mut self.llc,
+            };
+            level.cache.fill(line, attrs)
+        };
+        if let Some(ev) = evicted {
+            self.functional_eviction(core, lvl, ev);
+        }
+    }
+
+    /// Mirrors [`Hierarchy::handle_eviction`]: useless feedback at the
+    /// prefetcher's level, dirty writeback and GhostMinion clean-line
+    /// propagation cascade to the next level. SUF propagation-skip
+    /// scoring is metrics-only and therefore skipped.
+    fn functional_eviction(&mut self, core: CoreId, lvl: u8, ev: secpref_mem::EvictedLine) {
+        let pf_here = (lvl == 0) == self.pf_is_l1(core);
+        if ev.prefetched && pf_here && lvl <= 1 {
+            self.prefetchers[core].feedback(Feedback::Useless { line: ev.line });
+        }
+        if lvl >= 2 {
+            return; // LLC dirty evictions write to DRAM: no cache state.
+        }
+        let target = lvl + 1;
+        if ev.dirty {
+            self.functional_fill(
+                core,
+                target,
+                ev.line,
+                FillAttrs {
+                    dirty: true,
+                    ..FillAttrs::default()
+                },
+            );
+        } else if self.sec[core] && ev.wb_bit {
+            self.functional_fill(
+                core,
+                target,
+                ev.line,
+                FillAttrs {
+                    wb_bit: if lvl == 0 { ev.wb_next } else { false },
+                    ..FillAttrs::default()
+                },
+            );
+        }
+    }
+
+    /// Mirrors the commit-path re-fetch: a demand-kind walk whose L1D
+    /// fill carries the filter's writeback bits.
+    fn functional_refetch(&mut self, now: Cycle, core: CoreId, ip: Ip, line: LineAddr, wb: WbBits) {
+        let mut missed = [false; 3];
+        let mut hit_level = HitLevel::Dram;
+        for lvl in 0..3u8 {
+            let hit = match lvl {
+                0 => self.l1d[core].cache.touch_demand(line, false).is_some(),
+                1 => self.l2[core].cache.touch_demand(line, false).is_some(),
+                _ => self.llc.cache.touch_demand(line, false).is_some(),
+            };
+            if hit {
+                hit_level = match lvl {
+                    0 => HitLevel::L1d,
+                    1 => HitLevel::L2,
+                    _ => HitLevel::Llc,
+                };
+                break;
+            }
+            missed[lvl as usize] = true;
+        }
+        for lvl in (0..3u8).rev() {
+            if !missed[lvl as usize] {
+                continue;
+            }
+            let attrs = if lvl == 0 {
+                FillAttrs {
+                    wb_bit: wb.l1_to_l2,
+                    wb_next: wb.l2_to_llc,
+                    ..FillAttrs::default()
+                }
+            } else {
+                FillAttrs::default()
+            };
+            self.functional_fill(core, lvl, line, attrs);
+        }
+        if hit_level != HitLevel::L1d {
+            let lat = self.functional_latency(core, hit_level);
+            self.functional_fill_event(core, true, line, ip, now, lat);
+        }
     }
 }

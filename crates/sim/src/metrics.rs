@@ -51,6 +51,21 @@ impl LevelMetrics {
         }
     }
 
+    /// Field-wise accumulation (sampled-window aggregation).
+    pub fn accumulate(&mut self, o: &Self) {
+        self.demand_accesses += o.demand_accesses;
+        self.demand_misses += o.demand_misses;
+        self.prefetch_accesses += o.prefetch_accesses;
+        self.commit_accesses += o.commit_accesses;
+        self.writeback_accesses += o.writeback_accesses;
+        self.mshr_occupancy_integral += o.mshr_occupancy_integral;
+        self.mshr_full_cycles += o.mshr_full_cycles;
+        self.mshr_full_stalls += o.mshr_full_stalls;
+        self.port_stalls += o.port_stalls;
+        self.miss_latency_sum += o.miss_latency_sum;
+        self.miss_latency_count += o.miss_latency_count;
+    }
+
     /// Mean demand-load miss latency in cycles.
     pub fn avg_miss_latency(&self) -> f64 {
         if self.miss_latency_count == 0 {
@@ -82,6 +97,17 @@ pub struct PrefetchMetrics {
 }
 
 impl PrefetchMetrics {
+    /// Field-wise accumulation (sampled-window aggregation).
+    pub fn accumulate(&mut self, o: &Self) {
+        self.proposed += o.proposed;
+        self.issued += o.issued;
+        self.dropped_duplicate += o.dropped_duplicate;
+        self.dropped_resources += o.dropped_resources;
+        self.useful += o.useful;
+        self.late += o.late;
+        self.useless += o.useless;
+    }
+
     /// Prefetch accuracy: fraction of completed prefetches that were used
     /// (late prefetches are used too).
     pub fn accuracy(&self) -> f64 {
@@ -127,6 +153,19 @@ pub struct CommitMetrics {
 }
 
 impl CommitMetrics {
+    /// Field-wise accumulation (sampled-window aggregation).
+    pub fn accumulate(&mut self, o: &Self) {
+        self.commit_writes += o.commit_writes;
+        self.refetches += o.refetches;
+        self.suf_dropped += o.suf_dropped;
+        self.suf_drop_correct += o.suf_drop_correct;
+        self.suf_drop_wrong += o.suf_drop_wrong;
+        self.propagation_skipped += o.propagation_skipped;
+        self.propagation_skip_correct += o.propagation_skip_correct;
+        self.propagation_skip_wrong += o.propagation_skip_wrong;
+        self.propagations += o.propagations;
+    }
+
     /// SUF filtering accuracy over all filtering decisions.
     pub fn suf_accuracy(&self) -> f64 {
         let correct = self.suf_drop_correct + self.propagation_skip_correct;
@@ -154,6 +193,14 @@ pub struct MissClassCounts {
 }
 
 impl MissClassCounts {
+    /// Field-wise accumulation (sampled-window aggregation).
+    pub fn accumulate(&mut self, o: &Self) {
+        self.late += o.late;
+        self.commit_late += o.commit_late;
+        self.missed_opportunity += o.missed_opportunity;
+        self.uncovered += o.uncovered;
+    }
+
     /// Total classified misses.
     pub fn total(&self) -> u64 {
         self.late + self.commit_late + self.missed_opportunity + self.uncovered
@@ -188,6 +235,23 @@ pub struct CoreMetrics {
 }
 
 impl CoreMetrics {
+    /// Field-wise accumulation over measured sampling windows. Cycles
+    /// and instructions add too: the aggregate IPC is the
+    /// window-population mean weighted by window cycles.
+    pub fn accumulate(&mut self, o: &Self) {
+        self.instructions += o.instructions;
+        self.cycles += o.cycles;
+        self.l1d.accumulate(&o.l1d);
+        self.l2.accumulate(&o.l2);
+        self.llc.accumulate(&o.llc);
+        self.dram_accesses += o.dram_accesses;
+        self.gm_accesses += o.gm_accesses;
+        self.prefetch.accumulate(&o.prefetch);
+        self.commit.accumulate(&o.commit);
+        self.class.accumulate(&o.class);
+        self.wrong_path_loads += o.wrong_path_loads;
+    }
+
     /// Instructions per cycle over the measurement window.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {

@@ -52,12 +52,14 @@ pub enum Phase {
     Dram = 6,
     /// Classifier shadow/actual tracking (Fig. 6 instrumentation).
     Classifier = 7,
+    /// Functional warming between sampled detailed windows.
+    FuncWarm = 8,
     /// Everything not covered by a scoped phase.
-    Other = 8,
+    Other = 9,
 }
 
 /// Number of phases (length of the totals array).
-pub const PHASES: usize = 9;
+pub const PHASES: usize = 10;
 
 impl Phase {
     /// Stable lower-case label used in the ranked table.
@@ -71,6 +73,7 @@ impl Phase {
             Phase::Prefetcher => "prefetcher",
             Phase::Dram => "dram",
             Phase::Classifier => "classifier",
+            Phase::FuncWarm => "funcwarm",
             Phase::Other => "other",
         }
     }
@@ -86,6 +89,7 @@ const PHASE_ORDER: [Phase; PHASES] = [
     Phase::Prefetcher,
     Phase::Dram,
     Phase::Classifier,
+    Phase::FuncWarm,
     Phase::Other,
 ];
 

@@ -17,6 +17,8 @@ pub struct SimReport {
     pub dram: DramStats,
     /// Dynamic energy of the memory hierarchy in nanojoules.
     pub energy_nj: f64,
+    /// Statistical-sampling summary (`None` for full-detail runs).
+    pub sampling: Option<secpref_types::SamplingSummary>,
 }
 
 impl SimReport {
@@ -45,6 +47,7 @@ impl SimReport {
             cores,
             dram,
             energy_nj,
+            sampling: None,
         }
     }
 

@@ -7,7 +7,7 @@ use crate::metrics::{CoreMetrics, LevelMetrics};
 use crate::profile::{Phase, ProfileReport};
 use crate::report::SimReport;
 use secpref_core::SecureUpdateFilter;
-use secpref_cpu::{Core, CoreEvent, LoadIssue, LoadPort};
+use secpref_cpu::{Core, CoreEvent, FunctionalPort, LoadIssue, LoadPort};
 use secpref_ghostminion::{AlwaysUpdate, UpdateFilter};
 use secpref_mem::dram::DramStats;
 use secpref_obs::{EpochRow, Event, EventKind, LevelEpoch, Obs, ObsCapture, ObsConfig};
@@ -15,7 +15,10 @@ use secpref_prefetch::Prefetcher;
 use secpref_telemetry::{Tel, TelCapture, TelConfig};
 use secpref_trace::Trace;
 use secpref_tracestore::TraceFeed;
-use secpref_types::{Cycle, LineAddr, PrefetchMode, PrefetcherKind, SystemConfig};
+use secpref_types::{
+    Addr, CoreId, Cycle, Ip, LineAddr, MetricStats, PrefetchMode, PrefetcherKind, SamplingConfig,
+    SamplingSummary, SystemConfig,
+};
 use std::sync::Arc;
 
 /// Default warm-up window in instructions (scaled from the paper's 50 M).
@@ -174,6 +177,9 @@ pub struct System {
     /// default; [`System::with_cycle_skip`] turns it off for
     /// differential testing, `SECPREF_NO_SKIP=1` for field debugging).
     allow_skip: bool,
+    /// Sampling summary filled in by [`System::run_sampled`] (`None`
+    /// after a full-detail [`System::run`]).
+    sampling: Option<SamplingSummary>,
 }
 
 impl std::fmt::Debug for CoreCtx {
@@ -191,6 +197,28 @@ struct PortAdapter<'a> {
 impl LoadPort for PortAdapter<'_> {
     fn try_issue_load(&mut self, now: Cycle, req: LoadIssue) -> bool {
         self.h.issue_load(now, req)
+    }
+}
+
+/// Adapter wiring a core's functional retire stream into the
+/// hierarchy's functional-warming path. The clock is a per-port
+/// monotonic counter rather than the trace timestamp: replays reset
+/// `ts` to zero, and the prefetcher latency/delta arithmetic needs a
+/// monotonically increasing cycle hint.
+struct FuncPort<'a> {
+    h: &'a mut Hierarchy,
+    now: Cycle,
+}
+
+impl FunctionalPort for FuncPort<'_> {
+    fn functional_load(&mut self, core: CoreId, ip: Ip, addr: Addr, ts: u64) {
+        self.now += 1;
+        self.h.functional_load(self.now, core, ip, addr, ts);
+    }
+
+    fn functional_store(&mut self, core: CoreId, ip: Ip, addr: Addr, ts: u64) {
+        self.now += 1;
+        self.h.functional_store(self.now, core, ip, addr, ts);
     }
 }
 
@@ -244,6 +272,7 @@ impl System {
             now: 0,
             finished: false,
             allow_skip: true,
+            sampling: None,
         }
     }
 
@@ -570,13 +599,295 @@ impl System {
         self.hierarchy.obs_push_epoch(row);
     }
 
+    /// Runs the simulation in SMARTS-style sampled mode (DESIGN.md §14):
+    /// functional warming over the warm-up span and the inter-window
+    /// gaps, short detailed windows (each with its own detailed warm-up
+    /// slice) for measurement, and per-window IPC/MPKI/accuracy samples
+    /// feeding Student-t confidence intervals.
+    ///
+    /// The sampled span is exactly the full-detail span: `warmup`
+    /// instructions of warming, then windows placed inside the
+    /// `measure`-instruction region (a functional tail covers whatever
+    /// the last window does not reach). Aggregate counters in
+    /// [`System::report`] cover *measured* windows only; the summary's
+    /// CI fields quantify the sampling error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not even one `gap + warm + window` period fits into
+    /// the measurement span, or on simulator livelock.
+    pub fn run_sampled(&mut self, s: &SamplingConfig) {
+        let mut functional_instructions = self.run_functional(self.warmup);
+        let mut measured_instructions = 0u64;
+        let mut consumed = 0u64;
+        let mut widx = 0u64;
+        let mut windows = 0u64;
+        let mut agg: Vec<CoreMetrics> = vec![CoreMetrics::default(); self.cores.len()];
+        let mut samples_ipc = Vec::new();
+        let mut samples_mpki = Vec::new();
+        let mut samples_pfacc = Vec::new();
+        loop {
+            let gap = s.gap + s.jitter(widx);
+            if consumed + gap + s.warm + s.window > self.measure {
+                break;
+            }
+            functional_instructions += self.run_functional(gap);
+            self.run_detailed_window(s.warm, s.window);
+            // Capture this window's sample and fold its counters into
+            // the aggregate (measured windows only).
+            let mut wi = 0u64;
+            let mut wc = 0u64;
+            let mut wm = 0u64;
+            let mut wu = 0u64;
+            let mut wiss = 0u64;
+            for (a, m) in agg.iter_mut().zip(&self.hierarchy.metrics) {
+                wi += m.instructions;
+                wc += m.cycles;
+                wm += m.l1d.demand_misses;
+                wu += m.prefetch.useful + m.prefetch.late;
+                wiss += m.prefetch.issued;
+                a.accumulate(m);
+            }
+            measured_instructions += wi;
+            samples_ipc.push(wi as f64 / wc.max(1) as f64);
+            samples_mpki.push(wm as f64 * 1000.0 / wi.max(1) as f64);
+            samples_pfacc.push(if wiss == 0 {
+                0.0
+            } else {
+                wu as f64 / wiss as f64
+            });
+            windows += 1;
+            self.drain_to_functional();
+            consumed += gap + s.warm + s.window;
+            widx += 1;
+        }
+        assert!(
+            windows > 0,
+            "sampling config does not fit one window into the measurement \
+             span (measure={}, first period needs {})",
+            self.measure,
+            s.gap + s.jitter(0) + s.warm + s.window
+        );
+        // Functional tail: finish the nominal span so prefetcher/cache
+        // state at exit matches a full-length run's footprint.
+        if consumed < self.measure {
+            functional_instructions += self.run_functional(self.measure - consumed);
+        }
+        self.hierarchy.metrics = agg;
+        self.hierarchy.finalize();
+        self.sampling = Some(SamplingSummary {
+            windows,
+            window_len: s.window,
+            measured_instructions,
+            functional_instructions,
+            ipc: MetricStats::from_samples(&samples_ipc),
+            mpki_l1d: MetricStats::from_samples(&samples_mpki),
+            pf_accuracy: MetricStats::from_samples(&samples_pfacc),
+        });
+        self.finished = true;
+    }
+
+    /// Functionally retires up to `instrs` instructions on every core:
+    /// architectural warming only — caches, GhostMinion, SUF, branch
+    /// predictor, and prefetcher tables stay warm while no cycle is
+    /// simulated and no metrics counter moves. Returns the instructions
+    /// actually retired (short only for empty traces).
+    fn run_functional(&mut self, instrs: u64) -> u64 {
+        if instrs == 0 {
+            return 0;
+        }
+        self.hierarchy.prof_enter(Phase::FuncWarm);
+        let mut total = 0u64;
+        let mut slice_max = 0u64;
+        for c in 0..self.cores.len() {
+            let st = &mut self.cores[c];
+            let mut port = FuncPort {
+                h: &mut self.hierarchy,
+                now: self.now,
+            };
+            let mut remaining = instrs;
+            let mut stepped_core = 0u64;
+            while remaining > 0 {
+                if st.core.is_done() {
+                    st.retired_base += st.core.retired();
+                    st.core.replay();
+                    if st.core.is_done() {
+                        break; // empty trace: nothing to warm
+                    }
+                }
+                let stepped = st.core.functional_step(remaining, &mut port);
+                if stepped == 0 {
+                    break;
+                }
+                remaining -= stepped;
+                stepped_core += stepped;
+            }
+            total += stepped_core;
+            slice_max = slice_max.max(stepped_core);
+        }
+        // Advance the wall clock by the longest per-core slice so the
+        // next detailed window starts at a strictly later cycle and
+        // GhostMinion timestamps keep moving forward.
+        self.now += slice_max;
+        self.hierarchy.prof_exit();
+        total
+    }
+
+    /// Runs one detailed window: every core retires `warm` detailed
+    /// warm-up instructions (pipelines and MSHRs refill; metrics reset
+    /// and obs/telemetry re-arm at the boundary) followed by `window`
+    /// measured instructions. Mirrors [`System::run`]'s loop with
+    /// per-window instruction targets.
+    fn run_detailed_window(&mut self, warm: u64, window: u64) {
+        let warm_target: Vec<u64> = self
+            .cores
+            .iter()
+            .map(|s| s.total_retired() + warm)
+            .collect();
+        let target: Vec<u64> = warm_target.iter().map(|w| w + window).collect();
+        for st in &mut self.cores {
+            st.warmup_cycle = None;
+            st.finished_cycle = None;
+        }
+        let start_retired: u64 = self.cores.iter().map(|s| s.total_retired()).sum();
+        let mut last_progress = (start_retired, self.now);
+        let fast_forward = self.allow_skip
+            && !self.obs_on
+            && !self.hierarchy.obs_enabled()
+            && std::env::var_os("SECPREF_NO_SKIP").is_none();
+        let mut completions = Vec::new();
+        let mut events: Vec<CoreEvent> = Vec::new();
+        loop {
+            let now = self.now;
+            self.hierarchy.tick(now);
+            completions.clear();
+            completions.append(&mut self.hierarchy.completions);
+            self.hierarchy.prof_enter(Phase::Core);
+            for &(c, lq, gen, fill) in completions.iter() {
+                self.cores[c].core.complete_load(lq, gen, fill);
+            }
+            self.hierarchy.prof_exit();
+            let mut all_done = true;
+            for c in 0..self.cores.len() {
+                let st = &mut self.cores[c];
+                if st.total_retired() >= target[c] {
+                    if st.finished_cycle.is_none() {
+                        st.finished_cycle = Some(now);
+                        let warm_start = st.warmup_cycle.unwrap_or(now);
+                        self.hierarchy.metrics[c].cycles = now - warm_start;
+                        self.hierarchy.metrics[c].instructions =
+                            st.total_retired() - warm_target[c];
+                    }
+                    continue;
+                }
+                all_done = false;
+                if st.warmup_cycle.is_none() && st.total_retired() >= warm_target[c] {
+                    st.warmup_cycle = Some(now);
+                    self.hierarchy.reset_core_metrics(c);
+                    self.hierarchy.arm_obs(c);
+                    self.hierarchy.arm_tel(c);
+                }
+                if st.core.is_done() {
+                    st.retired_base += st.core.retired();
+                    st.core.replay();
+                }
+                events.clear();
+                self.hierarchy.prof_enter(Phase::Core);
+                let mut port = PortAdapter {
+                    h: &mut self.hierarchy,
+                };
+                st.core.tick(now, &mut port, &mut events);
+                for ev in &events {
+                    match *ev {
+                        CoreEvent::RetiredLoad { ip, addr, ts, fill } => {
+                            self.hierarchy
+                                .commit_load(now, c, ip, addr.line(), ts, &fill);
+                        }
+                        CoreEvent::RetiredStore { ip, addr, ts } => {
+                            self.hierarchy.commit_store(now, c, ip, addr.line(), ts);
+                        }
+                    }
+                }
+                self.hierarchy.prof_exit();
+            }
+            if all_done {
+                break;
+            }
+            let retired_now: u64 = self.cores.iter().map(|s| s.total_retired()).sum();
+            let progressed = retired_now > last_progress.0;
+            if progressed {
+                last_progress = (retired_now, now);
+            } else {
+                assert!(
+                    now - last_progress.1 < WATCHDOG_CYCLES,
+                    "simulator livelock in sampled window: no retirement \
+                     since cycle {} (now {now})",
+                    last_progress.1
+                );
+            }
+            let mut next_cycle = now + 1;
+            if fast_forward && !progressed {
+                let mut wake = self.hierarchy.next_due(now);
+                if wake > next_cycle {
+                    for st in &mut self.cores {
+                        if st.finished_cycle.is_some() {
+                            continue;
+                        }
+                        let w = if st.core.is_done() {
+                            next_cycle
+                        } else {
+                            st.core.next_wake(now)
+                        };
+                        wake = wake.min(w);
+                        if wake <= next_cycle {
+                            break;
+                        }
+                    }
+                }
+                if wake > next_cycle {
+                    let wake = wake.min(now.saturating_add(WATCHDOG_CYCLES));
+                    self.hierarchy.account_idle_cycles(wake - now - 1);
+                    next_cycle = wake;
+                }
+            }
+            self.now = next_cycle;
+        }
+    }
+
+    /// Drains in-flight detailed state before switching to functional
+    /// warming: cores functionally retire their ROB contents (see
+    /// [`Core::drain_to_functional`]) and the event wheel runs dry so no
+    /// stale completion can arrive mid-warming or in a later window.
+    fn drain_to_functional(&mut self) {
+        for st in &mut self.cores {
+            st.core.drain_to_functional();
+        }
+        let mut guard = 0u64;
+        while self.hierarchy.live_requests() > 0 {
+            guard += 1;
+            assert!(guard < 10_000_000, "in-flight drain did not converge");
+            let now = self.now;
+            self.hierarchy.tick(now);
+            // The cores abandoned these loads; drop their completions.
+            self.hierarchy.completions.clear();
+            let due = self.hierarchy.next_due(now);
+            self.now = if due == Cycle::MAX {
+                now + 1
+            } else {
+                due.max(now + 1)
+            };
+        }
+    }
+
     /// Builds the report (callable after [`System::run`]).
     pub fn report(&self) -> SimReport {
-        SimReport::new(
+        let mut r = SimReport::new(
             &self.cfg,
             self.hierarchy.metrics.clone(),
             self.hierarchy.dram_stats(),
-        )
+        );
+        r.sampling = self.sampling.clone();
+        r
     }
 
     /// Probe a cache level for a line (security experiments).

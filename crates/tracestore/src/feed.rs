@@ -24,7 +24,7 @@
 use crate::format::TraceReader;
 use secpref_trace::{Instr, Trace};
 use secpref_types::Addr;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fs::File;
 use std::io::{self, BufReader, Read, Seek};
 use std::path::Path;
@@ -40,10 +40,17 @@ impl<T: Read + Seek + Send> ReadSeek for T {}
 /// window size even after the feed moves into a core.
 #[derive(Debug, Default)]
 pub struct FeedStats {
-    /// Peak number of simultaneously resident decoded instructions.
+    /// Peak number of simultaneously resident decoded instructions in
+    /// the sliding window (the decoded-chunk cache is tracked
+    /// separately in [`FeedStats::peak_cached`]).
     pub peak_resident: AtomicUsize,
-    /// Total chunk decodes (re-decodes after rewind count again).
+    /// Total chunk decodes (re-decodes after rewind count again; chunks
+    /// served from the decoded-chunk cache do not).
     pub chunks_decoded: AtomicU64,
+    /// Chunks served from the decoded-chunk cache instead of decoding.
+    pub cache_hits: AtomicU64,
+    /// Peak instructions held by the decoded-chunk cache.
+    pub peak_cached: AtomicUsize,
 }
 
 impl FeedStats {
@@ -56,11 +63,31 @@ impl FeedStats {
     pub fn decodes(&self) -> u64 {
         self.chunks_decoded.load(Ordering::Relaxed)
     }
+
+    /// Chunks served from the decoded-chunk cache so far.
+    pub fn hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Peak decoded-chunk-cache residency (instructions) so far.
+    pub fn cached_peak(&self) -> usize {
+        self.peak_cached.load(Ordering::Relaxed)
+    }
 }
 
 /// Extra lookback slack beyond `rob_entries + max_dep_dist`, absorbing
 /// off-by-chunk alignment (eviction is whole-chunk).
 const LOOKBACK_SLACK: usize = 64;
+
+/// Decoded-chunk cache capacity (instructions) used by
+/// [`StreamFeed::open_for_core`] / [`StreamFeed::for_core`] — ~8 MB of
+/// `Instr`s per feed. Replay-heavy runs (multi-pass windows over a
+/// store shorter than the simulated span, the SMARTS sampled bench)
+/// revisit the same chunks on every pass; the cache serves them decoded
+/// instead of re-reading and re-decoding, while staying strictly
+/// bounded. Stores longer than the cap stream exactly as before, with
+/// the cache acting as a no-op tail buffer.
+pub const DEFAULT_CHUNK_CACHE_INSTRS: usize = 512 * 1024;
 
 /// A sliding-window streaming cursor over a chunk store.
 pub struct StreamFeed {
@@ -75,6 +102,18 @@ pub struct StreamFeed {
     hi: usize,
     /// Record indexes `>= hi - lookback` are kept decodable.
     lookback: usize,
+    /// Instructions per chunk (copied out of the store metadata so the
+    /// per-instruction fast path never touches the reader).
+    chunk_size: usize,
+    /// Decoded chunks evicted from the window, kept for replays. LRU by
+    /// insertion order, capped at `cache_cap` instructions; `0` disables.
+    cache: HashMap<usize, Vec<Instr>>,
+    /// Insertion order of `cache` keys (front = oldest).
+    cache_lru: VecDeque<usize>,
+    /// Instructions currently held by `cache`.
+    cache_resident: usize,
+    /// Capacity of `cache`, in instructions.
+    cache_cap: usize,
     stats: Arc<FeedStats>,
 }
 
@@ -95,6 +134,7 @@ impl StreamFeed {
     /// Wraps an open reader with the given lookback window (in
     /// instructions).
     pub fn new(reader: TraceReader<Box<dyn ReadSeek>>, lookback: usize) -> Self {
+        let chunk_size = reader.meta().chunk_size as usize;
         StreamFeed {
             reader,
             window: VecDeque::new(),
@@ -102,8 +142,22 @@ impl StreamFeed {
             resident: 0,
             hi: 0,
             lookback,
+            chunk_size,
+            cache: HashMap::new(),
+            cache_lru: VecDeque::new(),
+            cache_resident: 0,
+            cache_cap: 0,
             stats: Arc::new(FeedStats::default()),
         }
+    }
+
+    /// Enables the decoded-chunk replay cache, capped at `max_instrs`
+    /// resident instructions (`0` disables). Purely an accelerator: the
+    /// values served are the ones the decoder produced, so reports are
+    /// bit-identical with the cache on or off.
+    pub fn with_chunk_cache(mut self, max_instrs: usize) -> Self {
+        self.cache_cap = max_instrs;
+        self
     }
 
     /// Opens a chunk-store file with a lookback sized for `cfg`-shaped
@@ -122,7 +176,7 @@ impl StreamFeed {
     /// and the store's recorded maximum dependency distance.
     pub fn for_core(reader: TraceReader<Box<dyn ReadSeek>>, rob_entries: usize) -> Self {
         let lookback = rob_entries + reader.meta().max_dep_dist as usize + LOOKBACK_SLACK;
-        Self::new(reader, lookback)
+        Self::new(reader, lookback).with_chunk_cache(DEFAULT_CHUNK_CACHE_INSTRS)
     }
 
     /// The residency instrumentation handle.
@@ -174,12 +228,29 @@ impl StreamFeed {
     /// fails integrity checks mid-run, or if `idx` has already been
     /// evicted (a lookback window undersized for the consuming core —
     /// a bug, not an input condition).
+    #[inline]
     pub fn get(&mut self, idx: usize) -> Instr {
+        let chunk = idx / self.chunk_size;
+        // Fast path: the chunk is already resident in the window. Window
+        // maintenance (decode-ahead, eviction) happens only on the slow
+        // path, which runs at most once per chunk of forward progress —
+        // between slow-path calls `hi` advances by less than one chunk,
+        // so the residency bound is unchanged.
+        if chunk >= self.win_first_chunk && chunk - self.win_first_chunk < self.window.len() {
+            if idx > self.hi {
+                self.hi = idx;
+            }
+            return self.window[chunk - self.win_first_chunk][idx % self.chunk_size];
+        }
+        self.get_slow(idx, chunk)
+    }
+
+    #[cold]
+    fn get_slow(&mut self, idx: usize, chunk: usize) -> Instr {
         if idx > self.hi {
             self.hi = idx;
         }
-        let chunk_size = self.reader.meta().chunk_size as usize;
-        let chunk = idx / chunk_size;
+        let chunk_size = self.chunk_size;
         assert!(
             chunk >= self.win_first_chunk || self.window.is_empty(),
             "record {idx} (chunk {chunk}) evicted: lookback window too small \
@@ -190,40 +261,100 @@ impl StreamFeed {
             // Fresh or rewound feed: start the window at the requested chunk.
             self.win_first_chunk = chunk;
         }
-        // Decode forward until the chunk is resident.
-        while self.win_first_chunk + self.window.len() <= chunk {
-            let next = self.win_first_chunk + self.window.len();
-            let decoded = self
-                .reader
-                .read_chunk(next)
-                .unwrap_or_else(|e| panic!("chunk {next}: {e}"));
-            self.resident += decoded.len();
-            self.window.push_back(decoded);
-            self.stats.chunks_decoded.fetch_add(1, Ordering::Relaxed);
-        }
-        self.stats
-            .peak_resident
-            .fetch_max(self.resident, Ordering::Relaxed);
-        // Evict whole chunks that fall entirely behind the lookback.
+        // Evict whole chunks that fall entirely behind the lookback
+        // *before* decoding forward, so the peak residency matches the
+        // eager-eviction bound; the evicted chunk moves into the replay
+        // cache instead of dropping.
         let keep_from = self.hi.saturating_sub(self.lookback);
         while self.window.len() > 1 {
             let front_end = (self.win_first_chunk + 1) * chunk_size;
             if front_end <= keep_from && self.win_first_chunk < chunk {
                 let evicted = self.window.pop_front().expect("len > 1");
                 self.resident -= evicted.len();
+                self.cache_put(self.win_first_chunk, evicted);
                 self.win_first_chunk += 1;
             } else {
                 break;
             }
         }
+        // Bring the chunk into the window: replay cache first, decode
+        // otherwise.
+        while self.win_first_chunk + self.window.len() <= chunk {
+            let next = self.win_first_chunk + self.window.len();
+            let decoded = match self.cache_take(next) {
+                Some(cached) => {
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    cached
+                }
+                None => {
+                    self.stats.chunks_decoded.fetch_add(1, Ordering::Relaxed);
+                    self.reader
+                        .read_chunk(next)
+                        .unwrap_or_else(|e| panic!("chunk {next}: {e}"))
+                }
+            };
+            self.resident += decoded.len();
+            self.window.push_back(decoded);
+        }
+        self.stats
+            .peak_resident
+            .fetch_max(self.resident, Ordering::Relaxed);
         let rec = &self.window[chunk - self.win_first_chunk];
         rec[idx % chunk_size]
     }
 
-    /// Resets the cursor for a fresh pass (replay): drops the window and
-    /// the watermark. Chunk decodes start over from the front.
+    /// Removes chunk `idx` from the replay cache, if cached.
+    fn cache_take(&mut self, idx: usize) -> Option<Vec<Instr>> {
+        let v = self.cache.remove(&idx)?;
+        self.cache_resident -= v.len();
+        if let Some(pos) = self.cache_lru.iter().position(|&c| c == idx) {
+            self.cache_lru.remove(pos);
+        }
+        Some(v)
+    }
+
+    /// Inserts a decoded chunk into the replay cache, evicting oldest
+    /// entries past the capacity. A no-op when the cache is disabled.
+    fn cache_put(&mut self, idx: usize, v: Vec<Instr>) {
+        if self.cache_cap == 0 || v.len() > self.cache_cap {
+            return;
+        }
+        self.cache_resident += v.len();
+        if let Some(old) = self.cache.insert(idx, v) {
+            // Replaced an entry for the same chunk (re-decoded after an
+            // earlier cache eviction): fix up residency and LRU order.
+            self.cache_resident -= old.len();
+            let pos = self
+                .cache_lru
+                .iter()
+                .position(|&c| c == idx)
+                .expect("cached chunk has an LRU entry");
+            self.cache_lru.remove(pos);
+        }
+        self.cache_lru.push_back(idx);
+        while self.cache_resident > self.cache_cap {
+            let oldest = self
+                .cache_lru
+                .pop_front()
+                .expect("resident implies entries");
+            let dropped = self.cache.remove(&oldest).expect("LRU entry is cached");
+            self.cache_resident -= dropped.len();
+        }
+        self.stats
+            .peak_cached
+            .fetch_max(self.cache_resident, Ordering::Relaxed);
+    }
+
+    /// Resets the cursor for a fresh pass (replay): the window drains
+    /// into the replay cache and the watermark clears. With the cache
+    /// enabled (and the store within its capacity) a replay re-serves
+    /// every chunk without touching the decoder.
     pub fn rewind(&mut self) {
-        self.window.clear();
+        let first = self.win_first_chunk;
+        let drained: Vec<Vec<Instr>> = self.window.drain(..).collect();
+        for (i, chunk) in drained.into_iter().enumerate() {
+            self.cache_put(first + i, chunk);
+        }
         self.win_first_chunk = 0;
         self.resident = 0;
         self.hi = 0;
@@ -393,6 +524,46 @@ mod tests {
             assert_eq!(f.get(i).ip.raw(), 0x1000 + i as u64);
         }
         assert_eq!(f.stats().decodes(), 8, "both passes decode all chunks");
+    }
+
+    #[test]
+    fn chunk_cache_serves_replays_without_redecoding() {
+        let n = 4 * CHUNK as usize;
+        let mut f = make_feed(n, 64).with_chunk_cache(DEFAULT_CHUNK_CACHE_INSTRS);
+        for i in 0..n {
+            f.get(i);
+        }
+        f.rewind();
+        for i in 0..n {
+            assert_eq!(f.get(i).ip.raw(), 0x1000 + i as u64, "replay record {i}");
+        }
+        let stats = f.stats();
+        assert_eq!(stats.decodes(), 4, "second pass served from cache");
+        assert_eq!(stats.hits(), 4, "all 4 chunks replayed from cache");
+        assert!(stats.cached_peak() <= DEFAULT_CHUNK_CACHE_INSTRS);
+    }
+
+    #[test]
+    fn chunk_cache_respects_its_capacity() {
+        let n = 8 * CHUNK as usize;
+        // Capacity for two chunks: older chunks must be dropped.
+        let mut f = make_feed(n, 64).with_chunk_cache(2 * CHUNK as usize);
+        for i in 0..n {
+            f.get(i);
+        }
+        f.rewind();
+        for i in 0..n {
+            f.get(i);
+        }
+        let stats = f.stats();
+        assert!(
+            stats.cached_peak() <= 2 * CHUNK as usize,
+            "cache residency {} exceeds cap",
+            stats.cached_peak()
+        );
+        // The replay pass walks front-to-back while the cache held only
+        // the tail, so most chunks re-decode; the results still match.
+        assert!(stats.decodes() >= 8, "front chunks had to re-decode");
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod hist;
 pub mod level;
 pub mod req;
 pub mod rng;
+pub mod sampling;
 pub mod varint;
 
 pub use addr::{Addr, Ip, LineAddr, LINE_SIZE, OFFSET_BITS};
@@ -36,6 +37,7 @@ pub use config::{
 pub use hist::Hist;
 pub use level::{CacheLevel, HitLevel};
 pub use req::{AccessKind, CoreId, FillInfo, PrefetchRequest};
+pub use sampling::{MetricStats, SamplingConfig, SamplingSummary};
 
 /// Simulation time, measured in core clock cycles.
 pub type Cycle = u64;

@@ -1,0 +1,313 @@
+//! SMARTS-style statistical sampling: configuration and interval math.
+//!
+//! Full-detail simulation of the secure configurations runs at a few
+//! hundred thousand instructions per second — far too slow for the
+//! billion-instruction traces the `.sct` store can stream. SMARTS-style
+//! sampling (Wunderlich et al., ISCA 2003) fixes this by alternating cheap
+//! *functional warming* (architectural state only: caches, GhostMinion,
+//! SUF filters, branch predictor, prefetcher training) with short detailed
+//! *measurement windows*, and reporting each metric as a mean with a
+//! Student-t confidence interval over the per-window samples.
+//!
+//! This module holds the pieces every layer shares: [`SamplingConfig`]
+//! (carried in the canonical job string, so sampled and full runs get
+//! distinct content-addressed keys), [`MetricStats`] (mean / stderr /
+//! 95% t-CI over window samples), and [`SamplingSummary`] (the block a
+//! sampled `SimReport` carries alongside its accumulated counters).
+//!
+//! # Examples
+//!
+//! ```
+//! use secpref_types::sampling::{MetricStats, SamplingConfig};
+//!
+//! let s = SamplingConfig::new(2_000, 1_000, 5_000);
+//! assert_eq!(s.period(), 8_000);
+//! let st = MetricStats::from_samples(&[1.0, 2.0, 3.0]);
+//! assert!((st.mean - 2.0).abs() < 1e-12);
+//! assert!(st.ci_contains(2.5));
+//! ```
+
+use crate::rng::Xoshiro256ss;
+
+/// Configuration of one SMARTS-style sampled run.
+///
+/// A sampled run first warms functionally through the job's warm-up span,
+/// then repeats `[functional gap, detailed warm slice, measured window]`
+/// until the measure span is exhausted. All lengths are in instructions
+/// per core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SamplingConfig {
+    /// Detailed, *measured* instructions per window.
+    pub window: u64,
+    /// Detailed but unmeasured instructions run before each window to
+    /// re-converge micro-architectural timing state (MSHRs, DRAM queues,
+    /// in-flight prefetches) that functional warming does not model.
+    pub warm: u64,
+    /// Functionally-warmed instructions between windows.
+    pub gap: u64,
+    /// Maximum extra functional instructions added to each gap; the
+    /// per-window amount is drawn deterministically from `jitter_seed`.
+    /// Jitter decorrelates window placement from any periodicity in the
+    /// workload. `0` disables jitter.
+    pub max_jitter: u64,
+    /// Seed for the window-offset jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl SamplingConfig {
+    /// A jitter-free config with the given window / warm-slice / gap
+    /// lengths.
+    pub fn new(window: u64, warm: u64, gap: u64) -> Self {
+        assert!(window > 0, "sampling window must be positive");
+        SamplingConfig {
+            window,
+            warm,
+            gap,
+            max_jitter: 0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// Adds seeded window-offset jitter.
+    pub fn with_jitter(mut self, max_jitter: u64, seed: u64) -> Self {
+        self.max_jitter = max_jitter;
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Nominal instructions consumed per sampling period (excluding
+    /// jitter): gap + warm slice + measured window.
+    pub fn period(&self) -> u64 {
+        self.gap + self.warm + self.window
+    }
+
+    /// Extra functional instructions prepended to window `idx`'s gap.
+    ///
+    /// A pure function of `(jitter_seed, idx)` — not of any generator
+    /// state threaded through the run — so resumed runs, re-ordered
+    /// worker pools, and cold runs all see identical window placement.
+    pub fn jitter(&self, idx: u64) -> u64 {
+        if self.max_jitter == 0 {
+            return 0;
+        }
+        let mut rng =
+            Xoshiro256ss::seed_from_u64(self.jitter_seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        rng.gen_u64(self.max_jitter + 1)
+    }
+
+    /// Canonical string form, embedded in the job key. Stable: changing
+    /// this changes every sampled job's content-addressed key.
+    pub fn canonical(&self) -> String {
+        format!(
+            "w{}+u{}/g{}~j{}s{}",
+            self.window, self.warm, self.gap, self.max_jitter, self.jitter_seed
+        )
+    }
+}
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+///
+/// Table for df 1..=30, then the asymptotic normal value 1.96. `df == 0`
+/// (a single window — no variance estimate) returns 0.0 so the degenerate
+/// CI collapses to the point estimate instead of inventing a width.
+pub fn t_critical_95(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => 0.0,
+        1..=30 => TABLE[(df - 1) as usize],
+        _ => 1.96,
+    }
+}
+
+/// Point estimate with a 95% confidence interval over window samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetricStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean (0.0 when `n < 2`).
+    pub stderr: f64,
+    /// Half-width of the two-sided 95% Student-t CI (0.0 when `n < 2`).
+    pub ci_half: f64,
+    /// Number of window samples.
+    pub n: u64,
+}
+
+impl MetricStats {
+    /// Computes mean / stderr / 95% t-CI from window samples.
+    ///
+    /// `n == 0` yields all zeros; `n == 1` yields the point estimate with
+    /// zero stderr and zero CI width (no variance information exists).
+    pub fn from_samples(xs: &[f64]) -> Self {
+        let n = xs.len();
+        if n == 0 {
+            return MetricStats::default();
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return MetricStats {
+                mean,
+                stderr: 0.0,
+                ci_half: 0.0,
+                n: 1,
+            };
+        }
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+        let stderr = (var / n as f64).sqrt();
+        let ci_half = t_critical_95(n as u64 - 1) * stderr;
+        MetricStats {
+            mean,
+            stderr,
+            ci_half,
+            n: n as u64,
+        }
+    }
+
+    /// Whether `v` lies inside the 95% CI `[mean - ci_half, mean + ci_half]`.
+    pub fn ci_contains(&self, v: f64) -> bool {
+        (v - self.mean).abs() <= self.ci_half
+    }
+}
+
+/// The sampling block attached to a sampled `SimReport`.
+///
+/// The report's counters are accumulated over *measured windows only*
+/// (functional and warm-slice activity is excluded); this block records
+/// how those windows were laid out and the per-metric interval estimates.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SamplingSummary {
+    /// Number of measured windows.
+    pub windows: u64,
+    /// Nominal measured instructions per window per core.
+    pub window_len: u64,
+    /// Instructions actually retired inside measured windows, summed over
+    /// cores and windows (each window may overshoot its nominal length by
+    /// up to `retire_width - 1`).
+    pub measured_instructions: u64,
+    /// Instructions retired by the functional-warming fast path, summed
+    /// over cores.
+    pub functional_instructions: u64,
+    /// IPC over window samples (core-0 window IPCs for single-core runs;
+    /// per-window aggregate IPC for multi-core runs).
+    pub ipc: MetricStats,
+    /// L1D demand MPKI over window samples.
+    pub mpki_l1d: MetricStats,
+    /// Prefetch accuracy over window samples.
+    pub pf_accuracy: MetricStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_spot_values() {
+        // Endpoints and interior values against standard tables.
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(2) - 4.303).abs() < 1e-9);
+        assert!((t_critical_95(4) - 2.776).abs() < 1e-9);
+        assert!((t_critical_95(10) - 2.228).abs() < 1e-9);
+        assert!((t_critical_95(30) - 2.042).abs() < 1e-9);
+        // Asymptotic tail and the degenerate df=0 case.
+        assert!((t_critical_95(31) - 1.96).abs() < 1e-9);
+        assert!((t_critical_95(1_000_000) - 1.96).abs() < 1e-9);
+        assert_eq!(t_critical_95(0), 0.0);
+    }
+
+    #[test]
+    fn t_table_is_monotone_decreasing() {
+        for df in 1..40 {
+            assert!(
+                t_critical_95(df + 1) <= t_critical_95(df),
+                "t must shrink with df ({df})"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_n0_and_n1_degenerate_cases() {
+        let s0 = MetricStats::from_samples(&[]);
+        assert_eq!(s0.n, 0);
+        assert_eq!(s0.mean, 0.0);
+        assert_eq!(s0.stderr, 0.0);
+        assert_eq!(s0.ci_half, 0.0);
+
+        // n=1: point estimate, no variance information, zero-width CI.
+        let s1 = MetricStats::from_samples(&[1.5]);
+        assert_eq!(s1.n, 1);
+        assert!((s1.mean - 1.5).abs() < 1e-12);
+        assert_eq!(s1.stderr, 0.0);
+        assert_eq!(s1.ci_half, 0.0);
+        assert!(s1.ci_contains(1.5));
+        assert!(!s1.ci_contains(1.5001));
+    }
+
+    #[test]
+    fn stats_n2_matches_hand_computation() {
+        // Samples 1.0 and 3.0: mean 2, s² = 2, stderr = 1, df = 1.
+        let s = MetricStats::from_samples(&[1.0, 3.0]);
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.stderr - 1.0).abs() < 1e-12);
+        assert!((s.ci_half - 12.706).abs() < 1e-9);
+        assert!(s.ci_contains(2.0 + 12.7));
+        assert!(!s.ci_contains(2.0 + 12.8));
+    }
+
+    #[test]
+    fn stats_constant_samples_have_zero_width() {
+        let s = MetricStats::from_samples(&[0.7; 10]);
+        assert_eq!(s.n, 10);
+        assert!((s.mean - 0.7).abs() < 1e-12);
+        // Rounding leaves a ~1e-17 residue in the variance; the width
+        // must be negligible, not bit-exact zero.
+        assert!(s.stderr < 1e-12);
+        assert!(s.ci_half < 1e-12);
+    }
+
+    #[test]
+    fn jitter_is_a_pure_function_of_seed_and_index() {
+        let s = SamplingConfig::new(1000, 500, 4000).with_jitter(300, 42);
+        let a: Vec<u64> = (0..16).map(|i| s.jitter(i)).collect();
+        let b: Vec<u64> = (0..16).map(|i| s.jitter(i)).collect();
+        assert_eq!(a, b, "same seed+index must give same jitter");
+        assert!(a.iter().all(|&j| j <= 300));
+        assert!(
+            a.iter().any(|&j| j != a[0]),
+            "16 draws virtually never collapse to one value"
+        );
+        let other = SamplingConfig::new(1000, 500, 4000).with_jitter(300, 43);
+        let c: Vec<u64> = (0..16).map(|i| other.jitter(i)).collect();
+        assert_ne!(a, c, "different seeds must give different streams");
+        // Out-of-order evaluation sees the same values (no hidden state).
+        assert_eq!(s.jitter(7), a[7]);
+        assert_eq!(s.jitter(0), a[0]);
+    }
+
+    #[test]
+    fn jitter_disabled_is_zero() {
+        let s = SamplingConfig::new(1000, 0, 4000);
+        assert!((0..8).all(|i| s.jitter(i) == 0));
+    }
+
+    #[test]
+    fn canonical_is_stable() {
+        let s = SamplingConfig::new(2000, 1000, 5000).with_jitter(250, 9);
+        assert_eq!(s.canonical(), "w2000+u1000/g5000~j250s9");
+        // Any field change must change the canonical form (and thus the
+        // content-addressed job key).
+        assert_ne!(
+            SamplingConfig::new(2000, 1000, 5001).canonical(),
+            SamplingConfig::new(2000, 1000, 5000).canonical()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = SamplingConfig::new(0, 1, 1);
+    }
+}

@@ -48,8 +48,11 @@ echo "== cross-core attack litmus (release) + many-core smoke"
 # heterogeneous per-core-policy example.
 cargo test --release -q --test security -- llc_prime_probe dram_row_buffer
 mc_dir="$(mktemp -d)"
+# Plain grep (not -q): -q exits on the first match, which closes the
+# pipe while repro is still flushing the rest of the table and turns a
+# passing run into an EPIPE panic.
 SECPREF_EXP_DIR="$mc_dir" ./target/release/repro --quick --quiet fig16 \
-    2>"$stderr_file" | grep -q '^32 ' \
+    2>"$stderr_file" | grep '^32 ' >/dev/null \
     || { echo "tier1: fig16 smoke missing the 32-core row" >&2; exit 1; }
 if [ -s "$stderr_file" ]; then
     echo "tier1: repro --quiet fig16 wrote to stderr:" >&2
@@ -110,6 +113,22 @@ echo "== simbench perf guard (vs committed BENCH_simcore.json)"
 #   SECPREF_BENCH_SKIP_GUARD=1 tools/tier1.sh
 SECPREF_BENCH_MS=25 ./target/release/simbench \
     --guard BENCH_simcore.json --out "$(mktemp)"
+
+echo "== simbench sampled-mode guard (effective sim rate tripwire)"
+# The SMARTS sampled bench at smoke span: one GhostMinion+SUF cell
+# streamed from a .sct chunk store, full detail vs sampled. Guards the
+# sampled effective instr/sec against the committed artifact's
+# `sampled` block (band documented in simbench) — a functional-warming
+# path regression shows up here long before the full-budget bench.
+SECPREF_BENCH_MS=25 ./target/release/simbench --sampled \
+    --guard BENCH_simcore.json --out "$(mktemp)"
+
+echo "== sampled-vs-full smoke differential (3 cells)"
+# The tier-1 slice of `repro --sampled`: three representative cells
+# (non-secure, GhostMinion+SUF, timely-secure+SUF) must reproduce their
+# full-detail IPC within 2% and inside the sampled run's own 95% CI,
+# with the sampled-report audit rules armed (DESIGN.md §14).
+./target/release/repro --quiet --sampled --quick
 
 echo "== sectrace streamed-replay differential"
 # Capture a small trace to a chunk store, verify its integrity, replay
